@@ -1,0 +1,98 @@
+//! Coherence-substrate bench: raw Table 2 state-machine throughput — how
+//! many protocol transitions per second the L1 and directory controllers
+//! sustain (every Figure 6–10 run is bounded by this).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fsoi_coherence::directory::Directory;
+use fsoi_coherence::l1::L1Controller;
+use fsoi_coherence::protocol::{CoherenceMsg, Grant, LineAddr};
+
+const OPS: u64 = 1_000;
+
+/// A full read-miss round trip: Req(Sh) → MemReq → MemAck → Data → fill.
+fn miss_roundtrips(n: u64) -> u64 {
+    let mut l1 = L1Controller::new(0, 256, 2, 32);
+    l1.set_home_nodes(1);
+    let mut dir = Directory::new(0, 99, 4096);
+    let mut fills = 0;
+    for i in 0..n {
+        let line = LineAddr((i % 512) * 32);
+        let acc = l1.read(line);
+        if acc.hit {
+            continue;
+        }
+        for out in acc.out {
+            let outs = dir.handle(0, out.msg).expect("protocol ok");
+            for o in outs {
+                if o.to == 99 {
+                    // Memory answers instantly in this microbench.
+                    let backs = dir
+                        .handle(99, CoherenceMsg::MemAck { line })
+                        .expect("protocol ok");
+                    for b in backs {
+                        let r = l1.handle(b.msg).expect("protocol ok");
+                        if r.completed.is_some() {
+                            fills += 1;
+                        }
+                    }
+                } else {
+                    let r = l1.handle(o.msg).expect("protocol ok");
+                    if r.completed.is_some() {
+                        fills += 1;
+                    }
+                }
+            }
+        }
+    }
+    fills
+}
+
+/// Invalidation rounds: a 16-sharer line upgraded by one of them.
+fn invalidation_round() -> usize {
+    let mut dir = Directory::new(0, 99, 4096);
+    let line = LineAddr(0x40);
+    // Build 16 sharers.
+    dir.handle(1, CoherenceMsg::Req { kind: fsoi_coherence::protocol::ReqType::Ex, line })
+        .unwrap();
+    dir.handle(99, CoherenceMsg::MemAck { line }).unwrap();
+    dir.handle(2, CoherenceMsg::Req { kind: fsoi_coherence::protocol::ReqType::Sh, line })
+        .unwrap();
+    dir.handle(1, CoherenceMsg::DwgAck { line, with_data: true })
+        .unwrap();
+    for s in 3..16 {
+        dir.handle(s, CoherenceMsg::Req { kind: fsoi_coherence::protocol::ReqType::Sh, line })
+            .unwrap();
+    }
+    let invs = dir
+        .handle(2, CoherenceMsg::Req { kind: fsoi_coherence::protocol::ReqType::Upg, line })
+        .unwrap();
+    let n = invs.len();
+    for v in invs {
+        dir.handle(v.to, CoherenceMsg::InvAck { line, with_data: false })
+            .unwrap();
+    }
+    n
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coherence");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("read_miss_roundtrips", |b| {
+        b.iter(|| miss_roundtrips(black_box(OPS)))
+    });
+    g.finish();
+    c.bench_function("coherence/16_sharer_upgrade_round", |b| {
+        b.iter(invalidation_round)
+    });
+    c.bench_function("coherence/l1_hit", |b| {
+        let mut l1 = L1Controller::new(0, 256, 2, 32);
+        l1.set_home_nodes(1);
+        let line = LineAddr(0x40);
+        l1.read(line);
+        let _ = l1.handle(CoherenceMsg::Data { grant: Grant::Shared, line });
+        b.iter(|| l1.read(black_box(line)).hit)
+    });
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

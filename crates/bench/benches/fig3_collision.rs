@@ -1,0 +1,25 @@
+//! Figure 3 bench: closed-form and Monte-Carlo collision-probability
+//! computations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsoi_net::analysis::collision::{monte_carlo, node_collision_probability};
+
+fn bench_collision(c: &mut Criterion) {
+    c.bench_function("fig3/closed_form_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 1..=4usize {
+                for p in 1..=33usize {
+                    acc += node_collision_probability(black_box(p as f64 / 100.0), 16, r);
+                }
+            }
+            acc
+        })
+    });
+    c.bench_function("fig3/monte_carlo_10k_slots", |b| {
+        b.iter(|| monte_carlo(black_box(0.10), 16, 2, 10_000, 7))
+    });
+}
+
+criterion_group!(benches, bench_collision);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 4 bench: the back-off resolution-delay model and the
+//! pathological-burst series.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsoi_net::analysis::backoff::{pathological_burst, resolution_delay};
+use fsoi_net::backoff::BackoffPolicy;
+
+fn bench_backoff(c: &mut Criterion) {
+    c.bench_function("fig4/resolution_delay_2k_trials", |b| {
+        b.iter(|| {
+            resolution_delay(
+                black_box(BackoffPolicy::PAPER_OPTIMUM),
+                0.01,
+                2,
+                2,
+                2_000,
+                9,
+            )
+        })
+    });
+    c.bench_function("fig4/pathological_burst_63", |b| {
+        b.iter(|| pathological_burst(black_box(63), BackoffPolicy::PAPER_OPTIMUM, 2, 2))
+    });
+    let mut rng = fsoi_sim::rng::Xoshiro256StarStar::new(1);
+    c.bench_function("fig4/draw_delay_slots", |b| {
+        b.iter(|| BackoffPolicy::PAPER_OPTIMUM.draw_delay_slots(black_box(3), &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_backoff);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figures 6/7 (and 8, Table 4) bench: full-system simulation throughput
+//! — a 16-node CMP run over each interconnect class. These are the
+//! workhorses behind every evaluation figure; the bench tracks how fast
+//! the reproduction itself runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsoi_cmp::configs::{NetworkKind, SystemConfig};
+use fsoi_cmp::system::CmpSystem;
+use fsoi_cmp::workload::AppProfile;
+
+fn run_once(kind: NetworkKind, ops: u64) -> u64 {
+    let mut app = AppProfile::by_name("ba").expect("known app");
+    app.ops_per_core = ops;
+    CmpSystem::new(SystemConfig::paper_16(kind), app)
+        .run(50_000_000)
+        .cycles
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_system_16node");
+    g.sample_size(10);
+    for name in ["fsoi", "mesh", "L0"] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            let kind = match *name {
+                "fsoi" => NetworkKind::fsoi(16),
+                "mesh" => NetworkKind::mesh(16),
+                _ => NetworkKind::L0,
+            };
+            b.iter(|| run_once(kind.clone(), 300));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig7_system_64node");
+    g.sample_size(10);
+    g.bench_function("fsoi", |b| {
+        b.iter(|| {
+            let mut app = AppProfile::by_name("ws").expect("known app");
+            app.ops_per_core = 100;
+            CmpSystem::new(SystemConfig::paper_64(NetworkKind::fsoi(64)), app)
+                .run(50_000_000)
+                .cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Raw network-engine throughput (Figures 9–11 substrate): cycles per
+//! second of the FSOI and mesh simulators under sustained uniform random
+//! traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fsoi_mesh::config::MeshConfig;
+use fsoi_mesh::network::MeshNetwork;
+use fsoi_mesh::packet::MeshPacket;
+use fsoi_net::config::FsoiConfig;
+use fsoi_net::network::FsoiNetwork;
+use fsoi_net::packet::{Packet, PacketClass};
+use fsoi_net::topology::NodeId;
+use fsoi_sim::rng::Xoshiro256StarStar;
+
+const CYCLES: u64 = 20_000;
+
+fn drive_fsoi(seed: u64) -> u64 {
+    let mut net = FsoiNetwork::new(FsoiConfig::nodes(16), seed);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    for cycle in 0..CYCLES {
+        if cycle % 2 == 0 {
+            for src in 0..16usize {
+                if rng.bernoulli(0.05) {
+                    let mut dst = rng.next_below(15) as usize;
+                    if dst >= src {
+                        dst += 1;
+                    }
+                    let class = if rng.bernoulli(0.4) {
+                        PacketClass::Data
+                    } else {
+                        PacketClass::Meta
+                    };
+                    let _ = net.inject(Packet::new(NodeId(src), NodeId(dst), class, cycle));
+                }
+            }
+        }
+        net.tick();
+        net.drain_delivered();
+    }
+    net.stats().delivered[0] + net.stats().delivered[1]
+}
+
+fn drive_mesh(seed: u64) -> u64 {
+    let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+    let mut rng = Xoshiro256StarStar::new(seed);
+    for cycle in 0..CYCLES {
+        for src in 0..16usize {
+            if rng.bernoulli(0.02) {
+                let mut dst = rng.next_below(15) as usize;
+                if dst >= src {
+                    dst += 1;
+                }
+                let pkt = if rng.bernoulli(0.4) {
+                    MeshPacket::data(src, dst, cycle)
+                } else {
+                    MeshPacket::meta(src, dst, cycle)
+                };
+                let _ = net.inject(pkt);
+            }
+        }
+        net.tick();
+        net.drain_delivered();
+    }
+    net.stats().delivered
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_engines");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(10);
+    g.bench_function("fsoi_20k_cycles", |b| b.iter(|| drive_fsoi(7)));
+    g.bench_function("mesh_20k_cycles", |b| b.iter(|| drive_mesh(7)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

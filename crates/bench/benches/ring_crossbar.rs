@@ -1,0 +1,44 @@
+//! Corona-comparison bench: ring-crossbar engine throughput under
+//! uniform random traffic (the §7.1 comparison's substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fsoi_ring::config::RingConfig;
+use fsoi_ring::network::{RingNetwork, RingPacket};
+use fsoi_sim::rng::Xoshiro256StarStar;
+
+const CYCLES: u64 = 20_000;
+
+fn drive(seed: u64) -> u64 {
+    let mut net = RingNetwork::new(RingConfig::nodes(64));
+    let mut rng = Xoshiro256StarStar::new(seed);
+    for cycle in 0..CYCLES {
+        for src in 0..64usize {
+            if rng.bernoulli(0.01) {
+                let mut dst = rng.next_below(63) as usize;
+                if dst >= src {
+                    dst += 1;
+                }
+                let pkt = if rng.bernoulli(0.4) {
+                    RingPacket::data(src, dst, cycle)
+                } else {
+                    RingPacket::meta(src, dst, cycle)
+                };
+                let _ = net.inject(pkt);
+            }
+        }
+        net.tick();
+        net.drain_delivered();
+    }
+    net.stats().delivered
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_crossbar");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(10);
+    g.bench_function("64node_20k_cycles", |b| b.iter(|| drive(7)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 1 bench: the link-budget computation (the physical-layer kernel
+//! behind every energy number in the evaluation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsoi_optics::link::OpticalLink;
+use fsoi_optics::noise::{ber_to_q, q_to_ber};
+
+fn bench_link_budget(c: &mut Criterion) {
+    let link = OpticalLink::paper_default();
+    c.bench_function("table1/budget", |b| {
+        b.iter(|| black_box(&link).budget())
+    });
+    c.bench_function("table1/validate_1e-10", |b| {
+        b.iter(|| black_box(&link).validate(1e-10))
+    });
+    c.bench_function("table1/q_to_ber", |b| b.iter(|| q_to_ber(black_box(6.36))));
+    c.bench_function("table1/ber_to_q", |b| b.iter(|| ber_to_q(black_box(1e-10))));
+}
+
+criterion_group!(benches, bench_link_budget);
+criterion_main!(benches);

@@ -1,0 +1,809 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p fsoi-bench --bin experiments -- <cmd> [--full]
+//!
+//! cmd: table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10 |
+//!      fig11 | table4 | bm | opts | corona | l1 | ber | receivers |
+//!      seeds | all
+//! ```
+//!
+//! `--full` uses larger workloads (closer statistics, slower).
+
+use fsoi_bench::runner::{network_by_name, run_app, sweep_apps, SweepOptions};
+use fsoi_cmp::workload::AppProfile;
+use fsoi_net::analysis::backoff as ab;
+use fsoi_net::analysis::bandwidth::BandwidthAllocationModel;
+use fsoi_net::analysis::collision as ac;
+use fsoi_net::backoff::BackoffPolicy;
+use fsoi_optics::link::OpticalLink;
+use fsoi_sim::stats::geometric_mean;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let scale = if full { 2 } else { 1 };
+    match cmd {
+        "table1" => table1(),
+        "fig3" => fig3(),
+        "fig4" => fig4(full),
+        "fig5" => fig5(scale),
+        "fig6" => fig6(scale),
+        "fig7" => fig7(scale),
+        "fig8" => fig8(scale),
+        "fig9" => fig9(scale),
+        "fig10" => fig10(scale),
+        "fig11" => fig11(scale),
+        "table4" => table4(scale),
+        "bm" => bm(),
+        "opts" => opts(scale),
+        "corona" => corona(scale),
+        "l1" => l1_sensitivity(scale),
+        "ber" => ber_relaxation(scale),
+        "receivers" => receivers(scale),
+        "seeds" => seed_stability(scale),
+        "all" => {
+            table1();
+            fig3();
+            fig4(full);
+            fig5(scale);
+            fig6(scale);
+            fig7(scale);
+            fig8(scale);
+            fig9(scale);
+            fig10(scale);
+            fig11(scale);
+            table4(scale);
+            bm();
+            opts(scale);
+            corona(scale);
+            l1_sensitivity(scale);
+            ber_relaxation(scale);
+            receivers(scale);
+            seed_stability(scale);
+        }
+        "diag" => diag(),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Calibration diagnostics (not a paper figure).
+fn diag() {
+    header("diag: per-app miss rates and latency makeup");
+    let opts = SweepOptions::quick_16();
+    println!(
+        "  {:<6} {:>7} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "app", "miss%", "fsoi cyc", "mesh cyc", "replyF", "replyM", "speedup", "p(meta)", "collD%"
+    );
+    for app in AppProfile::suite() {
+        let f = run_app(app, network_by_name("fsoi", 16), opts);
+        let m = run_app(app, network_by_name("mesh", 16), opts);
+        println!(
+            "  {:<6} {:>6.1}% {:>8} {:>8} {:>9.1} {:>9.1} {:>8.2} {:>7.2}% {:>7.1}%",
+            app.name,
+            100.0 * f.l1_miss_rate,
+            f.cycles,
+            m.cycles,
+            f.reply_latency.mean(),
+            m.reply_latency.mean(),
+            m.cycles as f64 / f.cycles as f64,
+            100.0 * f.meta_tx_probability,
+            100.0 * f.data_collision_rate,
+        );
+    }
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+// ---------------------------------------------------------------- Table 1
+
+fn table1() {
+    header("Table 1: Optical link parameters (paper values in parentheses)");
+    let budget = OpticalLink::paper_default().budget();
+    let paper: &[(&str, &str)] = &[
+        ("Trans. distance", "2 cm"),
+        ("Optical path loss", "2.6 dB"),
+        ("Link bandwidth", "-"),
+        ("Data rate", "40 Gbps"),
+        ("Signal-to-noise ratio", "7.5 dB"),
+        ("Q factor", "~6.4"),
+        ("Bit-error-rate (BER)", "1e-10"),
+        ("Cycle-to-cycle jitter", "1.7 ps"),
+        ("Laser driver power", "6.3 mW"),
+        ("VCSEL power", "0.96 mW"),
+        ("Transmitter (standby)", "0.43 mW"),
+        ("Receiver power", "4.2 mW"),
+        ("TX energy/bit", "-"),
+        ("RX energy/bit", "-"),
+    ];
+    for (row, (label, paper_v)) in budget.table1_rows().iter().zip(paper) {
+        println!("  {:<26} {:>12}   ({label}: {paper_v})", row.0, row.1);
+    }
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+fn fig3() {
+    header("Figure 3: collision probability / p vs transmission probability");
+    let ps = [0.33, 0.25, 0.20, 0.15, 0.10, 0.07, 0.05, 0.04, 0.03, 0.02, 0.01];
+    print!("  {:>6}", "p");
+    for r in 1..=4 {
+        print!("  R={r} theory");
+    }
+    println!("   R=2 Monte-Carlo");
+    for &p in &ps {
+        print!("  {:>5.0}%", p * 100.0);
+        for r in 1..=4 {
+            print!("  {:>9.2}%", 100.0 * ac::normalized_collision_probability(p, 16, r));
+        }
+        let mc = ac::monte_carlo(p, 16, 2, 60_000, 42);
+        println!(
+            "   {:>8.2}%",
+            100.0 * mc.node_collision_rate / mc.measured_p.max(1e-9)
+        );
+    }
+    println!("  (N = 16; the paper notes near-independence from N.)");
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+fn fig4(full: bool) {
+    header("Figure 4: collision resolution delay vs (W, B) — meta packets");
+    let trials = if full { 60_000 } else { 15_000 };
+    let ws = [1.0, 1.5, 2.0, 2.7, 3.5, 5.0];
+    let bs = [1.05, 1.1, 1.3, 1.5, 2.0];
+    for &g in &[0.01, 0.10] {
+        println!("  G = {:.0}%", g * 100.0);
+        print!("  {:>6}", "W\\B");
+        for b in bs {
+            print!(" {b:>7.2}");
+        }
+        println!();
+        let mut best = (f64::INFINITY, 0.0, 0.0);
+        for &w in &ws {
+            print!("  {w:>6.1}");
+            for &b in &bs {
+                let d = ab::resolution_delay(BackoffPolicy::new(w, b), g, 2, 2, trials, 9);
+                if d < best.0 {
+                    best = (d, w, b);
+                }
+                print!(" {d:>7.2}");
+            }
+            println!();
+        }
+        println!(
+            "  minimum: {:.2} cycles at W = {}, B = {}  (paper: 7.26 at W = 2.7, B = 1.1)",
+            best.0, best.1, best.2
+        );
+    }
+    println!("\n  Pathological 64-node burst (63 colliders), §4.3.2:");
+    for (label, policy) in [
+        ("W=2.7 B=1.1", BackoffPolicy::PAPER_OPTIMUM),
+        ("W=2.7 B=2.0", BackoffPolicy::BINARY),
+        ("fixed W=3", BackoffPolicy::fixed(3.0)),
+    ] {
+        let e = ab::pathological_burst(63, policy, 2, 2);
+        println!(
+            "    {label:<12} retries = {:>10.3e}   cycles = {:>10.3e}",
+            e.retries, e.cycles
+        );
+    }
+    println!("    (paper: ~26 retries/416 cycles; ~5 retries/199 cycles; 8.2e10 retries)");
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+fn fig5(scale: u64) {
+    header("Figure 5: distribution of read-miss reply latency (16-node FSOI)");
+    let mut opts = SweepOptions::quick_16();
+    opts.ops_per_core *= scale;
+    let results = sweep_apps(&["fsoi"], opts);
+    let mut merged = fsoi_sim::stats::Histogram::new(10, 20);
+    // Merge by re-binning each app's histogram.
+    let mut total = 0u64;
+    let mut bins = [0u64; 20];
+    let mut overflow = 0u64;
+    for r in &results {
+        let h = &r.reports[0].reply_latency;
+        for (i, bin) in bins.iter_mut().enumerate() {
+            *bin += h.bin(i);
+        }
+        overflow += h.overflow();
+        total += h.count();
+        let _ = &mut merged;
+    }
+    println!("  latency bin     fraction of requests");
+    for (i, &c) in bins.iter().enumerate() {
+        let frac = 100.0 * c as f64 / total.max(1) as f64;
+        if frac >= 0.05 {
+            println!(
+                "  {:>4}-{:<4}      {:>5.1}%  {}",
+                i * 10,
+                (i + 1) * 10 - 1,
+                frac,
+                "#".repeat((frac * 1.2) as usize)
+            );
+        }
+    }
+    println!(
+        "  >200           {:>5.1}%",
+        100.0 * overflow as f64 / total.max(1) as f64
+    );
+    println!("  (paper: heavily concentrated in a few slots; peak bucket ≈ 41 %)");
+}
+
+// ------------------------------------------------------------- Figures 6/7
+
+fn perf_figure(nodes: usize, scale: u64) {
+    let mut opts = if nodes == 16 {
+        SweepOptions::quick_16()
+    } else {
+        SweepOptions::quick_64()
+    };
+    opts.ops_per_core *= scale;
+    let nets = ["mesh", "fsoi", "L0", "Lr1", "Lr2"];
+    let results = sweep_apps(&nets, opts);
+
+    println!("  (a) mean packet latency, cycles");
+    println!(
+        "  {:<6} {:>7} {:>7} {:>7} {:>7} {:>9} {:>7}",
+        "app", "queue", "sched", "net", "coll", "FSOI tot", "mesh"
+    );
+    let mut fsoi_lat = Vec::new();
+    let mut mesh_lat = Vec::new();
+    for r in &results {
+        let f = &r.reports[1].attribution;
+        let m = &r.reports[0].attribution;
+        fsoi_lat.push(f.total());
+        mesh_lat.push(m.total());
+        println!(
+            "  {:<6} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>7.1}",
+            r.app,
+            f.queuing,
+            f.scheduling,
+            f.network,
+            f.collision_resolution,
+            f.total(),
+            m.total()
+        );
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "  {:<6} {:>41.1} {:>7.1}   (paper {}-node: {} vs mesh)",
+        "avg",
+        avg(&fsoi_lat),
+        avg(&mesh_lat),
+        nodes,
+        if nodes == 16 { "7.5" } else { "12.6" }
+    );
+
+    println!("\n  (b) speedup over the mesh baseline");
+    println!(
+        "  {:<6} {:>7} {:>7} {:>7} {:>7}",
+        "app", "FSOI", "L0", "Lr1", "Lr2"
+    );
+    let mut speedups = vec![Vec::new(); 4];
+    for r in &results {
+        let base = r.reports[0].cycles;
+        print!("  {:<6}", r.app);
+        for (k, idx) in [1usize, 2, 3, 4].iter().enumerate() {
+            let s = r.reports[*idx].speedup_vs(base);
+            speedups[k].push(s);
+            print!(" {s:>7.2}");
+        }
+        println!();
+    }
+    print!("  {:<6}", "gmean");
+    for s in &speedups {
+        print!(" {:>7.2}", geometric_mean(s).unwrap_or(0.0));
+    }
+    let paper = if nodes == 16 {
+        "(paper: 1.36 / 1.43 / 1.32 / 1.22)"
+    } else {
+        "(paper: 1.75 / 1.91 / 1.55 / 1.29)"
+    };
+    println!("  {paper}");
+}
+
+fn fig6(scale: u64) {
+    header("Figure 6: performance of 16-node systems");
+    perf_figure(16, scale);
+}
+
+fn fig7(scale: u64) {
+    header("Figure 7: performance of 64-node systems (phase-array FSOI)");
+    perf_figure(64, scale);
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+fn fig8(scale: u64) {
+    header("Figure 8: energy relative to the mesh baseline (16 nodes)");
+    let mut opts = SweepOptions::quick_16();
+    opts.ops_per_core *= scale;
+    let results = sweep_apps(&["mesh", "fsoi"], opts);
+    println!(
+        "  {:<6} {:>9} {:>9} {:>9} {:>9}   {:>9}",
+        "app", "net", "core", "leak", "total", "net ratio"
+    );
+    let mut totals = Vec::new();
+    let mut net_ratios = Vec::new();
+    for r in &results {
+        let mesh_e = &r.reports[0].energy;
+        let fsoi_e = &r.reports[1].energy;
+        let rel = |x: f64| 100.0 * x / mesh_e.total_j();
+        totals.push(fsoi_e.total_j() / mesh_e.total_j());
+        net_ratios.push(mesh_e.network_j / fsoi_e.network_j.max(1e-12));
+        println!(
+            "  {:<6} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%   {:>8.1}x",
+            r.app,
+            rel(fsoi_e.network_j),
+            rel(fsoi_e.core_j),
+            rel(fsoi_e.leakage_j),
+            rel(fsoi_e.total_j()),
+            mesh_e.network_j / fsoi_e.network_j.max(1e-12)
+        );
+    }
+    let avg_total = totals.iter().sum::<f64>() / totals.len() as f64;
+    let avg_ratio = net_ratios.iter().sum::<f64>() / net_ratios.len() as f64;
+    println!(
+        "  avg FSOI energy = {:.1}% of mesh (paper: 59.4%, i.e. 40.6% savings); network energy ratio = {:.0}x (paper: ~20x)",
+        100.0 * avg_total,
+        avg_ratio
+    );
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+fn fig9(scale: u64) {
+    header("Figure 9: meta-lane collisions with/without confirmation-as-ack");
+    let mut opts = SweepOptions::quick_16();
+    opts.ops_per_core *= scale;
+    println!(
+        "  {:<6} {:>10} {:>10} | {:>10} {:>10}   (optimized | baseline)",
+        "app", "p(tx)", "coll", "p(tx)", "coll"
+    );
+    let mut meta_with = 0.0;
+    let mut meta_without = 0.0;
+    let mut pk_with = 0u64;
+    let mut pk_without = 0u64;
+    for app in AppProfile::suite() {
+        let with = run_app(app, network_by_name("fsoi", 16), opts);
+        let without = run_app(app, network_by_name("fsoi", 16), SweepOptions {
+            optimizations: false,
+            ..opts
+        });
+        meta_with += with.meta_collision_rate;
+        meta_without += without.meta_collision_rate;
+        pk_with += with.packets_sent[0] + with.packets_sent[1];
+        pk_without += without.packets_sent[0] + without.packets_sent[1];
+        println!(
+            "  {:<6} {:>9.2}% {:>9.2}% | {:>9.2}% {:>9.2}%",
+            app.name,
+            100.0 * with.meta_tx_probability,
+            100.0 * with.meta_collision_rate,
+            100.0 * without.meta_tx_probability,
+            100.0 * without.meta_collision_rate,
+        );
+    }
+    let n = AppProfile::suite().len() as f64;
+    println!(
+        "  avg meta collision rate: {:.2}% optimized vs {:.2}% baseline ({:.1}% fewer collisions; paper: −31.5%)",
+        100.0 * meta_with / n,
+        100.0 * meta_without / n,
+        100.0 * (1.0 - meta_with / meta_without.max(1e-12))
+    );
+    println!(
+        "  total packets: {:.1}% fewer with optimization (paper: −5.1%)",
+        100.0 * (1.0 - pk_with as f64 / pk_without.max(1) as f64)
+    );
+}
+
+// --------------------------------------------------------------- Figure 10
+
+fn fig10(scale: u64) {
+    header("Figure 10: data-lane collision breakdown, with/without §5.2 optimizations");
+    let mut opts = SweepOptions::quick_16();
+    opts.ops_per_core *= scale;
+    println!(
+        "  {:<6} | {:>8} {:>8} {:>8} {:>8} {:>7} | {:>7}",
+        "app", "memory", "reply", "wback", "retrans", "rate+", "rate-"
+    );
+    let mut with_rates = Vec::new();
+    let mut without_rates = Vec::new();
+    for app in AppProfile::suite() {
+        let with = run_app(app, network_by_name("fsoi", 16), opts);
+        // Disable hints + spacing (network-level §5.2 knobs).
+        let cfg = fsoi_net::config::FsoiConfig::nodes(16)
+            .with_hints(false)
+            .with_request_spacing(false);
+        let without = run_app(
+            app,
+            fsoi_cmp::configs::NetworkKind::Fsoi(cfg),
+            opts,
+        );
+        let total: u64 = with.collided_by_kind.iter().take(3).sum();
+        let pct = |x: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * x as f64 / total as f64
+            }
+        };
+        with_rates.push(with.data_collision_rate);
+        without_rates.push(without.data_collision_rate);
+        println!(
+            "  {:<6} | {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>6.1}% | {:>6.1}%",
+            app.name,
+            pct(with.collided_by_kind[0]),
+            pct(with.collided_by_kind[1]),
+            pct(with.collided_by_kind[2]),
+            pct(with.collided_by_kind[3]),
+            100.0 * with.data_collision_rate,
+            100.0 * without.data_collision_rate,
+        );
+    }
+    let avg = |v: &[f64]| 100.0 * v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "  avg data collision rate: {:.1}% with optimizations vs {:.1}% without (paper: 5.8% vs 9.4%)",
+        avg(&with_rates),
+        avg(&without_rates)
+    );
+}
+
+// --------------------------------------------------------------- Figure 11
+
+fn fig11(scale: u64) {
+    header("Figure 11: performance vs relative bandwidth (100% → 50%)");
+    let mut opts = SweepOptions::quick_16();
+    opts.ops_per_core *= scale;
+    // Subset of apps for the sweep (the paper plots the average).
+    let apps: Vec<AppProfile> = ["oc", "rx", "em", "mp", "fft", "ray"]
+        .iter()
+        .map(|n| AppProfile::by_name(n).unwrap())
+        .collect();
+    println!("  {:>10} {:>12} {:>12}", "bandwidth", "FSOI perf", "mesh perf");
+    let fracs = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5];
+    let mut fsoi_base = 0.0;
+    let mut mesh_base = 0.0;
+    for (i, &f) in fracs.iter().enumerate() {
+        // FSOI: scale the lane widths from the Fig-11 base configuration.
+        let lanes = fsoi_net::lane::Lanes::fig11_base().scaled_bandwidth(f);
+        let cfg = fsoi_net::config::FsoiConfig::nodes(16).with_lanes(lanes);
+        let fsoi_cycles: f64 = apps
+            .iter()
+            .map(|a| run_app(*a, fsoi_cmp::configs::NetworkKind::Fsoi(cfg.clone()), opts).cycles as f64)
+            .sum();
+        // Mesh: links narrowed to the same fraction — packets serialize
+        // into proportionally more flits.
+        let mesh_cycles: f64 = apps
+            .iter()
+            .map(|a| run_mesh_scaled(*a, f, opts) as f64)
+            .sum();
+        if i == 0 {
+            fsoi_base = fsoi_cycles;
+            mesh_base = mesh_cycles;
+        }
+        println!(
+            "  {:>9.0}% {:>11.3} {:>11.3}",
+            f * 100.0,
+            fsoi_base / fsoi_cycles,
+            mesh_base / mesh_cycles
+        );
+    }
+    println!("  (paper: both degrade; FSOI is the less sensitive of the two)");
+}
+
+/// Runs an app on a mesh whose links are narrowed to `fraction` of the
+/// baseline width (packets serialize into proportionally more flits).
+fn run_mesh_scaled(app: AppProfile, fraction: f64, opts: SweepOptions) -> u64 {
+    use fsoi_cmp::configs::{NetworkKind, SystemConfig};
+    use fsoi_cmp::system::CmpSystem;
+    let mut app = app;
+    app.ops_per_core = opts.ops_per_core;
+    let mesh = fsoi_mesh::config::MeshConfig::nodes(opts.nodes);
+    let cfg = SystemConfig::paper_16(NetworkKind::MeshScaled(mesh, fraction))
+        .with_mem_bandwidth(opts.mem_gb_per_s)
+        .with_optimizations(opts.optimizations)
+        .with_seed(opts.seed);
+    CmpSystem::new(cfg, app).run(fsoi_bench::runner::MAX_CYCLES).cycles
+}
+
+// ---------------------------------------------------------------- Table 4
+
+fn table4(scale: u64) {
+    header("Table 4: impact of off-chip memory bandwidth (8.8 vs 52.8 GB/s)");
+    for nodes in [16usize, 64] {
+        let mut opts = if nodes == 16 {
+            SweepOptions::quick_16()
+        } else {
+            SweepOptions::quick_64()
+        };
+        opts.ops_per_core *= scale;
+        println!("  {nodes}-core system");
+        println!(
+            "  {:<24} {:>10} {:>10}",
+            "speedup over mesh", "8.8 GB/s", "52.8 GB/s"
+        );
+        for net in ["fsoi", "L0", "Lr1", "Lr2"] {
+            let mut cols = Vec::new();
+            for bw in [8.8, 52.8] {
+                let mut o = opts;
+                o.mem_gb_per_s = bw;
+                let mut speeds = Vec::new();
+                for app in AppProfile::suite() {
+                    let base = run_app(app, network_by_name("mesh", nodes), o).cycles;
+                    let c = run_app(app, network_by_name(net, nodes), o).cycles;
+                    speeds.push(base as f64 / c as f64);
+                }
+                cols.push(geometric_mean(&speeds).unwrap_or(0.0));
+            }
+            println!("  {:<24} {:>10.2} {:>10.2}", net, cols[0], cols[1]);
+        }
+    }
+    println!("  (paper 16-core FSOI: 1.32 / 1.36; 64-core FSOI: 1.61 / 1.75)");
+}
+
+// --------------------------------------------------------------- B_M study
+
+fn bm() {
+    header("§4.3.2: meta/data bandwidth allocation — optimum B_M");
+    let model = BandwidthAllocationModel::paper_default();
+    println!("  {:>6} {:>12}", "B_M", "latency (au)");
+    for i in 1..20 {
+        let b = i as f64 * 0.05;
+        println!("  {b:>6.2} {:>12.3}", model.latency(b));
+    }
+    println!(
+        "  optimum B_M = {:.3} (paper: 0.285) → integer split of 9 VCSELs = {:?} (paper: 3 meta / 6 data)",
+        model.optimal_bm(),
+        model.integer_split(9)
+    );
+}
+
+// ------------------------------------------------------------------- §7.3
+
+fn opts(scale: u64) {
+    header("§7.3: optimization effectiveness summary");
+    let mut o = SweepOptions::quick_16();
+    o.ops_per_core *= scale;
+    // Hints: resolution delay and accuracy on a contended app.
+    let app = AppProfile::by_name("mp").unwrap();
+    let with = run_app(app, network_by_name("fsoi", 16), o);
+    let no_hints = {
+        let cfg = fsoi_net::config::FsoiConfig::nodes(16).with_hints(false);
+        run_app(app, fsoi_cmp::configs::NetworkKind::Fsoi(cfg), o)
+    };
+    println!(
+        "  hint accuracy          = {:.1}%   (paper: 94%)",
+        100.0 * with.hint_accuracy
+    );
+    println!(
+        "  wrong-winner rate      = {:.1}%   (paper: 2.3%)",
+        100.0 * with.hint_wrong_rate
+    );
+    println!(
+        "  data resolution delay  = {:.1} cycles with hints vs {:.1} without (paper: 29 vs 41)",
+        with.data_resolution_delay, no_hints.data_resolution_delay
+    );
+    // Subscriptions: speedup on sync-heavy apps.
+    let sync_apps = ["ba", "ro", "ray", "ws", "fmm", "ilink", "tsp"];
+    let mut speeds = Vec::new();
+    let mut saved = 0u64;
+    for name in sync_apps {
+        let a = AppProfile::by_name(name).unwrap();
+        let on = run_app(a, network_by_name("fsoi", 16), o);
+        let off = run_app(a, network_by_name("fsoi", 16), SweepOptions {
+            optimizations: false,
+            ..o
+        });
+        speeds.push(off.cycles as f64 / on.cycles as f64);
+        saved += on.subscription_packets_saved;
+    }
+    println!(
+        "  sync apps speedup from §5.1 = {:.2} (paper: 1.07); packets saved = {saved}",
+        geometric_mean(&speeds).unwrap_or(0.0)
+    );
+}
+
+// ----------------------------------------------------------------- corona
+
+/// §7.1's one-liner: "the system is 1.06 times faster than a corona-style
+/// design in a 64-way system."
+fn corona(scale: u64) {
+    header("§7.1: FSOI vs a corona-style WDM token-ring crossbar (64 nodes)");
+    let mut opts = SweepOptions::quick_64();
+    opts.ops_per_core *= scale;
+    let mut speeds = Vec::new();
+    println!(
+        "  {:<6} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "app", "fsoi cyc", "ring cyc", "ratio", "fsoi lat", "ring lat"
+    );
+    for app in AppProfile::suite() {
+        let f = run_app(app, network_by_name("fsoi", 64), opts);
+        let r = run_app(
+            app,
+            fsoi_cmp::configs::NetworkKind::ring(64),
+            opts,
+        );
+        let ratio = r.cycles as f64 / f.cycles as f64;
+        speeds.push(ratio);
+        println!(
+            "  {:<6} {:>10} {:>10} {:>8.3} {:>10.1} {:>10.1}",
+            app.name,
+            f.cycles,
+            r.cycles,
+            ratio,
+            f.mean_packet_latency(),
+            r.mean_packet_latency()
+        );
+    }
+    println!(
+        "  geomean FSOI-over-ring speedup = {:.2}  (paper: 1.06)",
+        geometric_mean(&speeds).unwrap_or(0.0)
+    );
+}
+
+// --------------------------------------------------------------------- L1
+
+/// §7.1's "Impact of L1 cache size": with realistic 32 KB L1s the miss
+/// rates halve and the FSOI speedup dips (paper: 1.36 → 1.27 at 16 nodes)
+/// without changing any qualitative conclusion.
+fn l1_sensitivity(scale: u64) {
+    header("§7.1: impact of L1 cache size (8 KB scaled vs 32 KB realistic)");
+    let mut o = SweepOptions::quick_16();
+    o.ops_per_core *= scale;
+    for (label, lines) in [("8 KB (paper default)", 256usize), ("32 KB", 1024)] {
+        let mut speeds = Vec::new();
+        let mut miss = 0.0;
+        for app in AppProfile::suite() {
+            let run = |kind| {
+                let mut a = app;
+                a.ops_per_core = o.ops_per_core;
+                let mut cfg = fsoi_cmp::configs::SystemConfig::paper_16(kind)
+                    .with_seed(o.seed);
+                cfg.l1_lines = lines;
+                fsoi_cmp::system::CmpSystem::new(cfg, a).run(fsoi_bench::runner::MAX_CYCLES)
+            };
+            let mesh = run(fsoi_cmp::configs::NetworkKind::mesh(16));
+            let fsoi = run(fsoi_cmp::configs::NetworkKind::fsoi(16));
+            speeds.push(mesh.cycles as f64 / fsoi.cycles as f64);
+            miss += fsoi.l1_miss_rate;
+        }
+        println!(
+            "  {label:<22}: FSOI speedup gmean {:.2}, avg miss rate {:.1}%",
+            geometric_mean(&speeds).unwrap_or(0.0),
+            100.0 * miss / 16.0
+        );
+    }
+    println!("  (paper: 1.36 → 1.27; average miss 4.8% → 3.0%)");
+    println!("  NOTE: our synthetic reference process carries little");
+    println!("  L1-capacity-sensitive mass (misses are streaming, sharing and");
+    println!("  cold accesses), so the dip does not reproduce — a known limit");
+    println!("  of substitution 1 in DESIGN.md.");
+}
+
+// -------------------------------------------------------------------- BER
+
+/// §4.3.1: "once we accept collisions … the bit error rates of the
+/// signaling chain can be relaxed significantly (from 1e-10 to, say,
+/// 1e-5) without any tangible impact on performance."
+fn ber_relaxation(scale: u64) {
+    header("§4.3.1: relaxing the link BER (errors ride the collision machinery)");
+    let mut o = SweepOptions::quick_16();
+    o.ops_per_core *= scale;
+    let apps = ["ba", "oc", "mp", "fft"];
+    println!("  {:>9} {:>12} {:>14}", "BER", "cycles (sum)", "error drops");
+    let mut base = 0.0;
+    for &ber in &[1e-10f64, 1e-6, 1e-5, 1e-4] {
+        let mut cycles = 0u64;
+        let mut drops = 0u64;
+        for name in apps {
+            let mut app = AppProfile::by_name(name).unwrap();
+            app.ops_per_core = o.ops_per_core;
+            let cfg = fsoi_net::config::FsoiConfig::nodes(16).with_bit_error_rate(ber);
+            let sys_cfg = fsoi_cmp::configs::SystemConfig::paper_16(
+                fsoi_cmp::configs::NetworkKind::Fsoi(cfg),
+            )
+            .with_seed(o.seed);
+            let mut sys = fsoi_cmp::system::CmpSystem::new(sys_cfg, app);
+            let r = sys.run(fsoi_bench::runner::MAX_CYCLES);
+            cycles += r.cycles;
+            drops += r.bit_error_drops;
+        }
+        if base == 0.0 {
+            base = cycles as f64;
+        }
+        println!(
+            "  {ber:>9.0e} {cycles:>12} {drops:>14}   (slowdown {:+.2}%)",
+            100.0 * (cycles as f64 / base - 1.0)
+        );
+    }
+    println!("  (paper: relaxation to 1e-5 has no tangible performance impact)");
+}
+
+// -------------------------------------------------------------- receivers
+
+/// §4.3.1 structuring step 1: "having a few (e.g., 2-3) receivers per
+/// node is a good option. Further increasing the number will lead to
+/// diminishing returns." Full-system ablation over R = 1..4.
+fn receivers(scale: u64) {
+    header("§4.3.1: receivers per lane — full-system ablation (R = 1..4)");
+    let mut o = SweepOptions::quick_16();
+    o.ops_per_core *= scale;
+    let apps = ["mp", "rx", "oc", "ro"];
+    println!(
+        "  {:>3} {:>12} {:>12} {:>12}",
+        "R", "cycles (sum)", "meta coll%", "data coll%"
+    );
+    let mut prev_cycles = 0u64;
+    for r in 1..=4usize {
+        let mut lanes = fsoi_net::lane::Lanes::paper_default();
+        lanes.meta.receivers = r;
+        lanes.data.receivers = r;
+        let cfg = fsoi_net::config::FsoiConfig::nodes(16).with_lanes(lanes);
+        let (mut cyc, mut mc, mut dc) = (0u64, 0.0, 0.0);
+        for name in apps {
+            let rep = run_app(
+                AppProfile::by_name(name).unwrap(),
+                fsoi_cmp::configs::NetworkKind::Fsoi(cfg.clone()),
+                o,
+            );
+            cyc += rep.cycles;
+            mc += rep.meta_collision_rate;
+            dc += rep.data_collision_rate;
+        }
+        let n = apps.len() as f64;
+        let delta = if prev_cycles == 0 {
+            String::new()
+        } else {
+            format!("  ({:+.1}% vs R-1)", 100.0 * (cyc as f64 / prev_cycles as f64 - 1.0))
+        };
+        println!(
+            "  {r:>3} {cyc:>12} {:>11.2}% {:>11.2}%{delta}",
+            100.0 * mc / n,
+            100.0 * dc / n
+        );
+        prev_cycles = cyc;
+    }
+    println!("  (paper: collisions fall ~1/R; beyond 2-3 receivers, diminishing returns)");
+}
+
+// ------------------------------------------------------------------ seeds
+
+/// Robustness check: the Figure 6 headline (FSOI speedup geomean) across
+/// independent seeds — the reproduction's claims must not be seed
+/// artifacts.
+fn seed_stability(scale: u64) {
+    header("seed stability: Figure 6 FSOI speedup geomean across seeds");
+    let mut o = SweepOptions::quick_16();
+    o.ops_per_core *= scale;
+    let mut gmeans = Vec::new();
+    for seed in [2010u64, 7, 42, 1234, 99999] {
+        let mut speeds = Vec::new();
+        for app in AppProfile::suite() {
+            let mut os = o;
+            os.seed = seed;
+            let mesh = run_app(app, network_by_name("mesh", 16), os).cycles;
+            let fsoi = run_app(app, network_by_name("fsoi", 16), os).cycles;
+            speeds.push(mesh as f64 / fsoi as f64);
+        }
+        let g = geometric_mean(&speeds).unwrap_or(0.0);
+        println!("  seed {seed:>6}: gmean {g:.3}");
+        gmeans.push(g);
+    }
+    let mean = gmeans.iter().sum::<f64>() / gmeans.len() as f64;
+    let var = gmeans.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gmeans.len() as f64;
+    println!(
+        "  across seeds: {mean:.3} ± {:.3} (paper: 1.36; claims are stable, not seed artifacts)",
+        var.sqrt()
+    );
+}

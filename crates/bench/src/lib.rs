@@ -1,0 +1,13 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+//! measured results).
+//!
+//! The heavy lifting lives in [`runner`]; the `experiments` binary exposes
+//! one subcommand per table/figure and prints rows shaped like the paper's
+//! plots. Criterion benches under `benches/` reuse the same entry points.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+
+pub use runner::{run_app, sweep_apps, AppResult, SweepOptions};

@@ -1,0 +1,98 @@
+//! Shared run helpers: execute an application on a network configuration
+//! and collect the paper's metrics.
+
+use fsoi_cmp::configs::{NetworkKind, SystemConfig};
+use fsoi_cmp::metrics::RunReport;
+use fsoi_cmp::system::CmpSystem;
+use fsoi_cmp::workload::AppProfile;
+
+/// Safety bound on run length.
+pub const MAX_CYCLES: u64 = 50_000_000;
+
+/// Options for a sweep over the application suite.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Node count (16 or 64).
+    pub nodes: usize,
+    /// Memory operations per core (scales run time).
+    pub ops_per_core: u64,
+    /// Aggregate memory bandwidth, GB/s.
+    pub mem_gb_per_s: f64,
+    /// §5.1/§5.2 optimizations on.
+    pub optimizations: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SweepOptions {
+    /// The paper's 16-node setting with a workload size that keeps a full
+    /// suite sweep to seconds.
+    pub fn quick_16() -> Self {
+        SweepOptions {
+            nodes: 16,
+            ops_per_core: 1_500,
+            mem_gb_per_s: 8.8,
+            optimizations: true,
+            seed: 2010,
+        }
+    }
+
+    /// 64-node setting (smaller per-core workload: 4× the cores).
+    pub fn quick_64() -> Self {
+        SweepOptions {
+            nodes: 64,
+            ops_per_core: 600,
+            ..Self::quick_16()
+        }
+    }
+}
+
+/// One application's results across network configurations.
+#[derive(Debug)]
+pub struct AppResult {
+    /// Application name.
+    pub app: String,
+    /// Reports keyed in the order of `networks` passed to [`sweep_apps`].
+    pub reports: Vec<RunReport>,
+}
+
+/// Builds the network kind for a name at a node count.
+pub fn network_by_name(name: &str, nodes: usize) -> NetworkKind {
+    match name {
+        "fsoi" => NetworkKind::fsoi(nodes),
+        "mesh" => NetworkKind::mesh(nodes),
+        "L0" => NetworkKind::L0,
+        "Lr1" => NetworkKind::Lr1,
+        "Lr2" => NetworkKind::Lr2,
+        other => panic!("unknown network {other}"),
+    }
+}
+
+/// Runs one application on one network.
+pub fn run_app(app: AppProfile, network: NetworkKind, opts: SweepOptions) -> RunReport {
+    let mut app = app;
+    app.ops_per_core = opts.ops_per_core;
+    let cfg = match opts.nodes {
+        16 => SystemConfig::paper_16(network),
+        64 => SystemConfig::paper_64(network),
+        n => panic!("unsupported node count {n}"),
+    }
+    .with_mem_bandwidth(opts.mem_gb_per_s)
+    .with_optimizations(opts.optimizations)
+    .with_seed(opts.seed);
+    CmpSystem::new(cfg, app).run(MAX_CYCLES)
+}
+
+/// Runs the full application suite over the named networks.
+pub fn sweep_apps(networks: &[&str], opts: SweepOptions) -> Vec<AppResult> {
+    AppProfile::suite()
+        .into_iter()
+        .map(|app| AppResult {
+            app: app.name.to_string(),
+            reports: networks
+                .iter()
+                .map(|n| run_app(app, network_by_name(n, opts.nodes), opts))
+                .collect(),
+        })
+        .collect()
+}

@@ -1,0 +1,214 @@
+//! System configurations: the paper's 16- and 64-node CMPs over each
+//! interconnect variant.
+
+use crate::interconnect::{FsoiAdapter, IdealAdapter, Interconnect, MeshAdapter, RingAdapter};
+use fsoi_mesh::config::MeshConfig;
+use fsoi_mesh::ideal::IdealKind;
+use fsoi_mesh::network::MeshNetwork;
+use fsoi_net::config::FsoiConfig;
+use fsoi_net::network::FsoiNetwork;
+use fsoi_ring::config::RingConfig;
+use fsoi_ring::network::RingNetwork;
+
+/// Which interconnect drives the system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkKind {
+    /// The free-space optical interconnect (optionally with a custom
+    /// configuration).
+    Fsoi(FsoiConfig),
+    /// The baseline 4-cycle-router electrical mesh.
+    Mesh(MeshConfig),
+    /// The mesh with links narrowed to the given fraction of their width
+    /// (Figure 11).
+    MeshScaled(MeshConfig, f64),
+    /// Corona-style token-ring nanophotonic crossbar (§7.1 comparison).
+    Ring(RingConfig),
+    /// Idealized zero-latency network.
+    L0,
+    /// Idealized 1-cycle-router network.
+    Lr1,
+    /// Idealized 2-cycle-router network.
+    Lr2,
+}
+
+impl NetworkKind {
+    /// Default FSOI for `n` nodes.
+    pub fn fsoi(n: usize) -> Self {
+        NetworkKind::Fsoi(FsoiConfig::nodes(n))
+    }
+
+    /// Default mesh for `n` nodes.
+    pub fn mesh(n: usize) -> Self {
+        NetworkKind::Mesh(MeshConfig::nodes(n))
+    }
+
+    /// Default Corona-style ring crossbar for `n` nodes.
+    pub fn ring(n: usize) -> Self {
+        NetworkKind::Ring(RingConfig::nodes(n))
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkKind::Fsoi(_) => "fsoi",
+            NetworkKind::Mesh(_) => "mesh",
+            NetworkKind::MeshScaled(..) => "mesh-scaled",
+            NetworkKind::Ring(_) => "ring",
+            NetworkKind::L0 => "L0",
+            NetworkKind::Lr1 => "Lr1",
+            NetworkKind::Lr2 => "Lr2",
+        }
+    }
+}
+
+/// Full system configuration (Table 3 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of nodes (cores + L2 slices).
+    pub nodes: usize,
+    /// The interconnect.
+    pub network: NetworkKind,
+    /// Coherence line size in bytes (Table 3: 32 B L1 D lines).
+    pub line_bytes: u64,
+    /// L1 capacity in lines (8 KB / 32 B = 256).
+    pub l1_lines: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 access latency, cycles.
+    pub l1_latency: u64,
+    /// L2 slice capacity in lines (64 KB / 32 B = 2048).
+    pub l2_lines: usize,
+    /// L2 access latency, cycles.
+    pub l2_latency: u64,
+    /// Aggregate memory bandwidth, GB/s (Table 4: 8.8 default, 52.8 high).
+    pub mem_gb_per_s: f64,
+    /// Memory access latency, cycles.
+    pub mem_latency: u64,
+    /// §5.1: substitute confirmations for invalidation acknowledgments.
+    pub opt_confirmation_acks: bool,
+    /// §5.1: boolean synchronization subscriptions over the confirmation
+    /// channel.
+    pub opt_subscriptions: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's 16-node configuration over the given network.
+    pub fn paper_16(network: NetworkKind) -> Self {
+        SystemConfig {
+            nodes: 16,
+            network,
+            line_bytes: 32,
+            l1_lines: 256,
+            l1_ways: 2,
+            l1_latency: 2,
+            l2_lines: 2048,
+            l2_latency: 15,
+            mem_gb_per_s: 8.8,
+            mem_latency: 200,
+            opt_confirmation_acks: true,
+            opt_subscriptions: true,
+            seed: 2010,
+        }
+    }
+
+    /// The paper's 64-node configuration (phase-array FSOI, 8 memory
+    /// channels).
+    pub fn paper_64(network: NetworkKind) -> Self {
+        SystemConfig {
+            nodes: 64,
+            ..SystemConfig::paper_16(network)
+        }
+    }
+
+    /// Builder-style: toggles both §5.1/§5.2 optimizations at once (for
+    /// the ablation studies).
+    pub fn with_optimizations(mut self, on: bool) -> Self {
+        self.opt_confirmation_acks = on;
+        self.opt_subscriptions = on;
+        self
+    }
+
+    /// Builder-style: sets the memory bandwidth (Table 4).
+    pub fn with_mem_bandwidth(mut self, gb_per_s: f64) -> Self {
+        self.mem_gb_per_s = gb_per_s;
+        self
+    }
+
+    /// Builder-style: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Instantiates the interconnect.
+    pub fn build_network(&self) -> Box<dyn Interconnect> {
+        let width = (self.nodes as f64).sqrt().round() as usize;
+        match &self.network {
+            NetworkKind::Fsoi(cfg) => Box::new(FsoiAdapter::new(FsoiNetwork::new(
+                cfg.clone(),
+                self.seed,
+            ))),
+            NetworkKind::Mesh(cfg) => Box::new(MeshAdapter::new(MeshNetwork::new(*cfg))),
+            NetworkKind::MeshScaled(cfg, f) => {
+                Box::new(MeshAdapter::new(MeshNetwork::new(*cfg)).with_width_fraction(*f))
+            }
+            NetworkKind::Ring(cfg) => Box::new(RingAdapter::new(RingNetwork::new(*cfg))),
+            NetworkKind::L0 => Box::new(IdealAdapter::new(IdealKind::L0, width)),
+            NetworkKind::Lr1 => Box::new(IdealAdapter::new(IdealKind::Lr1, width)),
+            NetworkKind::Lr2 => Box::new(IdealAdapter::new(IdealKind::Lr2, width)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_16_defaults_match_table3() {
+        let c = SystemConfig::paper_16(NetworkKind::fsoi(16));
+        assert_eq!(c.nodes, 16);
+        assert_eq!(c.l1_lines * c.line_bytes as usize, 8 * 1024);
+        assert_eq!(c.l2_lines * c.line_bytes as usize, 64 * 1024);
+        assert_eq!(c.l1_latency, 2);
+        assert_eq!(c.l2_latency, 15);
+        assert_eq!(c.mem_latency, 200);
+        assert!((c.mem_gb_per_s - 8.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SystemConfig::paper_16(NetworkKind::mesh(16))
+            .with_optimizations(false)
+            .with_mem_bandwidth(52.8)
+            .with_seed(7);
+        assert!(!c.opt_confirmation_acks && !c.opt_subscriptions);
+        assert!((c.mem_gb_per_s - 52.8).abs() < 1e-9);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn network_names_and_instantiation() {
+        for kind in [
+            NetworkKind::fsoi(16),
+            NetworkKind::mesh(16),
+            NetworkKind::ring(16),
+            NetworkKind::L0,
+            NetworkKind::Lr1,
+            NetworkKind::Lr2,
+        ] {
+            let name = kind.name();
+            let cfg = SystemConfig::paper_16(kind);
+            let net = cfg.build_network();
+            assert_eq!(net.name(), name);
+        }
+    }
+
+    #[test]
+    fn paper_64_scales_nodes() {
+        let c = SystemConfig::paper_64(NetworkKind::fsoi(64));
+        assert_eq!(c.nodes, 64);
+    }
+}

@@ -1,0 +1,140 @@
+//! Run reports: everything the experiment harness prints.
+
+use crate::energy::ChipEnergy;
+use crate::interconnect::LatencyAttribution;
+use fsoi_sim::stats::Histogram;
+
+/// Traffic classes used in Figure 10's data-lane collision breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataPacketKind {
+    /// Memory fetch completions (MemAck).
+    Memory,
+    /// Directory → L1 data replies.
+    Reply,
+    /// Writebacks (incl. dirty InvAck/DwgAck).
+    WriteBack,
+}
+
+impl DataPacketKind {
+    /// Dense index 0..3.
+    pub fn index(self) -> usize {
+        match self {
+            DataPacketKind::Memory => 0,
+            DataPacketKind::Reply => 1,
+            DataPacketKind::WriteBack => 2,
+        }
+    }
+
+    /// Plot label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataPacketKind::Memory => "Memory packets",
+            DataPacketKind::Reply => "Reply",
+            DataPacketKind::WriteBack => "WriteBack",
+        }
+    }
+}
+
+/// The complete result of one application × network run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Application name.
+    pub app: String,
+    /// Network name.
+    pub network: String,
+    /// Wall-clock cycles to finish the fixed workload.
+    pub cycles: u64,
+    /// Mean packet-latency attribution (Figure 6/7 stack).
+    pub attribution: LatencyAttribution,
+    /// Read-miss reply latency distribution (Figure 5).
+    pub reply_latency: Histogram,
+    /// Meta-lane first-transmission probability per node-slot (Figure 9 x).
+    pub meta_tx_probability: f64,
+    /// Data-lane transmission probability.
+    pub data_tx_probability: f64,
+    /// Meta collision rate (collided / transmissions).
+    pub meta_collision_rate: f64,
+    /// Data collision rate.
+    pub data_collision_rate: f64,
+    /// Packets sent per class `[meta, data]`.
+    pub packets_sent: [u64; 2],
+    /// Data packets delivered per kind (Figure 10 denominators).
+    pub data_by_kind: [u64; 3],
+    /// Data packets that collided at least once, per kind, plus a fourth
+    /// bucket for re-collided retransmissions (Figure 10 numerators).
+    pub collided_by_kind: [u64; 4],
+    /// Meta packets elided thanks to confirmation-acks (§5.1).
+    pub acks_elided: u64,
+    /// Packets avoided by boolean subscriptions (§5.1).
+    pub subscription_packets_saved: u64,
+    /// Mean L1 miss rate across cores.
+    pub l1_miss_rate: f64,
+    /// Sum of per-core active cycles.
+    pub active_cycles: u64,
+    /// Sum of per-core stalled cycles.
+    pub stalled_cycles: u64,
+    /// Chip energy.
+    pub energy: ChipEnergy,
+    /// Mean collision-resolution delay among collided data packets.
+    pub data_resolution_delay: f64,
+    /// Hint accuracy: correct / issued (FSOI data lane).
+    pub hint_accuracy: f64,
+    /// Wrong-winner rate: wrong / issued.
+    pub hint_wrong_rate: f64,
+    /// Packets dropped by raw bit errors and recovered by retransmission.
+    pub bit_error_drops: u64,
+}
+
+impl RunReport {
+    /// Speedup of this run relative to a baseline's cycle count.
+    pub fn speedup_vs(&self, baseline_cycles: u64) -> f64 {
+        baseline_cycles as f64 / self.cycles as f64
+    }
+
+    /// Mean total packet latency.
+    pub fn mean_packet_latency(&self) -> f64 {
+        self.attribution.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indexing() {
+        assert_eq!(DataPacketKind::Memory.index(), 0);
+        assert_eq!(DataPacketKind::Reply.index(), 1);
+        assert_eq!(DataPacketKind::WriteBack.index(), 2);
+        assert!(DataPacketKind::Reply.label().contains("Reply"));
+    }
+
+    #[test]
+    fn speedup_math() {
+        let r = RunReport {
+            app: "x".into(),
+            network: "fsoi".into(),
+            cycles: 500,
+            attribution: LatencyAttribution::default(),
+            reply_latency: Histogram::new(10, 20),
+            meta_tx_probability: 0.0,
+            data_tx_probability: 0.0,
+            meta_collision_rate: 0.0,
+            data_collision_rate: 0.0,
+            packets_sent: [0, 0],
+            data_by_kind: [0; 3],
+            collided_by_kind: [0; 4],
+            acks_elided: 0,
+            subscription_packets_saved: 0,
+            l1_miss_rate: 0.0,
+            active_cycles: 0,
+            stalled_cycles: 0,
+            energy: ChipEnergy::default(),
+            data_resolution_delay: 0.0,
+            hint_accuracy: 0.0,
+            hint_wrong_rate: 0.0,
+            bit_error_drops: 0,
+        };
+        assert!((r.speedup_vs(1000) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,1039 @@
+//! The L2 directory controller — lower half of Table 2.
+//!
+//! Each node hosts one slice of the distributed shared L2 plus its
+//! directory. Stable states: `DI` (not resident, memory holds it), `DV`
+//! (resident, no L1 copies), `DS` (shared by L1s), `DM` (owned by one L1).
+//! The nine transient states cover memory fetches, invalidation rounds,
+//! downgrades and ownership transfers, including the crossing-writeback
+//! races (`DM.DSᴰ` + WriteBack → `DM.DSᴬ`, etc.).
+//!
+//! Requests arriving while a line is transient are *stalled* (Table 2's
+//! `z`) into a per-line deferred queue and replayed once the line
+//! stabilizes; a deferred `Req(Upg)` whose requester lost its copy in the
+//! meantime is reinterpreted as `Req(Ex)` (the table's "(Req(Ex))" note).
+//! When the deferred queue is full the directory NACKs with `Retry`,
+//! which probabilistically avoids fetch deadlock (§4.3.1, footnote 3).
+
+use crate::protocol::{
+    CoherenceMsg, DirState, Grant, LineAddr, OutMsg, ProtocolError, ReqType,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Directory statistics.
+#[derive(Debug, Default, Clone)]
+pub struct DirStats {
+    /// Requests processed (including replays).
+    pub requests: u64,
+    /// Data replies sent.
+    pub data_replies: u64,
+    /// ExcAcks sent (upgrade grants).
+    pub exc_acks: u64,
+    /// Invalidations sent.
+    pub invalidations: u64,
+    /// Downgrades sent.
+    pub downgrades: u64,
+    /// Retry NACKs sent.
+    pub nacks: u64,
+    /// Upgrade requests reinterpreted as exclusive.
+    pub reinterpreted: u64,
+    /// Memory reads issued.
+    pub mem_reads: u64,
+    /// Memory writebacks issued.
+    pub mem_writes: u64,
+    /// Requests stalled into deferred queues.
+    pub deferred: u64,
+    /// L2 capacity evictions performed.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct DirEntry {
+    state: DirState,
+    owner: usize,
+    sharers: u128,
+    acks_pending: u32,
+    requester: usize,
+    deferred: VecDeque<(usize, ReqType)>,
+    lru: u64,
+}
+
+impl DirEntry {
+    fn new(state: DirState, lru: u64) -> Self {
+        DirEntry {
+            state,
+            owner: usize::MAX,
+            sharers: 0,
+            acks_pending: 0,
+            requester: usize::MAX,
+            deferred: VecDeque::new(),
+            lru,
+        }
+    }
+
+    fn sharer_list(&self) -> Vec<usize> {
+        (0..128).filter(|&i| self.sharers >> i & 1 == 1).collect()
+    }
+
+    fn is_sharer(&self, node: usize) -> bool {
+        self.sharers >> node & 1 == 1
+    }
+
+    fn add_sharer(&mut self, node: usize) {
+        self.sharers |= 1 << node;
+    }
+
+    fn remove_sharer(&mut self, node: usize) {
+        self.sharers &= !(1 << node);
+    }
+}
+
+/// One node's directory + L2 slice controller.
+#[derive(Debug)]
+pub struct Directory {
+    node: usize,
+    mem_node: usize,
+    capacity_lines: usize,
+    deferred_limit: usize,
+    entries: HashMap<LineAddr, DirEntry>,
+    tick: u64,
+    stats: DirStats,
+}
+
+impl Directory {
+    /// Creates the slice at `node`, backed by the memory controller at
+    /// `mem_node`, holding up to `capacity_lines` resident lines.
+    pub fn new(node: usize, mem_node: usize, capacity_lines: usize) -> Self {
+        assert!(capacity_lines >= 4, "L2 slice too small to be useful");
+        Directory {
+            node,
+            mem_node,
+            capacity_lines,
+            deferred_limit: 16,
+            entries: HashMap::new(),
+            tick: 0,
+            stats: DirStats::default(),
+        }
+    }
+
+    /// This slice's node id.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &DirStats {
+        &self.stats
+    }
+
+    /// The directory state of a line (`DI` when untracked).
+    pub fn state_of(&self, line: LineAddr) -> DirState {
+        self.entries.get(&line).map_or(DirState::DI, |e| e.state)
+    }
+
+    /// The current sharers of a line.
+    pub fn sharers_of(&self, line: LineAddr) -> Vec<usize> {
+        self.entries.get(&line).map_or(Vec::new(), |e| e.sharer_list())
+    }
+
+    /// The owner of a line in `DM`, if any.
+    pub fn owner_of(&self, line: LineAddr) -> Option<usize> {
+        self.entries
+            .get(&line)
+            .filter(|e| e.state == DirState::DM)
+            .map(|e| e.owner)
+    }
+
+    /// Number of tracked lines (resident + transient).
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Functionally pre-loads a line as resident-valid (`DV`), as if it
+    /// had been fetched and written back before the measured window. Used
+    /// to warm the L2 before timing (the paper measures steady-state
+    /// windows, e.g. "between a fixed number of barrier instances").
+    /// No-op if the line is already tracked or the slice is full.
+    pub fn preload(&mut self, line: LineAddr) -> bool {
+        if self.entries.contains_key(&line) || self.entries.len() >= self.capacity_lines {
+            return false;
+        }
+        self.tick += 1;
+        self.entries.insert(line, DirEntry::new(DirState::DV, self.tick));
+        true
+    }
+
+    /// Handles a message from `from` (an L1 node or the memory
+    /// controller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] for combinations Table 2 marks "error".
+    pub fn handle(&mut self, from: usize, msg: CoherenceMsg) -> Result<Vec<OutMsg>, ProtocolError> {
+        let line = msg.line();
+        let mut out = Vec::new();
+        match msg {
+            CoherenceMsg::Req { kind, .. } => self.handle_request(from, kind, line, &mut out)?,
+            CoherenceMsg::WriteBack { .. } => self.handle_writeback(from, line, &mut out)?,
+            CoherenceMsg::InvAck { .. } => self.handle_inv_ack(from, line, &mut out)?,
+            CoherenceMsg::DwgAck { with_data, .. } => {
+                self.handle_dwg_ack(from, line, with_data, &mut out)?
+            }
+            CoherenceMsg::MemAck { .. } => self.handle_mem_ack(line, &mut out)?,
+            other => {
+                return Err(self.error(line, &format!("{other:?}")));
+            }
+        }
+        self.drain_deferred(line, &mut out)?;
+        self.enforce_capacity(&mut out)?;
+        Ok(out)
+    }
+
+    fn error(&self, line: LineAddr, event: &str) -> ProtocolError {
+        ProtocolError {
+            controller: "directory",
+            state: format!("{:?}", self.state_of(line)),
+            event: event.to_string(),
+            line,
+        }
+    }
+
+    fn touch(&mut self, line: LineAddr) {
+        self.tick += 1;
+        let t = self.tick;
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.lru = t;
+        }
+    }
+
+    fn handle_request(
+        &mut self,
+        from: usize,
+        mut kind: ReqType,
+        line: LineAddr,
+        out: &mut Vec<OutMsg>,
+    ) -> Result<(), ProtocolError> {
+        self.stats.requests += 1;
+        self.touch(line);
+        let state = self.state_of(line);
+        match state {
+            DirState::DI => {
+                // Fetch from memory; Upg is reinterpreted (the requester
+                // cannot really hold a copy of an unresident line).
+                if kind == ReqType::Upg {
+                    kind = ReqType::Ex;
+                    self.stats.reinterpreted += 1;
+                }
+                let next = if kind == ReqType::Sh {
+                    DirState::DIDSD
+                } else {
+                    DirState::DIDMD
+                };
+                self.tick += 1;
+                let mut e = DirEntry::new(next, self.tick);
+                e.requester = from;
+                self.entries.insert(line, e);
+                self.stats.mem_reads += 1;
+                out.push(OutMsg {
+                    to: self.mem_node,
+                    msg: CoherenceMsg::MemReq { line, write: false },
+                });
+            }
+            DirState::DV => {
+                if kind == ReqType::Upg {
+                    kind = ReqType::Ex;
+                    self.stats.reinterpreted += 1;
+                }
+                let e = self.entries.get_mut(&line).expect("DV is tracked");
+                e.state = DirState::DM;
+                e.owner = from;
+                let grant = if kind == ReqType::Sh {
+                    Grant::Exclusive
+                } else {
+                    Grant::Modified
+                };
+                self.stats.data_replies += 1;
+                out.push(OutMsg {
+                    to: from,
+                    msg: CoherenceMsg::Data { grant, line },
+                });
+            }
+            DirState::DS => {
+                if kind == ReqType::Upg && !self.entries[&line].is_sharer(from) {
+                    // The requester's copy died in a race: full exclusive.
+                    kind = ReqType::Ex;
+                    self.stats.reinterpreted += 1;
+                }
+                match kind {
+                    ReqType::Sh => {
+                        let e = self.entries.get_mut(&line).expect("DS is tracked");
+                        e.add_sharer(from);
+                        self.stats.data_replies += 1;
+                        out.push(OutMsg {
+                            to: from,
+                            msg: CoherenceMsg::Data { grant: Grant::Shared, line },
+                        });
+                    }
+                    ReqType::Ex | ReqType::Upg => {
+                        let upgrade = kind == ReqType::Upg;
+                        let e = self.entries.get_mut(&line).expect("DS is tracked");
+                        e.remove_sharer(from);
+                        let victims = e.sharer_list();
+                        e.acks_pending = victims.len() as u32;
+                        e.requester = from;
+                        e.sharers = 0;
+                        for v in &victims {
+                            self.stats.invalidations += 1;
+                            out.push(OutMsg {
+                                to: *v,
+                                msg: CoherenceMsg::Inv { line },
+                            });
+                        }
+                        let e = self.entries.get_mut(&line).expect("DS is tracked");
+                        if e.acks_pending == 0 {
+                            e.state = DirState::DM;
+                            e.owner = from;
+                            if upgrade {
+                                self.stats.exc_acks += 1;
+                                out.push(OutMsg {
+                                    to: from,
+                                    msg: CoherenceMsg::ExcAck { line },
+                                });
+                            } else {
+                                self.stats.data_replies += 1;
+                                out.push(OutMsg {
+                                    to: from,
+                                    msg: CoherenceMsg::Data { grant: Grant::Modified, line },
+                                });
+                            }
+                        } else {
+                            e.state = if upgrade {
+                                DirState::DSDMA
+                            } else {
+                                DirState::DSDMDA
+                            };
+                        }
+                    }
+                }
+            }
+            DirState::DM => {
+                let owner = self.entries[&line].owner;
+                if from == owner {
+                    // The owner silently dropped a clean E copy and missed
+                    // again: regrant directly.
+                    let grant = if kind == ReqType::Sh {
+                        Grant::Exclusive
+                    } else {
+                        Grant::Modified
+                    };
+                    self.stats.data_replies += 1;
+                    out.push(OutMsg {
+                        to: from,
+                        msg: CoherenceMsg::Data { grant, line },
+                    });
+                    return Ok(());
+                }
+                let e = self.entries.get_mut(&line).expect("DM is tracked");
+                e.requester = from;
+                match kind {
+                    ReqType::Sh => {
+                        e.state = DirState::DMDSD;
+                        self.stats.downgrades += 1;
+                        out.push(OutMsg {
+                            to: owner,
+                            msg: CoherenceMsg::Dwg { line },
+                        });
+                    }
+                    ReqType::Ex | ReqType::Upg => {
+                        if kind == ReqType::Upg {
+                            self.stats.reinterpreted += 1;
+                        }
+                        e.state = DirState::DMDMD;
+                        self.stats.invalidations += 1;
+                        out.push(OutMsg {
+                            to: owner,
+                            msg: CoherenceMsg::Inv { line },
+                        });
+                    }
+                }
+            }
+            // Transient: stall (`z`) or NACK when the queue is full.
+            _ => {
+                let limit = self.deferred_limit;
+                let e = self.entries.get_mut(&line).expect("transient is tracked");
+                if e.deferred.len() >= limit {
+                    self.stats.nacks += 1;
+                    out.push(OutMsg {
+                        to: from,
+                        msg: CoherenceMsg::Retry { line },
+                    });
+                } else {
+                    self.stats.deferred += 1;
+                    e.deferred.push_back((from, kind));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_writeback(
+        &mut self,
+        from: usize,
+        line: LineAddr,
+        _out: &mut [OutMsg],
+    ) -> Result<(), ProtocolError> {
+        let state = self.state_of(line);
+        match state {
+            DirState::DM => {
+                // Owner eviction: "save/DV".
+                let e = self.entries.get_mut(&line).expect("tracked");
+                if e.owner != from {
+                    return Err(self.error(line, "WriteBack(non-owner)"));
+                }
+                e.state = DirState::DV;
+                e.owner = usize::MAX;
+            }
+            DirState::DMDSD => {
+                // Crossed with our Dwg: "save/DM.DSᴬ".
+                self.entries.get_mut(&line).expect("tracked").state = DirState::DMDSA;
+            }
+            DirState::DMDMD => {
+                // Crossed with our Inv: "save/DM.DMᴬ".
+                self.entries.get_mut(&line).expect("tracked").state = DirState::DMDMA;
+            }
+            DirState::DMDID => {
+                // Crossed with our eviction Inv: "save/DS.DIᴬ" — still owe
+                // one ack (the ex-owner answers the Inv from I).
+                let e = self.entries.get_mut(&line).expect("tracked");
+                e.state = DirState::DSDIA;
+                e.acks_pending = 1;
+            }
+            _ => return Err(self.error(line, "WriteBack")),
+        }
+        Ok(())
+    }
+
+    fn handle_inv_ack(
+        &mut self,
+        _from: usize,
+        line: LineAddr,
+        out: &mut Vec<OutMsg>,
+    ) -> Result<(), ProtocolError> {
+        let state = self.state_of(line);
+        match state {
+            DirState::DSDIA => {
+                let e = self.entries.get_mut(&line).expect("tracked");
+                e.acks_pending -= 1;
+                if e.acks_pending == 0 {
+                    // "evict/DI": push the L2 copy back to memory.
+                    self.remove_with_memory_writeback(line, out);
+                }
+            }
+            DirState::DSDMDA => {
+                let e = self.entries.get_mut(&line).expect("tracked");
+                e.acks_pending -= 1;
+                if e.acks_pending == 0 {
+                    e.state = DirState::DM;
+                    e.owner = e.requester;
+                    let to = e.requester;
+                    self.stats.data_replies += 1;
+                    out.push(OutMsg {
+                        to,
+                        msg: CoherenceMsg::Data { grant: Grant::Modified, line },
+                    });
+                }
+            }
+            DirState::DSDMA => {
+                let e = self.entries.get_mut(&line).expect("tracked");
+                e.acks_pending -= 1;
+                if e.acks_pending == 0 {
+                    e.state = DirState::DM;
+                    e.owner = e.requester;
+                    let to = e.requester;
+                    self.stats.exc_acks += 1;
+                    out.push(OutMsg {
+                        to,
+                        msg: CoherenceMsg::ExcAck { line },
+                    });
+                }
+            }
+            DirState::DMDID => {
+                // "save & evict/DI".
+                self.remove_with_memory_writeback(line, out);
+            }
+            DirState::DMDMD | DirState::DMDMA => {
+                // "save & fwd/DM" (DMDMD) or "Data(M)/DM" (DMDMA).
+                let e = self.entries.get_mut(&line).expect("tracked");
+                e.state = DirState::DM;
+                e.owner = e.requester;
+                let to = e.requester;
+                self.stats.data_replies += 1;
+                out.push(OutMsg {
+                    to,
+                    msg: CoherenceMsg::Data { grant: Grant::Modified, line },
+                });
+            }
+            _ => return Err(self.error(line, "InvAck")),
+        }
+        Ok(())
+    }
+
+    fn handle_dwg_ack(
+        &mut self,
+        _from: usize,
+        line: LineAddr,
+        _with_data: bool,
+        out: &mut Vec<OutMsg>,
+    ) -> Result<(), ProtocolError> {
+        let state = self.state_of(line);
+        match state {
+            DirState::DMDSD => {
+                // "save & fwd": the owner keeps a shared copy; the
+                // requester joins as a sharer.
+                let e = self.entries.get_mut(&line).expect("tracked");
+                e.state = DirState::DS;
+                let owner = e.owner;
+                let req = e.requester;
+                e.owner = usize::MAX;
+                e.sharers = 0;
+                e.add_sharer(owner);
+                e.add_sharer(req);
+                self.stats.data_replies += 1;
+                out.push(OutMsg {
+                    to: req,
+                    msg: CoherenceMsg::Data { grant: Grant::Shared, line },
+                });
+            }
+            DirState::DMDSA => {
+                // Owner evicted mid-downgrade: requester is the only copy.
+                let e = self.entries.get_mut(&line).expect("tracked");
+                e.state = DirState::DM;
+                e.owner = e.requester;
+                let to = e.requester;
+                self.stats.data_replies += 1;
+                out.push(OutMsg {
+                    to,
+                    msg: CoherenceMsg::Data { grant: Grant::Exclusive, line },
+                });
+            }
+            _ => return Err(self.error(line, "DwgAck")),
+        }
+        Ok(())
+    }
+
+    fn handle_mem_ack(
+        &mut self,
+        line: LineAddr,
+        out: &mut Vec<OutMsg>,
+    ) -> Result<(), ProtocolError> {
+        let state = self.state_of(line);
+        match state {
+            DirState::DIDSD | DirState::DIDMD => {
+                // "repl & fwd/DM".
+                let e = self.entries.get_mut(&line).expect("tracked");
+                e.state = DirState::DM;
+                e.owner = e.requester;
+                let grant = if state == DirState::DIDSD {
+                    Grant::Exclusive
+                } else {
+                    Grant::Modified
+                };
+                let to = e.requester;
+                self.stats.data_replies += 1;
+                out.push(OutMsg {
+                    to,
+                    msg: CoherenceMsg::Data { grant, line },
+                });
+            }
+            _ => return Err(self.error(line, "MemAck")),
+        }
+        Ok(())
+    }
+
+    /// Removes a line, writing the L2 copy back to memory, and leaves any
+    /// deferred requests attached for [`drain_deferred`](Self::handle) to
+    /// replay against the now-DI line.
+    fn remove_with_memory_writeback(&mut self, line: LineAddr, out: &mut Vec<OutMsg>) {
+        self.stats.mem_writes += 1;
+        out.push(OutMsg {
+            to: self.mem_node,
+            msg: CoherenceMsg::MemReq { line, write: true },
+        });
+        let deferred = self
+            .entries
+            .remove(&line)
+            .map(|e| e.deferred)
+            .unwrap_or_default();
+        if !deferred.is_empty() {
+            // Stash the queue on a fresh DI placeholder so the replay loop
+            // finds it. (The placeholder is dropped if the replay empties
+            // it without re-tracking the line.)
+            self.tick += 1;
+            let mut e = DirEntry::new(DirState::DI, self.tick);
+            e.deferred = deferred;
+            self.entries.insert(line, e);
+        }
+    }
+
+    /// Replays deferred requests while the line is stable (or DI).
+    fn drain_deferred(
+        &mut self,
+        line: LineAddr,
+        out: &mut Vec<OutMsg>,
+    ) -> Result<(), ProtocolError> {
+        for _ in 0..64 {
+            let state = self.state_of(line);
+            if !state.is_stable() {
+                return Ok(());
+            }
+            let next = match self.entries.get_mut(&line) {
+                Some(e) => e.deferred.pop_front(),
+                None => None,
+            };
+            // Drop an empty DI placeholder left by an eviction.
+            if let Some(e) = self.entries.get(&line) {
+                if e.state == DirState::DI && e.deferred.is_empty() && next.is_none() {
+                    self.entries.remove(&line);
+                }
+            }
+            let Some((from, kind)) = next else { return Ok(()) };
+            // Re-dispatch; a deferred Upg against a line the requester no
+            // longer shares is reinterpreted inside `handle_request`.
+            let stash = match self.entries.get_mut(&line) {
+                Some(e) if e.state == DirState::DI => {
+                    // Temporarily pull the placeholder so DI handling can
+                    // insert a fresh transient entry; re-attach leftovers.
+                    let rest = std::mem::take(&mut e.deferred);
+                    self.entries.remove(&line);
+                    rest
+                }
+                _ => VecDeque::new(),
+            };
+            self.handle_request(from, kind, line, out)?;
+            if !stash.is_empty() {
+                if let Some(e) = self.entries.get_mut(&line) {
+                    for item in stash {
+                        e.deferred.push_back(item);
+                    }
+                } else {
+                    self.tick += 1;
+                    let mut e = DirEntry::new(DirState::DI, self.tick);
+                    e.deferred = stash;
+                    self.entries.insert(line, e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evicts LRU stable lines while over capacity ("Repl" events).
+    fn enforce_capacity(&mut self, out: &mut Vec<OutMsg>) -> Result<(), ProtocolError> {
+        while self.entries.len() > self.capacity_lines {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.state.is_stable() && e.deferred.is_empty())
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(l, _)| *l);
+            let Some(line) = victim else {
+                return Ok(()); // everything is in flight; allow overflow
+            };
+            self.stats.evictions += 1;
+            match self.state_of(line) {
+                DirState::DV | DirState::DI => {
+                    self.remove_with_memory_writeback(line, out);
+                }
+                DirState::DS => {
+                    let e = self.entries.get_mut(&line).expect("tracked");
+                    let victims = e.sharer_list();
+                    e.acks_pending = victims.len() as u32;
+                    e.sharers = 0;
+                    if victims.is_empty() {
+                        self.remove_with_memory_writeback(line, out);
+                    } else {
+                        e.state = DirState::DSDIA;
+                        for v in victims {
+                            self.stats.invalidations += 1;
+                            out.push(OutMsg {
+                                to: v,
+                                msg: CoherenceMsg::Inv { line },
+                            });
+                        }
+                    }
+                }
+                DirState::DM => {
+                    let e = self.entries.get_mut(&line).expect("tracked");
+                    e.state = DirState::DMDID;
+                    let owner = e.owner;
+                    self.stats.invalidations += 1;
+                    out.push(OutMsg {
+                        to: owner,
+                        msg: CoherenceMsg::Inv { line },
+                    });
+                }
+                _ => unreachable!("victims are stable"),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> Directory {
+        Directory::new(0, 99, 1024) // memory controller at node 99
+    }
+
+    fn req(kind: ReqType, line: LineAddr) -> CoherenceMsg {
+        CoherenceMsg::Req { kind, line }
+    }
+
+    const L: LineAddr = LineAddr(0x100);
+
+    /// Brings `line` to DV (resident, no sharers) via a fetch + writeback.
+    fn to_dv(d: &mut Directory, line: LineAddr) {
+        let out = d.handle(1, req(ReqType::Ex, line)).unwrap();
+        assert!(matches!(out[0].msg, CoherenceMsg::MemReq { write: false, .. }));
+        d.handle(99, CoherenceMsg::MemAck { line }).unwrap();
+        assert_eq!(d.state_of(line), DirState::DM);
+        d.handle(1, CoherenceMsg::WriteBack { line }).unwrap();
+        assert_eq!(d.state_of(line), DirState::DV);
+    }
+
+    #[test]
+    fn cold_read_fetches_memory_and_grants_exclusive() {
+        let mut d = dir();
+        let out = d.handle(3, req(ReqType::Sh, L)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, 99);
+        assert_eq!(d.state_of(L), DirState::DIDSD);
+        let out = d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        assert_eq!(
+            out[0],
+            OutMsg {
+                to: 3,
+                msg: CoherenceMsg::Data { grant: Grant::Exclusive, line: L }
+            }
+        );
+        assert_eq!(d.state_of(L), DirState::DM);
+        assert_eq!(d.owner_of(L), Some(3));
+    }
+
+    #[test]
+    fn cold_write_grants_modified() {
+        let mut d = dir();
+        d.handle(5, req(ReqType::Ex, L)).unwrap();
+        assert_eq!(d.state_of(L), DirState::DIDMD);
+        let out = d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        assert!(matches!(
+            out[0].msg,
+            CoherenceMsg::Data { grant: Grant::Modified, .. }
+        ));
+        assert_eq!(d.owner_of(L), Some(5));
+    }
+
+    #[test]
+    fn dv_read_grants_exclusive() {
+        let mut d = dir();
+        to_dv(&mut d, L);
+        let out = d.handle(7, req(ReqType::Sh, L)).unwrap();
+        assert!(matches!(
+            out[0].msg,
+            CoherenceMsg::Data { grant: Grant::Exclusive, .. }
+        ));
+        assert_eq!(d.state_of(L), DirState::DM);
+        assert_eq!(d.owner_of(L), Some(7));
+    }
+
+    #[test]
+    fn downgrade_on_shared_request_to_owned_line() {
+        let mut d = dir();
+        d.handle(1, req(ReqType::Ex, L)).unwrap();
+        d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        // Node 2 reads: owner 1 must downgrade.
+        let out = d.handle(2, req(ReqType::Sh, L)).unwrap();
+        assert_eq!(out, vec![OutMsg { to: 1, msg: CoherenceMsg::Dwg { line: L } }]);
+        assert_eq!(d.state_of(L), DirState::DMDSD);
+        let out = d
+            .handle(1, CoherenceMsg::DwgAck { line: L, with_data: true })
+            .unwrap();
+        assert_eq!(
+            out[0],
+            OutMsg {
+                to: 2,
+                msg: CoherenceMsg::Data { grant: Grant::Shared, line: L }
+            }
+        );
+        assert_eq!(d.state_of(L), DirState::DS);
+        let mut sharers = d.sharers_of(L);
+        sharers.sort_unstable();
+        assert_eq!(sharers, vec![1, 2]);
+    }
+
+    #[test]
+    fn ownership_transfer_on_exclusive_request() {
+        let mut d = dir();
+        d.handle(1, req(ReqType::Ex, L)).unwrap();
+        d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        let out = d.handle(2, req(ReqType::Ex, L)).unwrap();
+        assert_eq!(out, vec![OutMsg { to: 1, msg: CoherenceMsg::Inv { line: L } }]);
+        assert_eq!(d.state_of(L), DirState::DMDMD);
+        let out = d
+            .handle(1, CoherenceMsg::InvAck { line: L, with_data: true })
+            .unwrap();
+        assert!(matches!(
+            out[0].msg,
+            CoherenceMsg::Data { grant: Grant::Modified, .. }
+        ));
+        assert_eq!(d.owner_of(L), Some(2));
+    }
+
+    #[test]
+    fn shared_upgrade_invalidates_others_then_exc_acks() {
+        let mut d = dir();
+        // Build DS with sharers {1, 2, 3} (first reader gets E; a second
+        // reader triggers a downgrade; further readers join DS).
+        d.handle(1, req(ReqType::Ex, L)).unwrap();
+        d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        d.handle(2, req(ReqType::Sh, L)).unwrap();
+        d.handle(1, CoherenceMsg::DwgAck { line: L, with_data: true })
+            .unwrap();
+        d.handle(3, req(ReqType::Sh, L)).unwrap();
+        assert_eq!(d.sharers_of(L).len(), 3);
+        // Sharer 2 upgrades: invalidate 1 and 3, then ExcAck.
+        let out = d.handle(2, req(ReqType::Upg, L)).unwrap();
+        let inv_targets: Vec<usize> = out.iter().map(|m| m.to).collect();
+        assert_eq!(inv_targets.len(), 2);
+        assert!(inv_targets.contains(&1) && inv_targets.contains(&3));
+        assert_eq!(d.state_of(L), DirState::DSDMA);
+        assert!(d
+            .handle(1, CoherenceMsg::InvAck { line: L, with_data: false })
+            .unwrap()
+            .is_empty());
+        let out = d
+            .handle(3, CoherenceMsg::InvAck { line: L, with_data: false })
+            .unwrap();
+        assert_eq!(out, vec![OutMsg { to: 2, msg: CoherenceMsg::ExcAck { line: L } }]);
+        assert_eq!(d.owner_of(L), Some(2));
+    }
+
+    #[test]
+    fn exclusive_request_over_sharers_sends_data() {
+        let mut d = dir();
+        d.handle(1, req(ReqType::Ex, L)).unwrap();
+        d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        d.handle(2, req(ReqType::Sh, L)).unwrap();
+        d.handle(1, CoherenceMsg::DwgAck { line: L, with_data: true })
+            .unwrap();
+        // Node 4 (not a sharer) wants exclusive: invalidate {1, 2}.
+        let out = d.handle(4, req(ReqType::Ex, L)).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(d.state_of(L), DirState::DSDMDA);
+        d.handle(1, CoherenceMsg::InvAck { line: L, with_data: false })
+            .unwrap();
+        let out = d
+            .handle(2, CoherenceMsg::InvAck { line: L, with_data: false })
+            .unwrap();
+        assert_eq!(
+            out[0],
+            OutMsg {
+                to: 4,
+                msg: CoherenceMsg::Data { grant: Grant::Modified, line: L }
+            }
+        );
+        assert_eq!(d.owner_of(L), Some(4));
+    }
+
+    #[test]
+    fn requests_against_transient_lines_are_deferred_and_replayed() {
+        let mut d = dir();
+        d.handle(1, req(ReqType::Sh, L)).unwrap(); // DI → DIDSD
+        let out = d.handle(2, req(ReqType::Sh, L)).unwrap();
+        assert!(out.is_empty(), "z-stalled");
+        assert_eq!(d.stats().deferred, 1);
+        // Memory returns: node 1 gets Data(E), then the deferred request
+        // replays: node 2's read downgrades node 1.
+        let out = d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Exclusive, .. }));
+        assert_eq!(out[1], OutMsg { to: 1, msg: CoherenceMsg::Dwg { line: L } });
+        assert_eq!(d.state_of(L), DirState::DMDSD);
+    }
+
+    #[test]
+    fn deferred_queue_overflow_nacks() {
+        let mut d = dir();
+        d.deferred_limit = 2;
+        d.handle(1, req(ReqType::Sh, L)).unwrap();
+        d.handle(2, req(ReqType::Sh, L)).unwrap();
+        d.handle(3, req(ReqType::Sh, L)).unwrap();
+        let out = d.handle(4, req(ReqType::Sh, L)).unwrap();
+        assert_eq!(out, vec![OutMsg { to: 4, msg: CoherenceMsg::Retry { line: L } }]);
+        assert_eq!(d.stats().nacks, 1);
+    }
+
+    #[test]
+    fn owner_writeback_saves_to_dv() {
+        let mut d = dir();
+        d.handle(1, req(ReqType::Ex, L)).unwrap();
+        d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        let out = d.handle(1, CoherenceMsg::WriteBack { line: L }).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(d.state_of(L), DirState::DV);
+        assert_eq!(d.owner_of(L), None);
+    }
+
+    #[test]
+    fn writeback_crossing_downgrade() {
+        // DM.DSᴰ + WriteBack → DM.DSᴬ; then DwgAck → Data(E).
+        let mut d = dir();
+        d.handle(1, req(ReqType::Ex, L)).unwrap();
+        d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        d.handle(2, req(ReqType::Sh, L)).unwrap(); // DMDSD, Dwg → 1
+        d.handle(1, CoherenceMsg::WriteBack { line: L }).unwrap();
+        assert_eq!(d.state_of(L), DirState::DMDSA);
+        let out = d
+            .handle(1, CoherenceMsg::DwgAck { line: L, with_data: false })
+            .unwrap();
+        assert_eq!(
+            out[0],
+            OutMsg {
+                to: 2,
+                msg: CoherenceMsg::Data { grant: Grant::Exclusive, line: L }
+            }
+        );
+        assert_eq!(d.owner_of(L), Some(2));
+    }
+
+    #[test]
+    fn writeback_crossing_invalidation() {
+        // DM.DMᴰ + WriteBack → DM.DMᴬ; then InvAck → Data(M).
+        let mut d = dir();
+        d.handle(1, req(ReqType::Ex, L)).unwrap();
+        d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        d.handle(2, req(ReqType::Ex, L)).unwrap(); // DMDMD
+        d.handle(1, CoherenceMsg::WriteBack { line: L }).unwrap();
+        assert_eq!(d.state_of(L), DirState::DMDMA);
+        let out = d
+            .handle(1, CoherenceMsg::InvAck { line: L, with_data: false })
+            .unwrap();
+        assert!(matches!(
+            out[0].msg,
+            CoherenceMsg::Data { grant: Grant::Modified, .. }
+        ));
+    }
+
+    #[test]
+    fn upgrade_from_non_sharer_is_reinterpreted() {
+        let mut d = dir();
+        d.handle(1, req(ReqType::Ex, L)).unwrap();
+        d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        d.handle(2, req(ReqType::Sh, L)).unwrap();
+        d.handle(1, CoherenceMsg::DwgAck { line: L, with_data: true })
+            .unwrap();
+        // Node 5 never held the line but sends Upg (race artifact).
+        let out = d.handle(5, req(ReqType::Upg, L)).unwrap();
+        assert_eq!(out.len(), 2, "treated as Ex: invalidate both sharers");
+        assert_eq!(d.stats().reinterpreted, 1);
+        assert_eq!(d.state_of(L), DirState::DSDMDA);
+    }
+
+    #[test]
+    fn capacity_eviction_of_shared_line() {
+        let mut d = Directory::new(0, 99, 4);
+        // Fill 5 distinct lines via cold exclusive fetches + writebacks so
+        // all are stable DV; the 5th insert must evict the LRU.
+        for i in 0..5u64 {
+            let line = LineAddr(0x1000 + i * 32);
+            d.handle(1, req(ReqType::Ex, line)).unwrap();
+            d.handle(99, CoherenceMsg::MemAck { line }).unwrap();
+            d.handle(1, CoherenceMsg::WriteBack { line }).unwrap();
+        }
+        assert!(d.tracked() <= 4);
+        assert!(d.stats().evictions >= 1);
+        assert!(d.stats().mem_writes >= 1, "DV victim written to memory");
+    }
+
+    #[test]
+    fn capacity_eviction_of_owned_line_reclaims_data() {
+        let mut d = Directory::new(0, 99, 4);
+        let mut lines = Vec::new();
+        for i in 0..5u64 {
+            let line = LineAddr(0x1000 + i * 32);
+            lines.push(line);
+            d.handle(1, req(ReqType::Ex, line)).unwrap();
+            d.handle(99, CoherenceMsg::MemAck { line }).unwrap();
+        }
+        // The LRU owned line went to DMDID with an Inv to its owner.
+        let victim = lines[0];
+        assert_eq!(d.state_of(victim), DirState::DMDID);
+        let out = d
+            .handle(1, CoherenceMsg::InvAck { line: victim, with_data: true })
+            .unwrap();
+        assert!(matches!(out[0].msg, CoherenceMsg::MemReq { write: true, .. }));
+        assert_eq!(d.state_of(victim), DirState::DI);
+    }
+
+    #[test]
+    fn errors_where_table_says_error() {
+        let mut d = dir();
+        // WriteBack to an untracked (DI) line.
+        assert!(d.handle(1, CoherenceMsg::WriteBack { line: L }).is_err());
+        // InvAck in DI.
+        assert!(d
+            .handle(1, CoherenceMsg::InvAck { line: L, with_data: false })
+            .is_err());
+        // MemAck in DV.
+        to_dv(&mut d, L);
+        assert!(d.handle(99, CoherenceMsg::MemAck { line: L }).is_err());
+        // DwgAck in DV.
+        assert!(d
+            .handle(1, CoherenceMsg::DwgAck { line: L, with_data: false })
+            .is_err());
+    }
+
+    #[test]
+    fn owner_rerequest_after_silent_e_drop() {
+        let mut d = dir();
+        d.handle(1, req(ReqType::Sh, L)).unwrap();
+        d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        assert_eq!(d.owner_of(L), Some(1));
+        // Node 1 silently dropped its E copy and rereads.
+        let out = d.handle(1, req(ReqType::Sh, L)).unwrap();
+        assert!(matches!(
+            out[0].msg,
+            CoherenceMsg::Data { grant: Grant::Exclusive, .. }
+        ));
+        assert_eq!(d.owner_of(L), Some(1));
+    }
+
+    #[test]
+    fn l2_eviction_of_owned_line_then_refetch() {
+        // Full DMDID → DI → fresh DI fetch path with a deferred request.
+        let mut d = Directory::new(0, 99, 4);
+        let mut lines = Vec::new();
+        for i in 0..5u64 {
+            let line = LineAddr(0x1000 + i * 32);
+            lines.push(line);
+            d.handle(1, req(ReqType::Ex, line)).unwrap();
+            d.handle(99, CoherenceMsg::MemAck { line }).unwrap();
+        }
+        let victim = lines[0];
+        // A new request arrives while the eviction is in flight: deferred.
+        let out = d.handle(2, req(ReqType::Sh, victim)).unwrap();
+        assert!(out.is_empty());
+        // Owner's data comes back; line evicts; deferred request replays
+        // as a cold miss.
+        let out = d
+            .handle(1, CoherenceMsg::InvAck { line: victim, with_data: true })
+            .unwrap();
+        assert!(out
+            .iter()
+            .any(|m| matches!(m.msg, CoherenceMsg::MemReq { write: true, .. })));
+        assert!(out
+            .iter()
+            .any(|m| matches!(m.msg, CoherenceMsg::MemReq { write: false, .. })));
+        assert_eq!(d.state_of(victim), DirState::DIDSD);
+    }
+}

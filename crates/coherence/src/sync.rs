@@ -1,0 +1,363 @@
+//! Synchronization semantics: load-linked / store-conditional, locks and
+//! barriers — plus the paper's §5.1 optimization hooks.
+//!
+//! The paper implements `ll`/`sc` "differently when feasible": boolean
+//! synchronization variables can be *subscribed* over the confirmation
+//! channel's reserved mini-cycles, so spin loops receive single-bit
+//! updates without any regular packets. [`BooleanSubscriptionHub`] is the
+//! directory-side registry for that path; the CMP simulator decides per
+//! configuration whether updates ride the confirmation channel (optimized)
+//! or full invalidation/reload rounds (baseline).
+
+use crate::protocol::LineAddr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-node link register for load-linked/store-conditional.
+#[derive(Debug, Default)]
+pub struct LlScMonitor {
+    link: Option<LineAddr>,
+    successes: u64,
+    failures: u64,
+}
+
+impl LlScMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load-linked: records the reservation.
+    pub fn ll(&mut self, line: LineAddr) {
+        self.link = Some(line);
+    }
+
+    /// Store-conditional: succeeds iff the reservation survives; always
+    /// clears it.
+    pub fn sc(&mut self, line: LineAddr) -> bool {
+        let ok = self.link == Some(line);
+        self.link = None;
+        if ok {
+            self.successes += 1;
+        } else {
+            self.failures += 1;
+        }
+        ok
+    }
+
+    /// An invalidation for `line` landed: kill a matching reservation.
+    pub fn on_invalidate(&mut self, line: LineAddr) {
+        if self.link == Some(line) {
+            self.link = None;
+        }
+    }
+
+    /// The active reservation, if any.
+    pub fn reservation(&self) -> Option<LineAddr> {
+        self.link
+    }
+
+    /// Successful store-conditionals.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Failed store-conditionals.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+}
+
+/// A centralized sense-reversing barrier (the paper uses combining-tree
+/// barriers for scale; the tree is composed of these nodes).
+#[derive(Debug)]
+pub struct Barrier {
+    participants: usize,
+    arrived: usize,
+    sense: bool,
+    episodes: u64,
+}
+
+impl Barrier {
+    /// Creates a barrier for `participants` arrivals per episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants == 0`.
+    pub fn new(participants: usize) -> Self {
+        assert!(participants > 0, "a barrier needs participants");
+        Barrier {
+            participants,
+            arrived: 0,
+            sense: false,
+            episodes: 0,
+        }
+    }
+
+    /// Registers an arrival; returns `true` when this arrival releases the
+    /// barrier (the releaser flips the sense all spinners watch).
+    pub fn arrive(&mut self) -> bool {
+        self.arrived += 1;
+        if self.arrived == self.participants {
+            self.arrived = 0;
+            self.sense = !self.sense;
+            self.episodes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The sense value spinners compare against.
+    pub fn sense(&self) -> bool {
+        self.sense
+    }
+
+    /// Completed episodes.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Arrivals waiting in the current episode.
+    pub fn waiting(&self) -> usize {
+        self.arrived
+    }
+}
+
+/// A test-and-set lock state machine (built over ll/sc by the cores; this
+/// is the memory-side truth the workload generator consults).
+#[derive(Debug, Default)]
+pub struct SpinLock {
+    holder: Option<usize>,
+    acquisitions: u64,
+    contended_acquisitions: u64,
+}
+
+impl SpinLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts acquisition by `node`; returns success.
+    pub fn try_acquire(&mut self, node: usize) -> bool {
+        if self.holder.is_none() {
+            self.holder = Some(node);
+            self.acquisitions += 1;
+            true
+        } else {
+            self.contended_acquisitions += 1;
+            false
+        }
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not hold it.
+    pub fn release(&mut self, node: usize) {
+        assert_eq!(self.holder, Some(node), "release by non-holder");
+        self.holder = None;
+    }
+
+    /// Current holder.
+    pub fn holder(&self) -> Option<usize> {
+        self.holder
+    }
+
+    /// Successful acquisitions.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Failed (contended) attempts.
+    pub fn contended(&self) -> u64 {
+        self.contended_acquisitions
+    }
+}
+
+/// Directory-side registry of boolean subscriptions (§5.1).
+///
+/// A node that `ll`s a boolean synchronization word reserves a mini-cycle
+/// on its confirmation receiver and registers here. Subsequent updates to
+/// the word are *pushed* to all subscribers as single-bit
+/// confirmation-channel pulses — no meta/data packets. A normal store to
+/// the containing line simply invalidates (unsubscribes) everyone.
+#[derive(Debug, Default)]
+pub struct BooleanSubscriptionHub {
+    subs: BTreeMap<LineAddr, BTreeSet<usize>>,
+    updates_pushed: u64,
+    packets_saved: u64,
+}
+
+impl BooleanSubscriptionHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes `node` to `line`.
+    pub fn subscribe(&mut self, line: LineAddr, node: usize) {
+        self.subs.entry(line).or_default().insert(node);
+    }
+
+    /// Unsubscribes `node` from `line`.
+    pub fn unsubscribe(&mut self, line: LineAddr, node: usize) {
+        if let Some(s) = self.subs.get_mut(&line) {
+            s.remove(&node);
+            if s.is_empty() {
+                self.subs.remove(&line);
+            }
+        }
+    }
+
+    /// A boolean update to `line` from `writer`: returns the subscribers
+    /// to push the bit to (excluding the writer). Each push replaces what
+    /// would otherwise be an invalidation + a reload request + a data
+    /// reply (three packets) per spinning subscriber.
+    pub fn push_update(&mut self, line: LineAddr, writer: usize) -> Vec<usize> {
+        let targets: Vec<usize> = self
+            .subs
+            .get(&line)
+            .map(|s| s.iter().copied().filter(|&n| n != writer).collect())
+            .unwrap_or_default();
+        self.updates_pushed += targets.len() as u64;
+        self.packets_saved += 3 * targets.len() as u64;
+        targets
+    }
+
+    /// A normal (non-boolean) store to the line: all subscriptions die and
+    /// the callers fall back to regular coherence. Returns the nodes to
+    /// invalidate.
+    pub fn invalidate_all(&mut self, line: LineAddr) -> Vec<usize> {
+        self.subs
+            .remove(&line)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Subscribers of a line.
+    pub fn subscribers(&self, line: LineAddr) -> Vec<usize> {
+        self.subs
+            .get(&line)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total single-bit updates pushed.
+    pub fn updates_pushed(&self) -> u64 {
+        self.updates_pushed
+    }
+
+    /// Regular packets avoided by the optimization so far.
+    pub fn packets_saved(&self) -> u64 {
+        self.packets_saved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: LineAddr = LineAddr(0x200);
+
+    #[test]
+    fn ll_sc_roundtrip() {
+        let mut m = LlScMonitor::new();
+        m.ll(L);
+        assert_eq!(m.reservation(), Some(L));
+        assert!(m.sc(L));
+        assert_eq!(m.successes(), 1);
+        // Reservation is consumed.
+        assert!(!m.sc(L));
+        assert_eq!(m.failures(), 1);
+    }
+
+    #[test]
+    fn invalidation_kills_reservation() {
+        let mut m = LlScMonitor::new();
+        m.ll(L);
+        m.on_invalidate(L);
+        assert!(!m.sc(L));
+        // Unrelated invalidation leaves it alone.
+        m.ll(L);
+        m.on_invalidate(LineAddr(0x999000));
+        assert!(m.sc(L));
+    }
+
+    #[test]
+    fn sc_to_different_line_fails() {
+        let mut m = LlScMonitor::new();
+        m.ll(L);
+        assert!(!m.sc(LineAddr(0x300)));
+    }
+
+    #[test]
+    fn barrier_releases_on_last_arrival() {
+        let mut b = Barrier::new(3);
+        assert!(!b.arrive());
+        assert!(!b.arrive());
+        assert_eq!(b.waiting(), 2);
+        let s0 = b.sense();
+        assert!(b.arrive());
+        assert_eq!(b.sense(), !s0, "sense flips on release");
+        assert_eq!(b.episodes(), 1);
+        assert_eq!(b.waiting(), 0);
+        // Reusable.
+        assert!(!b.arrive());
+        assert!(!b.arrive());
+        assert!(b.arrive());
+        assert_eq!(b.episodes(), 2);
+    }
+
+    #[test]
+    fn spinlock_mutual_exclusion() {
+        let mut l = SpinLock::new();
+        assert!(l.try_acquire(1));
+        assert!(!l.try_acquire(2));
+        assert_eq!(l.holder(), Some(1));
+        l.release(1);
+        assert!(l.try_acquire(2));
+        assert_eq!(l.acquisitions(), 2);
+        assert_eq!(l.contended(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "release by non-holder")]
+    fn wrong_release_panics() {
+        let mut l = SpinLock::new();
+        l.try_acquire(1);
+        l.release(2);
+    }
+
+    #[test]
+    fn subscriptions_push_to_others() {
+        let mut hub = BooleanSubscriptionHub::new();
+        hub.subscribe(L, 1);
+        hub.subscribe(L, 2);
+        hub.subscribe(L, 3);
+        let targets = hub.push_update(L, 2);
+        assert_eq!(targets, vec![1, 3]);
+        assert_eq!(hub.updates_pushed(), 2);
+        assert_eq!(hub.packets_saved(), 6);
+    }
+
+    #[test]
+    fn unsubscribe_and_invalidate() {
+        let mut hub = BooleanSubscriptionHub::new();
+        hub.subscribe(L, 1);
+        hub.subscribe(L, 2);
+        hub.unsubscribe(L, 1);
+        assert_eq!(hub.subscribers(L), vec![2]);
+        let killed = hub.invalidate_all(L);
+        assert_eq!(killed, vec![2]);
+        assert!(hub.subscribers(L).is_empty());
+        assert!(hub.push_update(L, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs participants")]
+    fn empty_barrier_panics() {
+        Barrier::new(0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Collision-resolution-delay analysis over the back-off parameters
+//! (Figure 4) and the pathological all-to-one burst (§4.3.2).
+//!
+//! The paper derives the average resolution delay of a meta-packet
+//! collision as a function of the starting window `W` and growth base `B`,
+//! with regular "background" traffic continuing at rate `G`, and finds the
+//! minimum at `W = 2.7, B = 1.1` (≈ 7.26 cycles; their simulation measured
+//! 6.8–9.6). It also checks the pathological case — all 63 peers of a
+//! 64-node system transmitting to one node at once — where `B = 1.1` needs
+//! ≈ 26 retries (416 cycles), `B = 2` about 5 retries (199 cycles), and a
+//! *fixed* window of 3 an astronomical 8.2 × 10¹⁰ retries.
+
+use crate::backoff::BackoffPolicy;
+use fsoi_sim::rng::Xoshiro256StarStar;
+
+/// Monte-Carlo estimate of the mean collision-resolution delay (in cycles)
+/// for a two-packet meta collision, with background traffic joining the
+/// same receiver at probability `g` per slot.
+///
+/// `slot_cycles` is the meta slot length (2 in the default configuration)
+/// and `confirmation_cycles` the detect delay (2). The returned delay is
+/// measured from the colliding slot's start to the start of each original
+/// packet's successful retransmission, averaged over both packets and all
+/// trials — the same definition as the simulator's
+/// `resolution_when_collided` statistic.
+pub fn resolution_delay(
+    policy: BackoffPolicy,
+    g: f64,
+    slot_cycles: u64,
+    confirmation_cycles: u64,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    assert!((0.0..1.0).contains(&g), "background rate must be in [0, 1)");
+    assert!(slot_cycles > 0);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    // Detection happens this many slots after the colliding slot.
+    let detect_slots = confirmation_cycles.div_ceil(slot_cycles);
+    let mut total_delay_cycles = 0.0;
+    let mut resolved_packets = 0u64;
+
+    for _ in 0..trials {
+        // Contenders: (next transmission slot, retry count, is_original).
+        let mut contenders: Vec<(u64, u32, bool)> = Vec::new();
+        for _ in 0..2 {
+            let d = policy.draw_delay_slots(1, &mut rng);
+            contenders.push((detect_slots + d, 1, true));
+        }
+        let mut originals_left = 2;
+        let mut slot = 1u64;
+        while originals_left > 0 && slot < 100_000 {
+            // Background arrival occupying this receiver's slot.
+            if rng.bernoulli(g) {
+                contenders.push((slot, 0, false));
+            }
+            let here: Vec<usize> = contenders
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.0 == slot)
+                .map(|(i, _)| i)
+                .collect();
+            match here.len() {
+                0 => {}
+                1 => {
+                    let idx = here[0];
+                    if contenders[idx].2 {
+                        total_delay_cycles += (slot * slot_cycles) as f64;
+                        resolved_packets += 1;
+                        originals_left -= 1;
+                    }
+                    contenders.swap_remove(idx);
+                }
+                _ => {
+                    for &idx in &here {
+                        let retry = contenders[idx].1 + 1;
+                        let d = policy.draw_delay_slots(retry, &mut rng);
+                        contenders[idx] = (slot + detect_slots + d, retry, contenders[idx].2);
+                    }
+                }
+            }
+            slot += 1;
+        }
+    }
+    if resolved_packets == 0 {
+        f64::INFINITY
+    } else {
+        total_delay_cycles / resolved_packets as f64
+    }
+}
+
+/// One point of the Figure 4 surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfacePoint {
+    /// Starting window.
+    pub w: f64,
+    /// Back-off base.
+    pub b: f64,
+    /// Mean collision-resolution delay in cycles.
+    pub delay: f64,
+}
+
+/// Sweeps the (W, B) grid of Figure 4.
+pub fn resolution_delay_surface(
+    w_values: &[f64],
+    b_values: &[f64],
+    g: f64,
+    trials: u32,
+    seed: u64,
+) -> Vec<SurfacePoint> {
+    let mut out = Vec::with_capacity(w_values.len() * b_values.len());
+    for (i, &w) in w_values.iter().enumerate() {
+        for (j, &b) in b_values.iter().enumerate() {
+            let policy = BackoffPolicy::new(w, b);
+            let delay = resolution_delay(
+                policy,
+                g,
+                2,
+                2,
+                trials,
+                seed.wrapping_add((i * b_values.len() + j) as u64),
+            );
+            out.push(SurfacePoint { w, b, delay });
+        }
+    }
+    out
+}
+
+/// Analytic estimate for the pathological burst: `k` packets collide at
+/// once and keep contending.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstEstimate {
+    /// Expected number of retries until a given packet first succeeds.
+    pub retries: f64,
+    /// Expected cycles until that first success.
+    pub cycles: f64,
+}
+
+/// Expected retries/cycles for one packet of an all-to-one burst of
+/// `colliders` packets under `policy` (independence approximation: on each
+/// retry `r` a packet succeeds iff none of the other `k − 1` picked its
+/// slot within the window `W_r`).
+///
+/// For a fixed window (`B = 1`) the closed form `E = (1 − 1/W)^-(k−1)` is
+/// used — the paper's 8.2 × 10¹⁰ for `W = 3, k = 63`.
+pub fn pathological_burst(
+    colliders: usize,
+    policy: BackoffPolicy,
+    slot_cycles: u64,
+    confirmation_cycles: u64,
+) -> BurstEstimate {
+    assert!(colliders >= 2, "a burst needs at least two packets");
+    let k1 = (colliders - 1) as f64;
+    // Mean cost of one retry at window `w`: the detect delay plus the mean
+    // uniform wait inside the window.
+    let per_retry_cycles = |w: f64| {
+        confirmation_cycles as f64
+            + BackoffPolicy::new(w.max(1.0), 1.0).mean_delay_slots(1) * slot_cycles as f64
+    };
+    if (policy.base() - 1.0).abs() < 1e-12 {
+        let w = policy.initial_window();
+        let p = if w <= 1.0 {
+            0.0
+        } else {
+            (1.0 - 1.0 / w).powf(k1)
+        };
+        let retries = if p > 0.0 { 1.0 / p } else { f64::INFINITY };
+        return BurstEstimate {
+            retries,
+            cycles: retries * per_retry_cycles(w),
+        };
+    }
+    // Growing window: survival series.
+    let mut survival = 1.0f64;
+    let mut retries = 0.0f64;
+    let mut cycles = 0.0f64;
+    for r in 1..=400u32 {
+        let w = policy.window_for_retry(r);
+        let p = if w <= 1.0 {
+            0.0
+        } else {
+            (1.0 - 1.0 / w).powf(k1)
+        };
+        retries += survival;
+        cycles += survival * per_retry_cycles(w);
+        survival *= 1.0 - p;
+        if survival < 1e-9 {
+            break;
+        }
+    }
+    BurstEstimate { retries, cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_optimum_delay_near_7_cycles() {
+        // Paper: computed 7.26 cycles at W = 2.7, B = 1.1; simulation
+        // averaged 7.4 (range 6.8–9.6).
+        let d = resolution_delay(BackoffPolicy::PAPER_OPTIMUM, 0.01, 2, 2, 30_000, 1);
+        assert!((5.5..9.5).contains(&d), "delay = {d}");
+    }
+
+    #[test]
+    fn b_1_1_beats_binary_backoff_in_common_case() {
+        // Figure 4's headline: B = 1.1 produces decidedly lower resolution
+        // delay than B = 2 for the common (two-packet) case.
+        let fast = resolution_delay(BackoffPolicy::PAPER_OPTIMUM, 0.01, 2, 2, 30_000, 2);
+        let binary = resolution_delay(BackoffPolicy::BINARY, 0.01, 2, 2, 30_000, 2);
+        assert!(fast < binary, "B=1.1: {fast} vs B=2: {binary}");
+    }
+
+    #[test]
+    fn large_windows_cost_more() {
+        let small = resolution_delay(BackoffPolicy::new(2.7, 1.1), 0.01, 2, 2, 20_000, 3);
+        let large = resolution_delay(BackoffPolicy::new(16.0, 1.1), 0.01, 2, 2, 20_000, 3);
+        assert!(large > small, "W=16: {large} vs W=2.7: {small}");
+    }
+
+    #[test]
+    fn background_rate_has_modest_impact() {
+        // Paper: "this background transmission rate (G = 1% and 10% shown)
+        // has a negligible impact on the optimal values of W and B."
+        let g1 = resolution_delay(BackoffPolicy::PAPER_OPTIMUM, 0.01, 2, 2, 30_000, 4);
+        let g10 = resolution_delay(BackoffPolicy::PAPER_OPTIMUM, 0.10, 2, 2, 30_000, 4);
+        assert!(g10 >= g1 * 0.9, "more background cannot speed resolution");
+        assert!(g10 < g1 * 2.5, "impact stays modest: {g1} -> {g10}");
+    }
+
+    #[test]
+    fn surface_sweep_produces_grid() {
+        let pts = resolution_delay_surface(&[2.0, 3.0], &[1.1, 2.0], 0.01, 2_000, 5);
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().all(|p| p.delay.is_finite() && p.delay > 0.0));
+    }
+
+    #[test]
+    fn pathological_fixed_window_is_astronomical() {
+        // Paper: W = 3 fixed, 63 colliders → 8.2 × 10¹⁰ retries.
+        let est = pathological_burst(63, BackoffPolicy::fixed(3.0), 2, 2);
+        assert!(
+            (7e10..1e11).contains(&est.retries),
+            "retries = {:.2e}",
+            est.retries
+        );
+    }
+
+    #[test]
+    fn pathological_b_1_1_about_26_retries() {
+        let est = pathological_burst(63, BackoffPolicy::PAPER_OPTIMUM, 2, 2);
+        assert!(
+            (20.0..34.0).contains(&est.retries),
+            "retries = {} (paper ≈ 26)",
+            est.retries
+        );
+        assert!(
+            (250.0..600.0).contains(&est.cycles),
+            "cycles = {} (paper ≈ 416)",
+            est.cycles
+        );
+    }
+
+    #[test]
+    fn pathological_binary_about_5_retries() {
+        let est = pathological_burst(63, BackoffPolicy::BINARY, 2, 2);
+        assert!(
+            (4.0..9.0).contains(&est.retries),
+            "retries = {} (paper ≈ 5)",
+            est.retries
+        );
+        assert!(est.cycles < pathological_burst(63, BackoffPolicy::PAPER_OPTIMUM, 2, 2).cycles);
+    }
+
+    #[test]
+    fn tiny_burst_resolves_fast() {
+        let est = pathological_burst(2, BackoffPolicy::PAPER_OPTIMUM, 2, 2);
+        assert!(est.retries < 3.0, "retries = {}", est.retries);
+    }
+
+    #[test]
+    fn window_of_one_never_resolves_fixed() {
+        let est = pathological_burst(10, BackoffPolicy::fixed(1.0), 2, 2);
+        assert!(est.retries.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "background rate")]
+    fn bad_g_panics() {
+        resolution_delay(BackoffPolicy::PAPER_OPTIMUM, 1.0, 2, 2, 10, 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Collision-probability analysis (Figure 3 and footnote 4).
+//!
+//! Under the simplified model — every node transmits with probability `p`
+//! per slot to a uniformly random destination, and the `N − 1` senders of
+//! each destination are divided evenly among its `R` receivers — the
+//! probability that *some* receiver of a given node sees a collision in a
+//! slot is
+//!
+//! ```text
+//! P = 1 − [ (1 − p/(N−1))^n  +  n · p/(N−1) · (1 − p/(N−1))^(n−1) ]^R
+//! ```
+//!
+//! with `n = (N − 1)/R` senders sharing each receiver: each receiver is
+//! collision-free when zero or one of its senders targets it. Figure 3
+//! plots this normalized to `p` for `R = 1..4`, showing collision
+//! frequency inversely proportional to the receiver count — the basis for
+//! the paper's choice of 2 receivers per lane.
+
+use fsoi_sim::rng::Xoshiro256StarStar;
+
+/// The Figure 3 closed form: probability a given node experiences a
+/// collision in a slot.
+///
+/// # Panics
+///
+/// Panics unless `nodes >= 2`, `receivers >= 1` and `p ∈ [0, 1]`.
+pub fn node_collision_probability(p: f64, nodes: usize, receivers: usize) -> f64 {
+    assert!(nodes >= 2, "need at least two nodes");
+    assert!(receivers >= 1, "need at least one receiver");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let n = (nodes - 1) as f64 / receivers as f64;
+    if n <= 1.0 {
+        // One (or fewer) senders per receiver: collisions are impossible.
+        return 0.0;
+    }
+    let q = p / (nodes - 1) as f64; // P(a specific sender targets this node)
+    let none = (1.0 - q).powf(n);
+    let one = n * q * (1.0 - q).powf(n - 1.0);
+    1.0 - (none + one).powi(receivers as i32)
+}
+
+/// Figure 3's y-axis: the node collision probability normalized to the
+/// transmission probability.
+pub fn normalized_collision_probability(p: f64, nodes: usize, receivers: usize) -> f64 {
+    if p == 0.0 {
+        0.0
+    } else {
+        node_collision_probability(p, nodes, receivers) / p
+    }
+}
+
+/// Footnote 4's per-packet view for the 2-receiver design: the probability
+/// that a *transmitted* packet collides. A packet collides when at least
+/// one of the other senders sharing its receiver (≈ `(N−1)/2 − 1` nodes)
+/// transmits to the same destination in the same slot:
+///
+/// ```text
+/// P ≈ 1 − (1 − p/(N−1))^((N−1)/2 − 1) ≈ p/2 − p²/8 + …
+/// ```
+pub fn per_packet_collision_probability(p: f64, nodes: usize) -> f64 {
+    assert!(nodes >= 3, "need at least three nodes for sharing");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let sharers = (nodes - 1) as f64 / 2.0 - 1.0;
+    let q = p / (nodes - 1) as f64;
+    1.0 - (1.0 - q).powf(sharers)
+}
+
+/// Result of a Monte-Carlo collision experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// Fraction of slots in which the observed node had a collision.
+    pub node_collision_rate: f64,
+    /// Fraction of transmitted packets that collided.
+    pub packet_collision_rate: f64,
+    /// Measured per-node transmission probability (sanity check ≈ `p`).
+    pub measured_p: f64,
+}
+
+/// Monte-Carlo validation of the closed form: simulates `slots` slots of
+/// the idealized model (every node transmits w.p. `p` to a uniform
+/// destination; senders share receivers round-robin) and measures both the
+/// per-node and per-packet collision rates.
+pub fn monte_carlo(
+    p: f64,
+    nodes: usize,
+    receivers: usize,
+    slots: u64,
+    seed: u64,
+) -> MonteCarloResult {
+    assert!(nodes >= 2 && receivers >= 1);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut node_collisions = 0u64;
+    let mut packet_collisions = 0u64;
+    let mut transmissions = 0u64;
+    // occupancy[dst][rx] = number of packets in this slot.
+    let mut occupancy = vec![vec![0u32; receivers]; nodes];
+    for _ in 0..slots {
+        for row in &mut occupancy {
+            row.fill(0);
+        }
+        let mut sent: Vec<(usize, usize)> = Vec::new(); // (dst, rx)
+        for src in 0..nodes {
+            if !rng.bernoulli(p) {
+                continue;
+            }
+            transmissions += 1;
+            let mut dst = rng.next_below(nodes as u64 - 1) as usize;
+            if dst >= src {
+                dst += 1;
+            }
+            let rx = crate::topology::receiver_index(
+                crate::topology::NodeId(src),
+                crate::topology::NodeId(dst),
+                nodes,
+                receivers,
+            );
+            occupancy[dst][rx] += 1;
+            sent.push((dst, rx));
+        }
+        // Node 0's view for the node-collision rate (all nodes are
+        // symmetric; using one avoids double counting).
+        if occupancy[0].iter().any(|&c| c >= 2) {
+            node_collisions += 1;
+        }
+        packet_collisions += sent
+            .iter()
+            .filter(|&&(dst, rx)| occupancy[dst][rx] >= 2)
+            .count() as u64;
+    }
+    MonteCarloResult {
+        node_collision_rate: node_collisions as f64 / slots as f64,
+        packet_collision_rate: if transmissions == 0 {
+            0.0
+        } else {
+            packet_collisions as f64 / transmissions as f64
+        },
+        measured_p: transmissions as f64 / (slots as f64 * nodes as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_p_means_zero_collisions() {
+        assert_eq!(node_collision_probability(0.0, 16, 2), 0.0);
+        assert_eq!(normalized_collision_probability(0.0, 16, 2), 0.0);
+        assert_eq!(per_packet_collision_probability(0.0, 16), 0.0);
+    }
+
+    #[test]
+    fn more_receivers_fewer_collisions() {
+        let p = 0.10;
+        let mut prev = f64::INFINITY;
+        for r in 1..=4 {
+            let c = node_collision_probability(p, 16, r);
+            assert!(c < prev, "R={r}: {c} !< {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn collision_frequency_roughly_inverse_in_receivers() {
+        // Paper: "to a first-order approximation, collision frequency is
+        // inversely proportional to the number of receivers."
+        let p = 0.05;
+        let c1 = node_collision_probability(p, 16, 1);
+        let c2 = node_collision_probability(p, 16, 2);
+        let c4 = node_collision_probability(p, 16, 4);
+        assert!((c1 / c2 - 2.0).abs() < 0.35, "c1/c2 = {}", c1 / c2);
+        assert!((c2 / c4 - 2.0).abs() < 0.35, "c2/c4 = {}", c2 / c4);
+    }
+
+    #[test]
+    fn weak_dependence_on_node_count() {
+        // Paper: "the result has an extremely weak dependency on the number
+        // of nodes in a system (N) as long as it is not too small."
+        let p = 0.10;
+        let a = normalized_collision_probability(p, 16, 2);
+        let b = normalized_collision_probability(p, 64, 2);
+        let c = normalized_collision_probability(p, 256, 2);
+        assert!((a - b).abs() / a < 0.12, "{a} vs {b}");
+        assert!((b - c).abs() / b < 0.05, "{b} vs {c}");
+    }
+
+    #[test]
+    fn normalized_curve_increases_with_p() {
+        let mut prev = 0.0;
+        for &p in &[0.01, 0.05, 0.10, 0.20, 0.33] {
+            let c = normalized_collision_probability(p, 16, 2);
+            assert!(c > prev);
+            prev = c;
+        }
+        // At p = 33 %, R = 1 the normalized probability reaches tens of
+        // percent (the top of Figure 3's y-axis).
+        let top = normalized_collision_probability(0.33, 16, 1);
+        assert!(top > 0.10 && top < 0.35, "top = {top}");
+    }
+
+    #[test]
+    fn footnote4_series_expansion() {
+        // For small p, per-packet probability ≈ p/2.
+        for &p in &[0.01, 0.02, 0.05] {
+            let exact = per_packet_collision_probability(p, 16);
+            let approx = p / 2.0 - p * p / 8.0;
+            assert!(
+                (exact - approx).abs() < 0.1 * p,
+                "p={p}: exact {exact} vs series {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form() {
+        for &(p, r) in &[(0.05, 1usize), (0.10, 2), (0.20, 2), (0.10, 4)] {
+            let theory = node_collision_probability(p, 16, r);
+            let mc = monte_carlo(p, 16, r, 200_000, 7);
+            assert!((mc.measured_p - p).abs() < 0.01);
+            assert!(
+                (mc.node_collision_rate - theory).abs() < 0.15 * theory.max(0.002),
+                "p={p} R={r}: sim {} vs theory {theory}",
+                mc.node_collision_rate
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_packet_rate_matches_footnote() {
+        let p = 0.10;
+        let mc = monte_carlo(p, 16, 2, 300_000, 11);
+        let theory = per_packet_collision_probability(p, 16);
+        assert!(
+            (mc.packet_collision_rate - theory).abs() < 0.15 * theory,
+            "sim {} vs theory {theory}",
+            mc.packet_collision_rate
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be a probability")]
+    fn invalid_p_panics() {
+        node_collision_probability(1.5, 16, 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Network configuration.
+
+use crate::backoff::BackoffPolicy;
+use crate::lane::Lanes;
+
+/// How each node aims its beams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmitterArray {
+    /// One dedicated VCSEL lane per destination (small/medium systems;
+    /// the paper's 16-node configuration).
+    Dedicated,
+    /// A single optical phase array steered per destination, paying a
+    /// retarget penalty when consecutive packets go to different nodes
+    /// (the paper's 64-node configuration, 1-cycle setup).
+    PhaseArray {
+        /// Cycles to re-set the phase controller register.
+        setup_cycles: u64,
+    },
+}
+
+/// Full configuration of an [`FsoiNetwork`](crate::network::FsoiNetwork).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsoiConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Lane widths and timing.
+    pub lanes: Lanes,
+    /// Transmitter organization.
+    pub array: TransmitterArray,
+    /// Retransmission policy.
+    pub backoff: BackoffPolicy,
+    /// Fixed delay from clean reception to confirmation arrival at the
+    /// sender (paper: cycle `n + 2`).
+    pub confirmation_delay: u64,
+    /// Capacity of each outgoing packet queue (Table 3: 8 per lane).
+    pub outgoing_queue_capacity: usize,
+    /// Enable receiver-coordinated retransmission hints on the data lane
+    /// (§5.2).
+    pub hints: bool,
+    /// Enable receiver-side reply-slot reservation / request spacing
+    /// (§5.2).
+    pub request_spacing: bool,
+    /// Raw bit error rate of the signaling chain. Corrupted packets are
+    /// detected by the receiver (checksum), draw no confirmation, and are
+    /// retransmitted exactly like collision victims — the paper's point
+    /// that "errors and collisions \[are\] handled by the same mechanism"
+    /// (§4.3.1), which is what lets the BER target relax from 1e-10 to
+    /// ~1e-5.
+    pub bit_error_rate: f64,
+}
+
+impl FsoiConfig {
+    /// The paper's default configuration for `n` nodes: Table 3 lanes,
+    /// `W = 2.7, B = 1.1` back-off, 2-cycle confirmation, 8-packet queues,
+    /// both data-lane optimizations on, and a phase-array transmitter for
+    /// systems larger than 16 nodes.
+    pub fn nodes(n: usize) -> Self {
+        assert!(n >= 2, "a network needs at least two nodes");
+        FsoiConfig {
+            nodes: n,
+            lanes: Lanes::paper_default(),
+            array: if n > 16 {
+                TransmitterArray::PhaseArray { setup_cycles: 1 }
+            } else {
+                TransmitterArray::Dedicated
+            },
+            backoff: BackoffPolicy::PAPER_OPTIMUM,
+            confirmation_delay: 2,
+            outgoing_queue_capacity: 8,
+            hints: true,
+            request_spacing: true,
+            bit_error_rate: 1e-10,
+        }
+    }
+
+    /// Builder-style: replaces the lane configuration.
+    pub fn with_lanes(mut self, lanes: Lanes) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Builder-style: replaces the back-off policy.
+    pub fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.backoff = policy;
+        self
+    }
+
+    /// Builder-style: forces the transmitter organization.
+    pub fn with_array(mut self, array: TransmitterArray) -> Self {
+        self.array = array;
+        self
+    }
+
+    /// Builder-style: toggles the data-lane hint optimization.
+    pub fn with_hints(mut self, on: bool) -> Self {
+        self.hints = on;
+        self
+    }
+
+    /// Builder-style: toggles request spacing.
+    pub fn with_request_spacing(mut self, on: bool) -> Self {
+        self.request_spacing = on;
+        self
+    }
+
+    /// Builder-style: sets the raw signaling bit error rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ber` is in `[0, 0.1]`.
+    pub fn with_bit_error_rate(mut self, ber: f64) -> Self {
+        assert!((0.0..=0.1).contains(&ber), "BER must be a small probability");
+        self.bit_error_rate = ber;
+        self
+    }
+
+    /// Probability a packet of `bits` bits arrives corrupted at this BER.
+    pub fn packet_error_probability(&self, bits: usize) -> f64 {
+        1.0 - (1.0 - self.bit_error_rate).powi(bits as i32)
+    }
+
+    /// The phase-array setup penalty, or 0 for dedicated lanes.
+    pub fn phase_array_setup(&self) -> u64 {
+        match self.array {
+            TransmitterArray::Dedicated => 0,
+            TransmitterArray::PhaseArray { setup_cycles } => setup_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketClass;
+
+    #[test]
+    fn sixteen_nodes_use_dedicated_lanes() {
+        let c = FsoiConfig::nodes(16);
+        assert_eq!(c.array, TransmitterArray::Dedicated);
+        assert_eq!(c.phase_array_setup(), 0);
+        assert_eq!(c.confirmation_delay, 2);
+        assert_eq!(c.outgoing_queue_capacity, 8);
+        assert!(c.hints && c.request_spacing);
+        assert!((c.bit_error_rate - 1e-10).abs() < 1e-20);
+    }
+
+    #[test]
+    fn packet_error_probability_scales_with_length() {
+        let c = FsoiConfig::nodes(16).with_bit_error_rate(1e-5);
+        let meta = c.packet_error_probability(72);
+        let data = c.packet_error_probability(360);
+        assert!((meta - 72.0 * 1e-5).abs() < 1e-6, "small-BER linearization");
+        assert!(data > meta);
+        let clean = FsoiConfig::nodes(16).with_bit_error_rate(0.0);
+        assert_eq!(clean.packet_error_probability(360), 0.0);
+    }
+
+    #[test]
+    fn sixty_four_nodes_use_phase_array() {
+        let c = FsoiConfig::nodes(64);
+        assert_eq!(c.array, TransmitterArray::PhaseArray { setup_cycles: 1 });
+        assert_eq!(c.phase_array_setup(), 1);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = FsoiConfig::nodes(16)
+            .with_hints(false)
+            .with_request_spacing(false)
+            .with_backoff(BackoffPolicy::BINARY)
+            .with_array(TransmitterArray::PhaseArray { setup_cycles: 2 })
+            .with_lanes(Lanes::fig11_base());
+        assert!(!c.hints && !c.request_spacing);
+        assert_eq!(c.backoff, BackoffPolicy::BINARY);
+        assert_eq!(c.phase_array_setup(), 2);
+        assert_eq!(c.lanes.serialization_cycles(PacketClass::Meta), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn one_node_panics() {
+        FsoiConfig::nodes(1);
+    }
+}

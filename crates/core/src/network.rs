@@ -1,0 +1,954 @@
+//! The cycle-driven FSOI network engine.
+//!
+//! Each node beams packets directly to their destinations — there is no
+//! routing and no arbitration. Transmissions are slotted per packet class;
+//! packets from senders sharing a receiver that occupy the same slot
+//! *collide* and are retransmitted under exponential back-off after the
+//! sender misses its confirmation (which arrives a fixed 2 cycles after a
+//! clean receipt). The engine also implements the paper's §5.2 data-lane
+//! optimizations: receiver-coordinated retransmission hints and
+//! request-spacing slot reservations.
+//!
+//! # Example
+//!
+//! ```
+//! use fsoi_net::config::FsoiConfig;
+//! use fsoi_net::network::FsoiNetwork;
+//! use fsoi_net::packet::{Packet, PacketClass};
+//! use fsoi_net::topology::NodeId;
+//!
+//! let mut net = FsoiNetwork::new(FsoiConfig::nodes(16), 42);
+//! net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 7)).unwrap();
+//! while net.delivered_count() == 0 {
+//!     net.tick();
+//! }
+//! let out = net.drain_delivered();
+//! assert_eq!(out[0].packet.dst, NodeId(5));
+//! ```
+
+use crate::config::{FsoiConfig, TransmitterArray};
+use crate::confirmation::{Confirmation, ConfirmationChannel, ConfirmationKind};
+use crate::packet::{HeaderCode, Packet, PacketClass};
+use crate::phase_array::PhaseArraySteering;
+use crate::spacing::ReplySlotReservations;
+use crate::topology::{receiver_index, NodeId};
+use fsoi_sim::event::EventQueue;
+use fsoi_sim::queue::BoundedQueue;
+use fsoi_sim::rng::Xoshiro256StarStar;
+use fsoi_sim::stats::Summary;
+use fsoi_sim::Cycle;
+use std::collections::{HashMap, HashSet};
+
+/// Where each cycle of a delivered packet's latency went (the Figure 6/7
+/// breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyBreakdown {
+    /// Waiting in the source's outgoing queue for a free slot.
+    pub queuing: u64,
+    /// Deliberate request-spacing delay applied before injection.
+    pub scheduling: u64,
+    /// Serialization + flight of the final, successful transmission.
+    pub network: u64,
+    /// Time lost to collisions and back-off (first attempt start → final
+    /// attempt start).
+    pub collision_resolution: u64,
+}
+
+impl LatencyBreakdown {
+    /// Total latency in cycles.
+    pub fn total(&self) -> u64 {
+        self.queuing + self.scheduling + self.network + self.collision_resolution
+    }
+}
+
+/// A successfully delivered packet with its timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivered {
+    /// The packet (with final retry count).
+    pub packet: Packet,
+    /// Cycle of delivery at the destination.
+    pub delivered_at: Cycle,
+    /// Latency attribution.
+    pub breakdown: LatencyBreakdown,
+}
+
+/// Aggregate network statistics, indexed `[meta, data]` where per-class.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Packets accepted for injection.
+    pub injected: [u64; 2],
+    /// Packets rejected because the outgoing queue was full.
+    pub rejected: [u64; 2],
+    /// Packets delivered.
+    pub delivered: [u64; 2],
+    /// Transmission attempts (including retransmissions).
+    pub transmissions: [u64; 2],
+    /// Collision events (a slot at a receiver with ≥ 2 packets).
+    pub collision_events: [u64; 2],
+    /// Packets involved in collisions.
+    pub collided_packets: [u64; 2],
+    /// Retransmissions scheduled.
+    pub retransmissions: [u64; 2],
+    /// Packets dropped by raw bit errors (recovered via retransmission).
+    pub bit_error_drops: [u64; 2],
+    /// Data-lane hints issued.
+    pub hints_issued: u64,
+    /// Hints whose winner was a true collider.
+    pub hints_correct: u64,
+    /// Hints that made a non-collider believe it had won.
+    pub hints_wrong: u64,
+    /// Total packet latency, per class.
+    pub latency: [Summary; 2],
+    /// Queuing component.
+    pub queuing: [Summary; 2],
+    /// Scheduling component.
+    pub scheduling: [Summary; 2],
+    /// Network component.
+    pub network: [Summary; 2],
+    /// Collision-resolution component.
+    pub resolution: [Summary; 2],
+    /// Collision-resolution delay of only those packets that collided.
+    pub resolution_when_collided: [Summary; 2],
+    /// Retries per delivered packet.
+    pub retries: [Summary; 2],
+}
+
+impl NetStats {
+    /// First-attempt transmission probability per node per slot for a lane:
+    /// initial (non-retry) transmissions / (nodes × slots elapsed).
+    pub fn transmission_probability(&self, lane: usize, nodes: usize, slots: u64) -> f64 {
+        if slots == 0 {
+            return 0.0;
+        }
+        self.transmissions[lane] as f64 / (nodes as f64 * slots as f64)
+    }
+
+    /// Fraction of transmissions that collided, per lane.
+    pub fn collision_rate(&self, lane: usize) -> f64 {
+        if self.transmissions[lane] == 0 {
+            0.0
+        } else {
+            self.collided_packets[lane] as f64 / self.transmissions[lane] as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct GroupKey {
+    dst: NodeId,
+    lane: usize,
+    rx: usize,
+    slot_id: u64,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    out: [BoundedQueue<Packet>; 2],
+    tx_busy_until: [Cycle; 2],
+    retries: [EventQueue<Packet>; 2],
+    steering: [PhaseArraySteering; 2],
+    reservations: ReplySlotReservations,
+    expected_data: HashSet<NodeId>,
+}
+
+/// The free-space optical interconnect simulator.
+#[derive(Debug)]
+pub struct FsoiNetwork {
+    cfg: FsoiConfig,
+    now: Cycle,
+    rng: Xoshiro256StarStar,
+    nodes: Vec<NodeState>,
+    groups: HashMap<GroupKey, Vec<Packet>>,
+    resolutions: EventQueue<GroupKey>,
+    confirmations: ConfirmationChannel,
+    delivered: Vec<Delivered>,
+    stats: NetStats,
+    next_id: u64,
+    slot_len: [u64; 2],
+    ser_cycles: [u64; 2],
+}
+
+impl FsoiNetwork {
+    /// Creates a network from a configuration and RNG seed.
+    pub fn new(cfg: FsoiConfig, seed: u64) -> Self {
+        let qcap = cfg.outgoing_queue_capacity;
+        let nodes = (0..cfg.nodes)
+            .map(|_| NodeState {
+                out: [BoundedQueue::new(qcap), BoundedQueue::new(qcap)],
+                tx_busy_until: [Cycle::ZERO; 2],
+                retries: [EventQueue::new(), EventQueue::new()],
+                steering: [PhaseArraySteering::new(), PhaseArraySteering::new()],
+                reservations: ReplySlotReservations::new(),
+                expected_data: HashSet::new(),
+            })
+            .collect();
+        let slot_len = [
+            cfg.lanes.slot_cycles(PacketClass::Meta),
+            cfg.lanes.slot_cycles(PacketClass::Data),
+        ];
+        let ser_cycles = [
+            cfg.lanes.serialization_cycles(PacketClass::Meta),
+            cfg.lanes.serialization_cycles(PacketClass::Data),
+        ];
+        let confirmation_delay = cfg.confirmation_delay;
+        FsoiNetwork {
+            cfg,
+            now: Cycle::ZERO,
+            rng: Xoshiro256StarStar::new(seed),
+            nodes,
+            groups: HashMap::new(),
+            resolutions: EventQueue::new(),
+            confirmations: ConfirmationChannel::new(confirmation_delay),
+            delivered: Vec::new(),
+            stats: NetStats::default(),
+            next_id: 0,
+            slot_len,
+            ser_cycles,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FsoiConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The data-lane slot length in cycles (used by request spacing).
+    pub fn data_slot_len(&self) -> u64 {
+        self.slot_len[PacketClass::Data.lane()]
+    }
+
+    /// The meta-lane slot length in cycles.
+    pub fn meta_slot_len(&self) -> u64 {
+        self.slot_len[PacketClass::Meta.lane()]
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Number of slots elapsed on a lane class.
+    pub fn slots_elapsed(&self, class: PacketClass) -> u64 {
+        self.now.as_u64() / self.slot_len[class.lane()]
+    }
+
+    /// Confirmations sent so far (traffic on the confirmation channel).
+    pub fn confirmations_sent(&self) -> u64 {
+        self.confirmations.sent()
+    }
+
+    /// Injects a packet for transmission.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(packet)` when the source's outgoing queue for that lane
+    /// is full; the caller stalls and retries later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either id is out of range — local traffic
+    /// never enters the optical fabric.
+    pub fn inject(&mut self, mut packet: Packet) -> Result<u64, Packet> {
+        assert_ne!(packet.src, packet.dst, "no self-injection");
+        assert!(
+            packet.src.0 < self.cfg.nodes && packet.dst.0 < self.cfg.nodes,
+            "node id out of range"
+        );
+        packet.id = self.next_id;
+        packet.enqueued_at = self.now;
+        let lane = packet.class.lane();
+        match self.nodes[packet.src.0].out[lane].push(packet) {
+            Ok(()) => {
+                self.next_id += 1;
+                self.stats.injected[lane] += 1;
+                Ok(packet.id)
+            }
+            Err(p) => {
+                self.stats.rejected[lane] += 1;
+                Err(p)
+            }
+        }
+    }
+
+    /// Registers that `dst` expects a data-packet reply from `src` (drives
+    /// the §5.2 hint candidate set).
+    pub fn expect_data(&mut self, dst: NodeId, src: NodeId) {
+        self.nodes[dst.0].expected_data.insert(src);
+    }
+
+    /// Clears an expectation (reply received or transaction aborted).
+    pub fn clear_expected(&mut self, dst: NodeId, src: NodeId) {
+        self.nodes[dst.0].expected_data.remove(&src);
+    }
+
+    /// Access to a node's incoming-data-slot reservation book (request
+    /// spacing). The caller reserves with
+    /// [`data_slot_len`](Self::data_slot_len) as the slot length.
+    pub fn reservations_mut(&mut self, node: NodeId) -> &mut ReplySlotReservations {
+        &mut self.nodes[node.0].reservations
+    }
+
+    /// Takes all packets delivered since the last drain.
+    pub fn drain_delivered(&mut self) -> Vec<Delivered> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Number of undrained deliveries.
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// True when no packet is queued, in flight, or awaiting retry.
+    pub fn is_idle(&self) -> bool {
+        self.groups.is_empty()
+            && self.resolutions.is_empty()
+            && self.nodes.iter().all(|n| {
+                n.out.iter().all(|q| q.is_empty()) && n.retries.iter().all(|r| r.is_empty())
+            })
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn tick(&mut self) {
+        self.resolve_slots();
+        self.start_transmissions();
+        // Confirmations are drained for bookkeeping; their information
+        // content (receipt, hints) has already been applied at resolution
+        // time with the correct delays.
+        let _ = self.confirmations.drain_due(self.now);
+        self.now += 1;
+    }
+
+    /// Runs `cycles` ticks.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    fn start_transmissions(&mut self) {
+        for node_idx in 0..self.nodes.len() {
+            for lane in 0..2 {
+                let slot = self.slot_len[lane];
+                if !self.now.is_slot_boundary(slot) {
+                    continue;
+                }
+                if self.nodes[node_idx].tx_busy_until[lane] > self.now {
+                    continue;
+                }
+                // Retries take priority over fresh packets: the collided
+                // packet is older and the coherence layer may be waiting on
+                // its point-to-point ordering.
+                let packet = {
+                    let node = &mut self.nodes[node_idx];
+                    node.retries[lane]
+                        .pop_due(self.now)
+                        .map(|(_, p)| p)
+                        .or_else(|| node.out[lane].pop())
+                };
+                let Some(mut packet) = packet else { continue };
+
+                let setup = match self.cfg.array {
+                    TransmitterArray::Dedicated => 0,
+                    TransmitterArray::PhaseArray { setup_cycles } => self.nodes[node_idx]
+                        .steering[lane]
+                        .aim(packet.dst, setup_cycles),
+                };
+                let ser = self.ser_cycles[lane];
+                let finish = self.now + ser + setup;
+                self.nodes[node_idx].tx_busy_until[lane] = finish;
+                if packet.first_tx_at.is_none() {
+                    packet.first_tx_at = Some(self.now);
+                }
+                self.stats.transmissions[lane] += 1;
+
+                let rx = receiver_index(
+                    packet.src,
+                    packet.dst,
+                    self.cfg.nodes,
+                    self.cfg.lanes.spec(if lane == 0 {
+                        PacketClass::Meta
+                    } else {
+                        PacketClass::Data
+                    })
+                    .receivers,
+                );
+                let key = GroupKey {
+                    dst: packet.dst,
+                    lane,
+                    rx,
+                    slot_id: self.now.as_u64() / slot,
+                };
+                // All packets of a slot resolve at the same deterministic
+                // cycle: slot end plus the worst-case phase-array setup.
+                let resolve_at =
+                    Cycle((key.slot_id + 1) * slot + self.cfg.phase_array_setup());
+                self.groups.entry(key).or_default().push(packet);
+                self.resolutions.push(resolve_at, key);
+            }
+        }
+    }
+
+    fn resolve_slots(&mut self) {
+        while let Some((resolve_at, key)) = self.resolutions.pop_due(self.now) {
+            let Some(group) = self.groups.remove(&key) else {
+                continue; // already resolved (duplicate event)
+            };
+            if group.len() == 1 {
+                // A clean slot can still be hit by a raw bit error; the
+                // checksum catches it, no confirmation goes out, and the
+                // sender retries — the same machinery as a collision
+                // (§4.3.1: "errors and collisions [are] handled by the
+                // same mechanism").
+                let bits = self
+                    .cfg
+                    .lanes
+                    .spec(group[0].class)
+                    .packet_bits;
+                let p_err = self.cfg.packet_error_probability(bits);
+                if p_err > 0.0 && self.rng.bernoulli(p_err) {
+                    self.stats.bit_error_drops[key.lane] += 1;
+                    self.drop_and_retry(key.lane, group[0], resolve_at);
+                } else {
+                    self.deliver(group[0], resolve_at);
+                }
+            } else {
+                self.collide(key, group, resolve_at);
+            }
+        }
+    }
+
+    fn deliver(&mut self, packet: Packet, at: Cycle) {
+        let lane = packet.class.lane();
+        self.stats.delivered[lane] += 1;
+        let first_tx = packet.first_tx_at.expect("delivered packets were transmitted");
+        // The final transmission started one serialization period (plus
+        // any phase-array setup, folded into `at`) before resolution.
+        let final_tx_start = Cycle(
+            at.as_u64()
+                .saturating_sub(self.ser_cycles[lane] + self.cfg.phase_array_setup()),
+        );
+        let breakdown = LatencyBreakdown {
+            queuing: first_tx.saturating_sub(packet.enqueued_at),
+            scheduling: packet.scheduling_delay,
+            network: at.saturating_sub(final_tx_start.max(first_tx)),
+            collision_resolution: final_tx_start.max(first_tx).saturating_sub(first_tx),
+        };
+        self.stats.latency[lane].record(breakdown.total() as f64);
+        self.stats.queuing[lane].record(breakdown.queuing as f64);
+        self.stats.scheduling[lane].record(breakdown.scheduling as f64);
+        self.stats.network[lane].record(breakdown.network as f64);
+        self.stats.resolution[lane].record(breakdown.collision_resolution as f64);
+        if packet.retries > 0 {
+            self.stats.resolution_when_collided[lane]
+                .record(breakdown.collision_resolution as f64);
+        }
+        self.stats.retries[lane].record(packet.retries as f64);
+        self.confirmations.send(
+            at,
+            Confirmation {
+                from: packet.dst,
+                to: packet.src,
+                kind: ConfirmationKind::Receipt { packet_id: packet.id },
+            },
+        );
+        self.delivered.push(Delivered {
+            packet,
+            delivered_at: at,
+            breakdown,
+        });
+    }
+
+    /// A single packet corrupted by a raw bit error: no confirmation, so
+    /// the sender backs off and retries — identical recovery to a
+    /// collision, without the collision bookkeeping (no hint: the header
+    /// itself may be what broke).
+    fn drop_and_retry(&mut self, lane: usize, mut packet: Packet, at: Cycle) {
+        let slot = self.slot_len[lane];
+        let detect = at + self.cfg.confirmation_delay;
+        let next_boundary = detect.round_up_to_slot(slot);
+        packet.retries += 1;
+        self.stats.retransmissions[lane] += 1;
+        let delay = self.cfg.backoff.draw_delay_slots(packet.retries, &mut self.rng);
+        self.nodes[packet.src.0].retries[lane].push(next_boundary + (delay - 1) * slot, packet);
+    }
+
+    fn collide(&mut self, key: GroupKey, group: Vec<Packet>, at: Cycle) {
+        let lane = key.lane;
+        self.stats.collision_events[lane] += 1;
+        self.stats.collided_packets[lane] += group.len() as u64;
+        let slot = self.slot_len[lane];
+        // Senders detect the collision by the *absence* of a confirmation,
+        // `confirmation_delay` cycles after the slot resolved.
+        let detect = at + self.cfg.confirmation_delay;
+        let next_boundary = detect.round_up_to_slot(slot);
+
+        let winner = if lane == PacketClass::Data.lane() && self.cfg.hints {
+            self.select_hint_winner(key.dst, &group, next_boundary)
+        } else {
+            None
+        };
+
+        for mut packet in group {
+            packet.retries += 1;
+            self.stats.retransmissions[lane] += 1;
+            let ready = if Some(packet.src) == winner {
+                // The winner retransmits in the very next slot.
+                next_boundary
+            } else if winner.is_some() {
+                // Losers skip the winner's slot, then back off.
+                let delay = self.cfg.backoff.draw_delay_slots(packet.retries, &mut self.rng);
+                next_boundary + delay * slot
+            } else {
+                // No hint: random slot within the back-off window after
+                // detection.
+                let delay = self.cfg.backoff.draw_delay_slots(packet.retries, &mut self.rng);
+                next_boundary + (delay - 1) * slot
+            };
+            self.nodes[packet.src.0].retries[lane].push(ready, packet);
+        }
+    }
+
+    /// Picks a retransmission winner for a data-lane collision: decode the
+    /// OR-ed PID/~PID superset, intersect it with the nodes the receiver
+    /// expects data from, and choose one uniformly (§5.2 — "the
+    /// notification is only used as a hint").
+    fn select_hint_winner(
+        &mut self,
+        dst: NodeId,
+        group: &[Packet],
+        next_slot: Cycle,
+    ) -> Option<NodeId> {
+        let senders: Vec<NodeId> = group.iter().map(|p| p.src).collect();
+        let header = HeaderCode::superpose_all(&senders, self.cfg.nodes);
+        let superset = header.possible_senders(self.cfg.nodes);
+        let expected = &self.nodes[dst.0].expected_data;
+        let candidates: Vec<NodeId> = if expected.is_empty() {
+            superset.clone()
+        } else {
+            let filtered: Vec<NodeId> = superset
+                .iter()
+                .copied()
+                .filter(|s| expected.contains(s))
+                .collect();
+            if filtered.is_empty() {
+                superset.clone()
+            } else {
+                filtered
+            }
+        };
+        let winner = *self.rng.choose(&candidates)?;
+        self.stats.hints_issued += 1;
+        if senders.contains(&winner) {
+            self.stats.hints_correct += 1;
+        } else {
+            self.stats.hints_wrong += 1;
+        }
+        self.confirmations.send_at(
+            Cycle(next_slot.as_u64().saturating_sub(1)),
+            Confirmation {
+                from: dst,
+                to: winner,
+                kind: ConfirmationKind::WinnerHint {
+                    slot_start: next_slot,
+                },
+            },
+        );
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backoff::BackoffPolicy;
+
+    fn net16(seed: u64) -> FsoiNetwork {
+        FsoiNetwork::new(FsoiConfig::nodes(16), seed)
+    }
+
+    fn run_until_idle(net: &mut FsoiNetwork, max: u64) -> Vec<Delivered> {
+        let mut out = Vec::new();
+        for _ in 0..max {
+            net.tick();
+            out.extend(net.drain_delivered());
+            if net.is_idle() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_meta_packet_delivers_in_one_slot() {
+        let mut net = net16(1);
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 7))
+            .unwrap();
+        let out = run_until_idle(&mut net, 50);
+        assert_eq!(out.len(), 1);
+        let d = out[0];
+        assert_eq!(d.packet.dst, NodeId(5));
+        assert_eq!(d.packet.tag, 7);
+        assert_eq!(d.packet.retries, 0);
+        // Injected at cycle 0, transmits in slot [0,2), resolves at 2.
+        assert_eq!(d.delivered_at, Cycle(2));
+        assert_eq!(d.breakdown.network, 2);
+        assert_eq!(d.breakdown.queuing, 0);
+        assert_eq!(d.breakdown.collision_resolution, 0);
+        assert_eq!(d.breakdown.total(), 2);
+    }
+
+    #[test]
+    fn single_data_packet_takes_five_cycles() {
+        let mut net = net16(1);
+        net.inject(Packet::new(NodeId(3), NodeId(9), PacketClass::Data, 1))
+            .unwrap();
+        let out = run_until_idle(&mut net, 50);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].delivered_at, Cycle(5));
+        assert_eq!(out[0].breakdown.network, 5);
+    }
+
+    #[test]
+    fn non_colliding_packets_all_deliver() {
+        let mut net = net16(2);
+        // Distinct destinations: no sharing, no collisions.
+        for src in 0..8 {
+            net.inject(Packet::new(
+                NodeId(src),
+                NodeId(src + 8),
+                PacketClass::Meta,
+                src as u64,
+            ))
+            .unwrap();
+        }
+        let out = run_until_idle(&mut net, 100);
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|d| d.packet.retries == 0));
+        assert_eq!(net.stats().collision_events[0], 0);
+    }
+
+    #[test]
+    fn same_receiver_same_slot_collides_and_recovers() {
+        let mut net = net16(3);
+        // Nodes 0 and 2 share receiver 0 at node 5 (ranks 0 and 2, mod 2).
+        assert_eq!(receiver_index(NodeId(0), NodeId(5), 16, 2), 0);
+        assert_eq!(receiver_index(NodeId(2), NodeId(5), 16, 2), 0);
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 1))
+            .unwrap();
+        net.inject(Packet::new(NodeId(2), NodeId(5), PacketClass::Meta, 2))
+            .unwrap();
+        let out = run_until_idle(&mut net, 500);
+        assert_eq!(out.len(), 2, "both packets eventually deliver");
+        // At least the initial collision; secondary collisions are possible
+        // when both back-offs draw the same slot.
+        assert!(net.stats().collision_events[0] >= 1);
+        assert!(net.stats().collided_packets[0] >= 2);
+        assert!(out.iter().all(|d| d.packet.retries >= 1));
+        assert!(out
+            .iter()
+            .any(|d| d.breakdown.collision_resolution > 0));
+    }
+
+    #[test]
+    fn different_receivers_do_not_collide() {
+        let mut net = net16(4);
+        // Nodes 0 and 1 use different receivers at node 5 (ranks 0, 1).
+        assert_ne!(
+            receiver_index(NodeId(0), NodeId(5), 16, 2),
+            receiver_index(NodeId(1), NodeId(5), 16, 2)
+        );
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 1))
+            .unwrap();
+        net.inject(Packet::new(NodeId(1), NodeId(5), PacketClass::Meta, 2))
+            .unwrap();
+        let out = run_until_idle(&mut net, 50);
+        assert_eq!(out.len(), 2);
+        assert_eq!(net.stats().collision_events[0], 0);
+        assert!(out.iter().all(|d| d.packet.retries == 0));
+    }
+
+    #[test]
+    fn different_slots_do_not_collide() {
+        let mut net = net16(5);
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 1))
+            .unwrap();
+        // Let the first packet fully transmit before injecting the second.
+        net.tick();
+        net.tick();
+        net.inject(Packet::new(NodeId(2), NodeId(5), PacketClass::Meta, 2))
+            .unwrap();
+        let out = run_until_idle(&mut net, 50);
+        assert_eq!(out.len(), 2);
+        assert_eq!(net.stats().collision_events[0], 0);
+    }
+
+    #[test]
+    fn meta_and_data_lanes_are_independent() {
+        let mut net = net16(6);
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 1))
+            .unwrap();
+        net.inject(Packet::new(NodeId(2), NodeId(5), PacketClass::Data, 2))
+            .unwrap();
+        let out = run_until_idle(&mut net, 50);
+        assert_eq!(out.len(), 2);
+        assert_eq!(net.stats().collision_events, [0, 0]);
+    }
+
+    #[test]
+    fn queue_overflow_rejects() {
+        let mut net = net16(7);
+        let mut accepted = 0;
+        for i in 0..20 {
+            if net
+                .inject(Packet::new(NodeId(0), NodeId(1), PacketClass::Meta, i))
+                .is_ok()
+            {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 8, "Table 3: 8-packet outgoing queues");
+        assert_eq!(net.stats().rejected[0], 12);
+        let out = run_until_idle(&mut net, 500);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn back_to_back_packets_pipeline_in_slots() {
+        let mut net = net16(8);
+        for i in 0..4 {
+            net.inject(Packet::new(NodeId(0), NodeId(1), PacketClass::Meta, i))
+                .unwrap();
+        }
+        let out = run_until_idle(&mut net, 100);
+        assert_eq!(out.len(), 4);
+        let mut times: Vec<u64> = out.iter().map(|d| d.delivered_at.as_u64()).collect();
+        times.sort_unstable();
+        assert_eq!(times, vec![2, 4, 6, 8], "one delivery per meta slot");
+        // Later packets accrue queuing delay, never collision delay.
+        assert!(out.iter().all(|d| d.breakdown.collision_resolution == 0));
+        let max_queue = out.iter().map(|d| d.breakdown.queuing).max().unwrap();
+        assert_eq!(max_queue, 6);
+    }
+
+    #[test]
+    fn point_to_point_ordering_preserved_without_collisions() {
+        let mut net = net16(9);
+        for i in 0..5 {
+            net.inject(Packet::new(NodeId(4), NodeId(11), PacketClass::Meta, i))
+                .unwrap();
+        }
+        let out = run_until_idle(&mut net, 100);
+        let tags: Vec<u64> = out.iter().map(|d| d.packet.tag).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4], "FIFO per source-destination");
+    }
+
+    #[test]
+    fn phase_array_adds_setup_on_retarget() {
+        let cfg = FsoiConfig::nodes(64);
+        let mut net = FsoiNetwork::new(cfg, 10);
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 1))
+            .unwrap();
+        let out = run_until_idle(&mut net, 50);
+        // Resolution at slot end + 1 cycle of phase-array setup.
+        assert_eq!(out[0].delivered_at, Cycle(3));
+    }
+
+    #[test]
+    fn phase_array_no_setup_for_repeat_target() {
+        let cfg = FsoiConfig::nodes(64);
+        let mut net = FsoiNetwork::new(cfg, 11);
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 1))
+            .unwrap();
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 2))
+            .unwrap();
+        let out = run_until_idle(&mut net, 50);
+        assert_eq!(out.len(), 2);
+        // Both resolve at (slot end + pa setup) of their slots; the second
+        // packet needed no retarget, so its tx wasn't lengthened — but
+        // resolution timing is uniform per slot.
+        let retargets: u64 = 1; // only the first aims anew
+        assert_eq!(
+            net.nodes[0].steering[0].retargets(),
+            retargets
+        );
+    }
+
+    #[test]
+    fn hint_winner_retransmits_next_slot() {
+        // Force a data collision with expectations registered: winner
+        // should recover with minimal delay.
+        let cfg = FsoiConfig::nodes(16); // hints on by default
+        let mut net = FsoiNetwork::new(cfg, 12);
+        // Receiver 5 expects data from 0 and 2 (both receiver 0).
+        net.expect_data(NodeId(5), NodeId(0));
+        net.expect_data(NodeId(5), NodeId(2));
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Data, 1))
+            .unwrap();
+        net.inject(Packet::new(NodeId(2), NodeId(5), PacketClass::Data, 2))
+            .unwrap();
+        let out = run_until_idle(&mut net, 500);
+        assert_eq!(out.len(), 2);
+        assert_eq!(net.stats().hints_issued, 1);
+        assert_eq!(net.stats().hints_correct, 1, "both candidates are real");
+        // Collision resolved at 5, detected at 7, winner's slot starts at
+        // 10, so the winner delivers at 15.
+        let first = out.iter().map(|d| d.delivered_at.as_u64()).min().unwrap();
+        assert_eq!(first, 15);
+    }
+
+    #[test]
+    fn hints_disabled_uses_pure_backoff() {
+        let cfg = FsoiConfig::nodes(16).with_hints(false);
+        let mut net = FsoiNetwork::new(cfg, 13);
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Data, 1))
+            .unwrap();
+        net.inject(Packet::new(NodeId(2), NodeId(5), PacketClass::Data, 2))
+            .unwrap();
+        let out = run_until_idle(&mut net, 1000);
+        assert_eq!(out.len(), 2);
+        assert_eq!(net.stats().hints_issued, 0);
+    }
+
+    #[test]
+    fn expected_data_registry_updates() {
+        let mut net = net16(14);
+        net.expect_data(NodeId(3), NodeId(7));
+        assert!(net.nodes[3].expected_data.contains(&NodeId(7)));
+        net.clear_expected(NodeId(3), NodeId(7));
+        assert!(!net.nodes[3].expected_data.contains(&NodeId(7)));
+    }
+
+    #[test]
+    fn confirmations_counted_per_delivery() {
+        let mut net = net16(15);
+        for src in 0..4 {
+            net.inject(Packet::new(
+                NodeId(src),
+                NodeId(15 - src),
+                PacketClass::Meta,
+                0,
+            ))
+            .unwrap();
+        }
+        run_until_idle(&mut net, 100);
+        assert_eq!(net.confirmations_sent(), 4);
+    }
+
+    #[test]
+    fn heavy_contention_eventually_drains() {
+        // All 15 nodes send one meta packet to node 0 at the same time —
+        // a small version of the pathological burst.
+        let mut net = net16(16);
+        for src in 1..16 {
+            net.inject(Packet::new(NodeId(src), NodeId(0), PacketClass::Meta, 0))
+                .unwrap();
+        }
+        let out = run_until_idle(&mut net, 20_000);
+        assert_eq!(out.len(), 15, "exponential back-off must drain the burst");
+        assert!(net.stats().collision_events[0] > 0);
+    }
+
+    #[test]
+    fn binary_backoff_also_drains_but_slower_tail() {
+        let cfg = FsoiConfig::nodes(16).with_backoff(BackoffPolicy::BINARY);
+        let mut net = FsoiNetwork::new(cfg, 17);
+        for src in 1..16 {
+            net.inject(Packet::new(NodeId(src), NodeId(0), PacketClass::Meta, 0))
+                .unwrap();
+        }
+        let out = run_until_idle(&mut net, 50_000);
+        assert_eq!(out.len(), 15);
+    }
+
+    #[test]
+    fn stats_probability_and_collision_rate() {
+        let mut net = net16(18);
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 1))
+            .unwrap();
+        run_until_idle(&mut net, 20);
+        let slots = net.slots_elapsed(PacketClass::Meta);
+        let p = net.stats().transmission_probability(0, 16, slots);
+        assert!(p > 0.0 && p < 1.0);
+        assert_eq!(net.stats().collision_rate(0), 0.0);
+        assert_eq!(net.stats().collision_rate(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-injection")]
+    fn self_injection_panics() {
+        let mut net = net16(19);
+        let _ = net.inject(Packet::new(NodeId(3), NodeId(3), PacketClass::Meta, 0));
+    }
+
+    #[test]
+    fn is_idle_tracks_lifecycle() {
+        let mut net = net16(20);
+        assert!(net.is_idle());
+        net.inject(Packet::new(NodeId(0), NodeId(1), PacketClass::Meta, 0))
+            .unwrap();
+        assert!(!net.is_idle());
+        run_until_idle(&mut net, 50);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn bit_errors_recover_via_retransmission() {
+        // At a deliberately brutal BER of 1e-3 a 360-bit data packet is
+        // corrupted ~30% of the time; every packet must still arrive, via
+        // the same back-off machinery collisions use.
+        let cfg = FsoiConfig::nodes(16).with_bit_error_rate(1e-3);
+        let mut net = FsoiNetwork::new(cfg, 21);
+        for i in 0..40u64 {
+            // Disjoint pairs: no collisions possible, only bit errors.
+            let src = (i % 8) as usize;
+            net.inject(Packet::new(NodeId(src), NodeId(src + 8), PacketClass::Data, i))
+                .unwrap_or_else(|_| panic!("queue full at {i}"));
+            for _ in 0..10 {
+                net.tick();
+            }
+        }
+        let out = run_until_idle(&mut net, 20_000);
+        let total = out.len() + net.drain_delivered().len();
+        assert_eq!(net.stats().collision_events, [0, 0], "no collisions here");
+        assert!(net.stats().bit_error_drops[1] > 0, "errors must have struck");
+        assert_eq!(net.stats().delivered[1], 40, "all packets recovered");
+        let _ = total;
+    }
+
+    #[test]
+    fn paper_default_ber_is_invisible() {
+        // At the paper's 1e-10 link BER, thousands of packets see no drop.
+        let mut net = net16(22);
+        for i in 0..500u64 {
+            let src = (i % 8) as usize;
+            let _ = net.inject(Packet::new(NodeId(src), NodeId(src + 8), PacketClass::Meta, i));
+            net.tick();
+            net.tick();
+            net.drain_delivered();
+        }
+        run_until_idle(&mut net, 5_000);
+        assert_eq!(net.stats().bit_error_drops, [0, 0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = net16(seed);
+            for src in 1..16 {
+                net.inject(Packet::new(NodeId(src), NodeId(0), PacketClass::Meta, 0))
+                    .unwrap();
+            }
+            run_until_idle(&mut net, 20_000)
+                .iter()
+                .map(|d| (d.packet.src.0, d.delivered_at.as_u64()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should reorder the burst");
+    }
+}

@@ -1,0 +1,100 @@
+//! Optical phase-array (OPA) beam steering for large systems (§3, §4.1).
+//!
+//! With dedicated lanes the VCSEL count grows as `N²`; a phase array keeps
+//! the per-node laser count constant by steering a single beam. The cost is
+//! a retarget penalty — the paper models "one cycle delay in re-setting the
+//! phase controller register" for the 64-node system — paid only when
+//! consecutive transmissions aim at different destinations.
+
+use crate::topology::NodeId;
+
+/// Per-node steering state of a phase-array transmitter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseArraySteering {
+    current_target: Option<NodeId>,
+    retargets: u64,
+    transmissions: u64,
+}
+
+impl PhaseArraySteering {
+    /// Creates an unsteered array.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a transmission to `target`, returning the setup penalty in
+    /// cycles (`setup_cycles` when retargeting, 0 when the beam is already
+    /// aimed there).
+    pub fn aim(&mut self, target: NodeId, setup_cycles: u64) -> u64 {
+        self.transmissions += 1;
+        if self.current_target == Some(target) {
+            0
+        } else {
+            self.current_target = Some(target);
+            self.retargets += 1;
+            setup_cycles
+        }
+    }
+
+    /// The current aim, if any.
+    pub fn current_target(&self) -> Option<NodeId> {
+        self.current_target
+    }
+
+    /// How many transmissions required retargeting.
+    pub fn retargets(&self) -> u64 {
+        self.retargets
+    }
+
+    /// Total transmissions registered.
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+
+    /// Fraction of transmissions that paid the setup penalty.
+    pub fn retarget_rate(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            self.retargets as f64 / self.transmissions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_aim_pays_setup() {
+        let mut s = PhaseArraySteering::new();
+        assert_eq!(s.current_target(), None);
+        assert_eq!(s.aim(NodeId(3), 1), 1);
+        assert_eq!(s.current_target(), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn repeated_target_is_free() {
+        let mut s = PhaseArraySteering::new();
+        s.aim(NodeId(3), 1);
+        assert_eq!(s.aim(NodeId(3), 1), 0);
+        assert_eq!(s.aim(NodeId(3), 1), 0);
+        assert_eq!(s.retargets(), 1);
+        assert_eq!(s.transmissions(), 3);
+        assert!((s.retarget_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switching_targets_pays_each_time() {
+        let mut s = PhaseArraySteering::new();
+        assert_eq!(s.aim(NodeId(1), 2), 2);
+        assert_eq!(s.aim(NodeId(2), 2), 2);
+        assert_eq!(s.aim(NodeId(1), 2), 2);
+        assert_eq!(s.retargets(), 3);
+    }
+
+    #[test]
+    fn empty_rate_is_zero() {
+        assert_eq!(PhaseArraySteering::new().retarget_rate(), 0.0);
+    }
+}

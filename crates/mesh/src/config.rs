@@ -1,0 +1,104 @@
+//! Mesh configuration.
+
+/// Configuration of a [`MeshNetwork`](crate::network::MeshNetwork).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshConfig {
+    /// Mesh width (columns).
+    pub width: usize,
+    /// Mesh height (rows).
+    pub height: usize,
+    /// Virtual channels per input port (Table 3: 4).
+    pub vcs: usize,
+    /// Buffer depth per VC, in flits (Table 3's 12-flit buffers).
+    pub vc_depth: usize,
+    /// Router pipeline depth in cycles (canonical 4: RC, VA, SA, ST).
+    pub router_cycles: u64,
+    /// Link traversal latency in cycles (Table 3: 1).
+    pub link_cycles: u64,
+    /// Capacity of each node's injection queue, in packets.
+    pub injection_queue: usize,
+}
+
+impl MeshConfig {
+    /// The paper's baseline for `n` nodes (must be a perfect square):
+    /// 4 VCs × 12-flit buffers, 4-cycle routers, 1-cycle links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a perfect square of at least 4.
+    pub fn nodes(n: usize) -> Self {
+        let side = (n as f64).sqrt().round() as usize;
+        assert!(side >= 2 && side * side == n, "mesh size must be a square, got {n}");
+        MeshConfig {
+            width: side,
+            height: side,
+            vcs: 4,
+            vc_depth: 12,
+            router_cycles: 4,
+            link_cycles: 1,
+            injection_queue: 16,
+        }
+    }
+
+    /// Builder-style: sets the router pipeline depth (e.g. aggressive
+    /// 1- or 2-cycle routers).
+    pub fn with_router_cycles(mut self, cycles: u64) -> Self {
+        assert!(cycles >= 1);
+        self.router_cycles = cycles;
+        self
+    }
+
+    /// Builder-style: sets the VC count.
+    pub fn with_vcs(mut self, vcs: usize) -> Self {
+        assert!(vcs >= 1);
+        self.vcs = vcs;
+        self
+    }
+
+    /// Builder-style: sets the per-VC buffer depth in flits.
+    pub fn with_vc_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1);
+        self.vc_depth = depth;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = MeshConfig::nodes(16);
+        assert_eq!((c.width, c.height), (4, 4));
+        assert_eq!(c.vcs, 4);
+        assert_eq!(c.vc_depth, 12);
+        assert_eq!(c.router_cycles, 4);
+        assert_eq!(c.link_cycles, 1);
+        assert_eq!(c.node_count(), 16);
+        let c64 = MeshConfig::nodes(64);
+        assert_eq!((c64.width, c64.height), (8, 8));
+    }
+
+    #[test]
+    fn builders() {
+        let c = MeshConfig::nodes(16)
+            .with_router_cycles(2)
+            .with_vcs(2)
+            .with_vc_depth(4);
+        assert_eq!(c.router_cycles, 2);
+        assert_eq!(c.vcs, 2);
+        assert_eq!(c.vc_depth, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a square")]
+    fn non_square_panics() {
+        MeshConfig::nodes(15);
+    }
+}

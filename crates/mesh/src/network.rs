@@ -1,0 +1,442 @@
+//! The full cycle-driven mesh: routers, links, injection and ejection.
+
+use crate::config::MeshConfig;
+use crate::packet::{flits_of, Flit, MeshPacket};
+use crate::router::Router;
+use crate::routing::{coords, node_at, Port};
+use fsoi_sim::event::EventQueue;
+use fsoi_sim::queue::BoundedQueue;
+use fsoi_sim::stats::Summary;
+use fsoi_sim::Cycle;
+use std::collections::VecDeque;
+
+/// A delivered packet with its measured latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshDelivered {
+    /// The packet.
+    pub packet: MeshPacket,
+    /// Cycle the tail flit was ejected.
+    pub delivered_at: Cycle,
+}
+
+impl MeshDelivered {
+    /// End-to-end latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.delivered_at - self.packet.enqueued_at
+    }
+}
+
+/// Aggregate mesh statistics.
+#[derive(Debug, Default)]
+pub struct MeshStats {
+    /// Packets accepted.
+    pub injected: u64,
+    /// Packets rejected (injection queue full).
+    pub rejected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// End-to-end latency.
+    pub latency: Summary,
+    /// Latency of meta (1-flit) packets.
+    pub meta_latency: Summary,
+    /// Latency of data packets.
+    pub data_latency: Summary,
+    /// Total buffer writes across routers (power model input).
+    pub buffer_writes: u64,
+    /// Total buffer reads.
+    pub buffer_reads: u64,
+    /// Total crossbar traversals.
+    pub crossbar_traversals: u64,
+    /// Total VC allocations.
+    pub allocations: u64,
+    /// Total link (hop) traversals.
+    pub link_traversals: u64,
+}
+
+/// In-progress injection of one packet's flits at a node.
+#[derive(Debug)]
+struct InjectionState {
+    flits: VecDeque<Flit>,
+    vc: usize,
+}
+
+/// The mesh network.
+#[derive(Debug)]
+pub struct MeshNetwork {
+    cfg: MeshConfig,
+    now: Cycle,
+    routers: Vec<Router>,
+    /// Per-node packet injection queues.
+    inject_q: Vec<BoundedQueue<MeshPacket>>,
+    /// Per-node current packet being flit-injected.
+    injecting: Vec<Option<InjectionState>>,
+    /// Flits in flight on links: (destination router, in-port, vc, flit).
+    links: EventQueue<(usize, usize, usize, Flit)>,
+    /// Partial packets being reassembled at ejection (tail ⇒ delivered).
+    delivered: Vec<MeshDelivered>,
+    stats: MeshStats,
+    next_id: u64,
+}
+
+impl MeshNetwork {
+    /// Creates a mesh.
+    pub fn new(cfg: MeshConfig) -> Self {
+        let n = cfg.node_count();
+        MeshNetwork {
+            routers: (0..n).map(|i| Router::new(&cfg, i)).collect(),
+            inject_q: (0..n).map(|_| BoundedQueue::new(cfg.injection_queue)).collect(),
+            injecting: (0..n).map(|_| None).collect(),
+            links: EventQueue::new(),
+            delivered: Vec::new(),
+            stats: MeshStats::default(),
+            next_id: 0,
+            now: Cycle::ZERO,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &MeshStats {
+        &self.stats
+    }
+
+    /// Injects a packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(packet)` when the node's injection queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or out of range.
+    pub fn inject(&mut self, mut packet: MeshPacket) -> Result<u64, MeshPacket> {
+        assert_ne!(packet.src, packet.dst, "no self-injection");
+        assert!(packet.src < self.routers.len() && packet.dst < self.routers.len());
+        packet.id = self.next_id;
+        packet.enqueued_at = self.now;
+        match self.inject_q[packet.src].push(packet) {
+            Ok(()) => {
+                self.next_id += 1;
+                self.stats.injected += 1;
+                Ok(packet.id)
+            }
+            Err(p) => {
+                self.stats.rejected += 1;
+                Err(p)
+            }
+        }
+    }
+
+    /// Takes all deliveries since the last drain.
+    pub fn drain_delivered(&mut self) -> Vec<MeshDelivered> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Number of undrained deliveries.
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// True when nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.links.is_empty()
+            && self.inject_q.iter().all(|q| q.is_empty())
+            && self.injecting.iter().all(|i| i.is_none())
+            && self.routers.iter().all(|r| r.is_idle())
+    }
+
+    /// Advances one cycle.
+    pub fn tick(&mut self) {
+        self.land_link_flits();
+        self.inject_flits();
+        for r in &mut self.routers {
+            r.allocate(self.now);
+        }
+        self.traverse_switches();
+        self.now += 1;
+    }
+
+    /// Runs `cycles` ticks.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    fn land_link_flits(&mut self) {
+        while let Some((_, (router, port, vc, flit))) = self.links.pop_due(self.now) {
+            self.routers[router].receive_flit(port, vc, flit, self.now);
+        }
+    }
+
+    fn inject_flits(&mut self) {
+        let local = Port::Local.index();
+        for node in 0..self.routers.len() {
+            if self.injecting[node].is_none() {
+                if let Some(&pkt) = self.inject_q[node].front() {
+                    if let Some(vc) = self.routers[node].free_local_vc() {
+                        self.inject_q[node].pop();
+                        self.injecting[node] = Some(InjectionState {
+                            flits: flits_of(pkt).into(),
+                            vc,
+                        });
+                    }
+                }
+            }
+            if let Some(state) = &mut self.injecting[node] {
+                if self.routers[node].buffer_free(local, state.vc) > 0 {
+                    if let Some(flit) = state.flits.pop_front() {
+                        self.routers[node].receive_flit(local, state.vc, flit, self.now);
+                    }
+                }
+                if state.flits.is_empty() {
+                    self.injecting[node] = None;
+                }
+            }
+        }
+    }
+
+    fn traverse_switches(&mut self) {
+        let local = Port::Local.index();
+        let width = self.cfg.width;
+        for node in 0..self.routers.len() {
+            let departures = self.routers[node].switch(self.now);
+            for dep in departures {
+                // The consumed input-buffer slot frees a credit upstream
+                // (injection from the local port is credit-free: the
+                // injector checks buffer space directly).
+                if dep.in_port != local {
+                    let (x, y) = coords(node, width);
+                    let upstream = match Port::ALL[dep.in_port] {
+                        Port::East => node_at(x + 1, y, width),
+                        Port::West => node_at(x - 1, y, width),
+                        Port::South => node_at(x, y + 1, width),
+                        Port::North => node_at(x, y - 1, width),
+                        Port::Local => unreachable!(),
+                    };
+                    let up_out = Port::ALL[dep.in_port].opposite().index();
+                    self.routers[upstream].credit_return(up_out, dep.in_vc);
+                }
+                if dep.out_port == local {
+                    if dep.flit.kind.is_tail() {
+                        let d = MeshDelivered {
+                            packet: dep.flit.packet,
+                            delivered_at: self.now,
+                        };
+                        self.stats.delivered += 1;
+                        let lat = d.latency() as f64;
+                        self.stats.latency.record(lat);
+                        if d.packet.is_meta() {
+                            self.stats.meta_latency.record(lat);
+                        } else {
+                            self.stats.data_latency.record(lat);
+                        }
+                        self.delivered.push(d);
+                    }
+                    continue;
+                }
+                // Forward over the link to the neighbour.
+                let (x, y) = coords(node, width);
+                let neighbour = match Port::ALL[dep.out_port] {
+                    Port::East => node_at(x + 1, y, width),
+                    Port::West => node_at(x - 1, y, width),
+                    Port::South => node_at(x, y + 1, width),
+                    Port::North => node_at(x, y - 1, width),
+                    Port::Local => unreachable!(),
+                };
+                let in_port = Port::ALL[dep.out_port].opposite().index();
+                self.stats.link_traversals += 1;
+                self.links.push(
+                    self.now + self.cfg.link_cycles,
+                    (neighbour, in_port, dep.out_vc, dep.flit),
+                );
+            }
+        }
+        // Credit returns: a flit consumed from an input buffer frees a slot
+        // upstream. We return credits for the flits that traversed switches
+        // this cycle (handled above by reading router counters is racy, so
+        // we do it inline via a second pass).
+        self.collect_power_counters();
+    }
+
+    fn collect_power_counters(&mut self) {
+        // Power counters are gathered incrementally at the end of the run;
+        // nothing to do per cycle. (Kept as a hook for extensions.)
+    }
+
+    /// Gathers router event counters into the stats block (call after a
+    /// run; cheap and idempotent).
+    pub fn harvest_power_counters(&mut self) {
+        let (mut w, mut r, mut x, mut a) = (0, 0, 0, 0);
+        for router in &self.routers {
+            w += router.buffer_writes;
+            r += router.buffer_reads;
+            x += router.crossbar_traversals;
+            a += router.allocations;
+        }
+        self.stats.buffer_writes = w;
+        self.stats.buffer_reads = r;
+        self.stats.crossbar_traversals = x;
+        self.stats.allocations = a;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::hop_distance;
+
+    fn run_until_idle(net: &mut MeshNetwork, max: u64) -> Vec<MeshDelivered> {
+        let mut out = Vec::new();
+        for _ in 0..max {
+            net.tick();
+            out.extend(net.drain_delivered());
+            if net.is_idle() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_meta_packet_latency_scales_with_hops() {
+        // One hop: inject, 2 routers × 4 cycles + 1 link + serialization.
+        let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+        net.inject(MeshPacket::meta(0, 1, 7)).unwrap();
+        let out = run_until_idle(&mut net, 100);
+        assert_eq!(out.len(), 1);
+        let lat1 = out[0].latency();
+        // Diagonal: 6 hops → 7 routers.
+        let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+        net.inject(MeshPacket::meta(0, 15, 7)).unwrap();
+        let out = run_until_idle(&mut net, 200);
+        let lat6 = out[0].latency();
+        assert!(lat6 > lat1, "{lat6} > {lat1}");
+        // Each extra hop costs router_cycles + link_cycles = 5.
+        assert_eq!(lat6 - lat1, 5 * (hop_distance(0, 15, 4) - hop_distance(0, 1, 4)) as u64);
+    }
+
+    #[test]
+    fn data_packet_adds_serialization() {
+        let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+        net.inject(MeshPacket::meta(0, 1, 0)).unwrap();
+        let meta_lat = run_until_idle(&mut net, 100)[0].latency();
+        let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+        net.inject(MeshPacket::data(0, 1, 0)).unwrap();
+        let data_lat = run_until_idle(&mut net, 100)[0].latency();
+        // Four extra body/tail flits stream at 1/cycle.
+        assert_eq!(data_lat - meta_lat, 4);
+    }
+
+    #[test]
+    fn all_to_one_delivers_everything() {
+        let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+        for src in 1..16 {
+            net.inject(MeshPacket::data(src, 0, src as u64)).unwrap();
+        }
+        let out = run_until_idle(&mut net, 2_000);
+        assert_eq!(out.len(), 15);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn uniform_random_traffic_drains() {
+        let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+        let mut rng = fsoi_sim::rng::Xoshiro256StarStar::new(5);
+        let mut wanted = 0;
+        for _ in 0..200 {
+            let src = rng.next_below(16) as usize;
+            let mut dst = rng.next_below(15) as usize;
+            if dst >= src {
+                dst += 1;
+            }
+            let pkt = if rng.bernoulli(0.5) {
+                MeshPacket::meta(src, dst, 0)
+            } else {
+                MeshPacket::data(src, dst, 0)
+            };
+            if net.inject(pkt).is_ok() {
+                wanted += 1;
+            }
+            net.tick();
+        }
+        let mut out = net.drain_delivered().len();
+        for _ in 0..10_000 {
+            net.tick();
+            out += net.drain_delivered().len();
+            if net.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(out as u64 + net.stats().delivered - out as u64, net.stats().delivered);
+        assert_eq!(net.stats().delivered, wanted);
+        assert!(net.is_idle(), "network must drain");
+    }
+
+    #[test]
+    fn aggressive_router_is_faster() {
+        let mut slow = MeshNetwork::new(MeshConfig::nodes(16));
+        slow.inject(MeshPacket::meta(0, 15, 0)).unwrap();
+        let slow_lat = run_until_idle(&mut slow, 200)[0].latency();
+        let mut fast = MeshNetwork::new(MeshConfig::nodes(16).with_router_cycles(1));
+        fast.inject(MeshPacket::meta(0, 15, 0)).unwrap();
+        let fast_lat = run_until_idle(&mut fast, 200)[0].latency();
+        assert!(fast_lat < slow_lat, "{fast_lat} < {slow_lat}");
+    }
+
+    #[test]
+    fn injection_queue_overflow_rejects() {
+        let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+        let mut ok = 0;
+        for i in 0..40 {
+            if net.inject(MeshPacket::data(0, 15, i)).is_ok() {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 16, "injection queue capacity");
+        assert_eq!(net.stats().rejected, 24);
+    }
+
+    #[test]
+    fn power_counters_harvested() {
+        let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+        net.inject(MeshPacket::data(0, 15, 0)).unwrap();
+        run_until_idle(&mut net, 200);
+        net.harvest_power_counters();
+        let s = net.stats();
+        // 5 flits × 7 routers of buffer write/read and crossbar.
+        assert_eq!(s.buffer_writes, 35);
+        assert_eq!(s.buffer_reads, 35);
+        assert_eq!(s.crossbar_traversals, 35);
+        assert_eq!(s.link_traversals, 30);
+        assert!(s.allocations >= 6);
+    }
+
+    #[test]
+    fn stats_latency_classes() {
+        let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+        net.inject(MeshPacket::meta(0, 3, 0)).unwrap();
+        net.inject(MeshPacket::data(12, 15, 0)).unwrap();
+        run_until_idle(&mut net, 300);
+        assert_eq!(net.stats().meta_latency.count(), 1);
+        assert_eq!(net.stats().data_latency.count(), 1);
+        assert_eq!(net.stats().latency.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-injection")]
+    fn self_injection_panics() {
+        let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+        let _ = net.inject(MeshPacket::meta(3, 3, 0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Mesh packets and flits.
+//!
+//! Table 3: 72-bit flits; a meta packet is a single flit, a data packet
+//! five flits (matching the optical network's 72-bit meta / 360-bit data
+//! packets bit for bit).
+
+use fsoi_sim::Cycle;
+
+/// Flits per meta packet.
+pub const META_FLITS: usize = 1;
+/// Flits per data packet.
+pub const DATA_FLITS: usize = 5;
+/// Bits per flit.
+pub const FLIT_BITS: usize = 72;
+
+/// A packet travelling the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshPacket {
+    /// Unique id assigned at injection.
+    pub id: u64,
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// Length in flits.
+    pub flits: usize,
+    /// Opaque client tag.
+    pub tag: u64,
+    /// Injection time.
+    pub enqueued_at: Cycle,
+}
+
+impl MeshPacket {
+    /// A 1-flit meta packet.
+    pub fn meta(src: usize, dst: usize, tag: u64) -> Self {
+        MeshPacket {
+            id: 0,
+            src,
+            dst,
+            flits: META_FLITS,
+            tag,
+            enqueued_at: Cycle::ZERO,
+        }
+    }
+
+    /// A 5-flit data packet.
+    pub fn data(src: usize, dst: usize, tag: u64) -> Self {
+        MeshPacket {
+            id: 0,
+            src,
+            dst,
+            flits: DATA_FLITS,
+            tag,
+            enqueued_at: Cycle::ZERO,
+        }
+    }
+
+    /// Total bits of the packet.
+    pub fn bits(&self) -> usize {
+        self.flits * FLIT_BITS
+    }
+
+    /// True for single-flit (meta) packets.
+    pub fn is_meta(&self) -> bool {
+        self.flits == META_FLITS
+    }
+}
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitKind {
+    /// First flit: carries routing information.
+    Head,
+    /// Interior flit.
+    Body,
+    /// Final flit: releases the virtual channel. A single-flit packet's
+    /// only flit is `HeadTail`.
+    Tail,
+    /// Head and tail at once (single-flit packets).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Does this flit start a packet?
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Does this flit end a packet?
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// One flit in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// The packet this flit belongs to (replicated for convenience).
+    pub packet: MeshPacket,
+    /// Head/body/tail marker.
+    pub kind: FlitKind,
+    /// Index within the packet (0 = head).
+    pub seq: usize,
+}
+
+/// Splits a packet into its flit sequence.
+pub fn flits_of(packet: MeshPacket) -> Vec<Flit> {
+    (0..packet.flits)
+        .map(|seq| Flit {
+            packet,
+            kind: match (seq, packet.flits) {
+                (0, 1) => FlitKind::HeadTail,
+                (0, _) => FlitKind::Head,
+                (s, n) if s == n - 1 => FlitKind::Tail,
+                _ => FlitKind::Body,
+            },
+            seq,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_and_data_sizes() {
+        let m = MeshPacket::meta(0, 1, 5);
+        assert_eq!(m.flits, 1);
+        assert_eq!(m.bits(), 72);
+        assert!(m.is_meta());
+        let d = MeshPacket::data(0, 1, 5);
+        assert_eq!(d.flits, 5);
+        assert_eq!(d.bits(), 360);
+        assert!(!d.is_meta());
+    }
+
+    #[test]
+    fn single_flit_is_headtail() {
+        let fs = flits_of(MeshPacket::meta(0, 1, 0));
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].kind, FlitKind::HeadTail);
+        assert!(fs[0].kind.is_head() && fs[0].kind.is_tail());
+    }
+
+    #[test]
+    fn multi_flit_structure() {
+        let fs = flits_of(MeshPacket::data(2, 3, 0));
+        assert_eq!(fs.len(), 5);
+        assert_eq!(fs[0].kind, FlitKind::Head);
+        assert_eq!(fs[1].kind, FlitKind::Body);
+        assert_eq!(fs[3].kind, FlitKind::Body);
+        assert_eq!(fs[4].kind, FlitKind::Tail);
+        assert!(fs[0].kind.is_head() && !fs[0].kind.is_tail());
+        assert!(!fs[2].kind.is_head() && !fs[2].kind.is_tail());
+        assert!(fs[4].kind.is_tail() && !fs[4].kind.is_head());
+        for (i, f) in fs.iter().enumerate() {
+            assert_eq!(f.seq, i);
+        }
+    }
+}

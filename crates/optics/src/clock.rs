@@ -1,0 +1,144 @@
+//! Optical clock distribution (paper footnote 2).
+//!
+//! The FSOI design assumes "the whole chip is synchronous (e.g., using
+//! optical clock distribution)" — no per-link clock recovery circuits.
+//! An optical clock is broadcast through a path-matched H-tree (or an
+//! additional free-space beam set); each node's photodetector + clock
+//! buffer converts it to the local electrical clock.
+//!
+//! The module answers the question the networking layer depends on: is
+//! the chip-wide clock uncertainty (systematic skew from tree mismatch +
+//! random jitter from the receive chains) small against the 25 ps optical
+//! bit time, so that slot boundaries align globally?
+
+use crate::units::{Frequency, Length, TimeSpan};
+
+/// Group index of the on-chip clock distribution medium (silica/polymer
+/// waveguide H-tree ≈ 1.5; free-space ≈ 1.0).
+const DEFAULT_GROUP_INDEX: f64 = 1.5;
+/// Speed of light in vacuum, m/s.
+const C: f64 = 2.997_924_58e8;
+
+/// A path-matched H-tree broadcasting the optical clock to `leaves`
+/// endpoints over a die of the given half-span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpticalClockTree {
+    /// Number of leaf endpoints (one per node).
+    pub leaves: usize,
+    /// Routing length from source to any leaf (H-trees are path-matched;
+    /// this is the common length), metres.
+    pub path_length: Length,
+    /// Residual per-leaf length mismatch after fabrication, metres
+    /// (process control of the tree arms).
+    pub length_mismatch: Length,
+    /// Group index of the distribution medium.
+    pub group_index: f64,
+    /// RMS jitter added by each leaf's receive chain (PD + clock buffer),
+    /// seconds.
+    pub receiver_jitter: TimeSpan,
+}
+
+impl OpticalClockTree {
+    /// A 16-node tree over the 2 cm die: ~15 mm matched arms, ±30 µm
+    /// fabrication mismatch, 0.4 ps receiver jitter.
+    pub fn paper_16() -> Self {
+        OpticalClockTree {
+            leaves: 16,
+            path_length: Length::from_millimeters(15.0),
+            length_mismatch: Length::from_micrometers(30.0),
+            group_index: DEFAULT_GROUP_INDEX,
+            receiver_jitter: TimeSpan::from_picoseconds(0.4),
+        }
+    }
+
+    /// The 64-node variant (finer tiling, same die).
+    pub fn paper_64() -> Self {
+        OpticalClockTree {
+            leaves: 64,
+            ..Self::paper_16()
+        }
+    }
+
+    /// Propagation delay from the source to the leaves, picoseconds.
+    pub fn insertion_delay_ps(&self) -> f64 {
+        self.path_length.as_meters() * self.group_index / C * 1e12
+    }
+
+    /// Worst-case systematic skew between any two leaves from the length
+    /// mismatch, picoseconds.
+    pub fn skew_ps(&self) -> f64 {
+        // Two leaves can be off in opposite directions.
+        2.0 * self.length_mismatch.as_meters() * self.group_index / C * 1e12
+    }
+
+    /// RMS jitter between two leaves' recovered clocks (independent
+    /// receive chains), picoseconds.
+    pub fn pair_jitter_ps(&self) -> f64 {
+        self.receiver_jitter.to_picoseconds() * std::f64::consts::SQRT_2
+    }
+
+    /// Total worst-case clock uncertainty between two nodes: systematic
+    /// skew plus a ±3σ jitter allowance, picoseconds.
+    pub fn uncertainty_ps(&self) -> f64 {
+        self.skew_ps() + 3.0 * self.pair_jitter_ps()
+    }
+
+    /// Fraction of the optical bit time consumed by clock uncertainty at
+    /// the given line rate. The slotted network needs this well below one
+    /// (the serializer padding of [`crate::thermal`]'s sibling module,
+    /// `fsoi-net::skew`, absorbs whole-bit offsets; sub-bit uncertainty
+    /// eats eye margin directly).
+    pub fn bit_time_fraction(&self, line_rate: Frequency) -> f64 {
+        let bit_ps = 1e12 / line_rate.as_hz();
+        self.uncertainty_ps() / bit_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_delay_is_tens_of_ps() {
+        let t = OpticalClockTree::paper_16();
+        // 15 mm × 1.5 / c ≈ 75 ps.
+        let d = t.insertion_delay_ps();
+        assert!((70.0..80.0).contains(&d), "delay = {d} ps");
+    }
+
+    #[test]
+    fn skew_is_sub_picosecond() {
+        let t = OpticalClockTree::paper_16();
+        // ±30 µm mismatch at n=1.5: 2 × 0.15 ps = 0.3 ps.
+        let s = t.skew_ps();
+        assert!((0.2..0.4).contains(&s), "skew = {s} ps");
+    }
+
+    #[test]
+    fn uncertainty_fits_the_40gbps_bit() {
+        // The whole point: chip-wide clock uncertainty must be a small
+        // fraction of the 25 ps bit so global slotting works.
+        let t = OpticalClockTree::paper_16();
+        let f = t.bit_time_fraction(Frequency::from_ghz(40.0));
+        assert!(f < 0.1, "uncertainty is {:.1}% of a bit", f * 100.0);
+        // And utterly negligible against a 303 ps core cycle.
+        let core = t.bit_time_fraction(Frequency::from_ghz(3.3));
+        assert!(core < 0.01);
+    }
+
+    #[test]
+    fn jitter_combines_across_two_receivers() {
+        let t = OpticalClockTree::paper_16();
+        let expect = 0.4 * std::f64::consts::SQRT_2;
+        assert!((t.pair_jitter_ps() - expect).abs() < 1e-12);
+        assert!(t.uncertainty_ps() > t.skew_ps());
+    }
+
+    #[test]
+    fn sixty_four_leaves_same_tree_character() {
+        let t16 = OpticalClockTree::paper_16();
+        let t64 = OpticalClockTree::paper_64();
+        assert_eq!(t64.leaves, 64);
+        assert!((t64.uncertainty_ps() - t16.uncertainty_ps()).abs() < 1e-12);
+    }
+}

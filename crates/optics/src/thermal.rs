@@ -1,0 +1,197 @@
+//! Thermal model of the 3-D electro-optical stack (§3.3).
+//!
+//! Adding a free-space layer on top of the die rules out a conventional
+//! heat sink, so the paper routes heat out *sideways*: microchannel
+//! liquid cooling between the stacked dies (ref \[33\]) or high-conductivity
+//! lateral spreaders (diamond/CNT/graphene, ref \[35\]), with fluidic pipes
+//! leaving the package at the edges.
+//!
+//! This module provides first-order answers to the questions the
+//! architecture depends on:
+//!
+//! * can a microchannel loop carry the ~120–160 W the CMP dissipates?
+//! * what junction temperature does the stack settle at?
+//! * how much does that temperature erode the VCSELs (whose threshold
+//!   current rises away from their design temperature), and does the
+//!   Table 1 link budget still close?
+
+use crate::units::Power;
+use crate::OpticsError;
+
+/// Specific heat of water, J/(kg·K).
+const WATER_CP: f64 = 4186.0;
+/// Density of water, kg/m³.
+const WATER_RHO: f64 = 997.0;
+
+/// A microchannel liquid-cooling loop (paper ref \[33\], Tuckerman–Pease
+/// class).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicrochannelLoop {
+    /// Coolant volumetric flow, m³/s.
+    pub flow_m3_per_s: f64,
+    /// Coolant inlet temperature, °C.
+    pub inlet_c: f64,
+    /// Maximum allowed coolant outlet temperature, °C.
+    pub max_outlet_c: f64,
+    /// Convective thermal resistance from junction to coolant, K/W
+    /// (chip-wide effective value).
+    pub junction_to_coolant_k_per_w: f64,
+}
+
+impl MicrochannelLoop {
+    /// A loop sized for the paper's CMP: 10 mL/s of 25 °C water, 60 °C
+    /// outlet ceiling, 0.15 K/W junction-to-coolant (Tuckerman–Pease
+    /// demonstrated 0.09 K/W·cm²-class sinks).
+    pub fn paper_default() -> Self {
+        MicrochannelLoop {
+            flow_m3_per_s: 10e-6,
+            inlet_c: 25.0,
+            max_outlet_c: 60.0,
+            junction_to_coolant_k_per_w: 0.15,
+        }
+    }
+
+    /// Heat the loop can carry before the outlet exceeds its ceiling:
+    /// `Q = ṁ c_p ΔT`.
+    pub fn cooling_capacity(&self) -> Power {
+        let mdot = self.flow_m3_per_s * WATER_RHO;
+        Power::from_watts(mdot * WATER_CP * (self.max_outlet_c - self.inlet_c))
+    }
+
+    /// Steady-state junction temperature at the given dissipation, °C.
+    /// Coolant bulk temperature is taken mid-channel.
+    pub fn junction_temperature_c(&self, dissipation: Power) -> f64 {
+        let q = dissipation.as_watts();
+        let mdot = self.flow_m3_per_s * WATER_RHO;
+        let coolant_rise = q / (mdot * WATER_CP);
+        self.inlet_c + coolant_rise / 2.0 + q * self.junction_to_coolant_k_per_w
+    }
+
+    /// Checks the loop against a chip power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpticsError::NonPositive`] (on the remaining margin) when
+    /// the dissipation exceeds the loop's capacity.
+    pub fn check(&self, dissipation: Power) -> Result<f64, OpticsError> {
+        let margin = self.cooling_capacity().as_watts() - dissipation.as_watts();
+        if margin <= 0.0 {
+            return Err(OpticsError::NonPositive {
+                what: "cooling margin",
+                value: margin,
+            });
+        }
+        Ok(margin)
+    }
+}
+
+/// Temperature sensitivity of a VCSEL's threshold current: the classic
+/// empirical parabola `I_th(T) = I_th0 · (1 + k (T − T0)²)` around the
+/// design temperature `T0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VcselThermalModel {
+    /// Design (minimum-threshold) temperature, °C.
+    pub design_c: f64,
+    /// Parabolic coefficient, 1/K².
+    pub k_per_k2: f64,
+}
+
+impl VcselThermalModel {
+    /// A 980 nm device tuned for a liquid-cooled 55 °C junction; threshold
+    /// grows ~20 % by ±40 K off design.
+    pub fn paper_default() -> Self {
+        VcselThermalModel {
+            design_c: 55.0,
+            k_per_k2: 1.25e-4,
+        }
+    }
+
+    /// The threshold multiplier at junction temperature `t_c`.
+    pub fn threshold_multiplier(&self, t_c: f64) -> f64 {
+        let d = t_c - self.design_c;
+        1.0 + self.k_per_k2 * d * d
+    }
+
+    /// Effective optical output multiplier at fixed bias: with threshold
+    /// risen by `m`, the current overdrive `(I_b − I_th)` shrinks
+    /// accordingly. `overdrive_ratio` = I_b / I_th0 at design temperature.
+    pub fn output_multiplier(&self, t_c: f64, overdrive_ratio: f64) -> f64 {
+        assert!(overdrive_ratio > 1.0, "bias must exceed threshold");
+        let m = self.threshold_multiplier(t_c);
+        ((overdrive_ratio - m) / (overdrive_ratio - 1.0)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::OpticalLink;
+
+    #[test]
+    fn loop_carries_the_cmp() {
+        // The FSOI 16-node system averages ~121 W; the mesh baseline
+        // ~156 W. The default loop must carry both with margin.
+        let cool = MicrochannelLoop::paper_default();
+        let cap = cool.cooling_capacity().as_watts();
+        assert!(cap > 156.0, "capacity = {cap} W");
+        assert!(cool.check(Power::from_watts(121.0)).is_ok());
+        assert!(cool.check(Power::from_watts(156.0)).is_ok());
+        assert!(cool.check(Power::from_watts(2_000.0)).is_err());
+    }
+
+    #[test]
+    fn junction_temperature_reasonable() {
+        let cool = MicrochannelLoop::paper_default();
+        let t_fsoi = cool.junction_temperature_c(Power::from_watts(121.0));
+        let t_mesh = cool.junction_temperature_c(Power::from_watts(156.0));
+        assert!(t_fsoi < t_mesh, "less power, cooler chip");
+        assert!(
+            (40.0..70.0).contains(&t_fsoi),
+            "liquid-cooled junction ≈ 45–65 °C, got {t_fsoi}"
+        );
+        // Zero power: inlet temperature.
+        let idle = cool.junction_temperature_c(Power::from_watts(0.0));
+        assert!((idle - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_parabola() {
+        let m = VcselThermalModel::paper_default();
+        assert!((m.threshold_multiplier(55.0) - 1.0).abs() < 1e-12);
+        let hot = m.threshold_multiplier(95.0);
+        let cold = m.threshold_multiplier(15.0);
+        assert!((hot - 1.2).abs() < 0.01, "±40 K ⇒ ~1.2×, got {hot}");
+        assert!((hot - cold).abs() < 1e-12, "parabola is symmetric");
+    }
+
+    #[test]
+    fn output_shrinks_with_heat() {
+        let m = VcselThermalModel::paper_default();
+        // Paper bias: 0.48 mA vs 0.14 mA threshold ⇒ overdrive 3.43.
+        let od = 0.48 / 0.14;
+        assert!((m.output_multiplier(55.0, od) - 1.0).abs() < 1e-12);
+        let at_95 = m.output_multiplier(95.0, od);
+        assert!((0.85..1.0).contains(&at_95), "hot output = {at_95}");
+        // Extreme heat clamps at zero rather than going negative.
+        assert_eq!(m.output_multiplier(500.0, 1.05), 0.0);
+    }
+
+    #[test]
+    fn link_still_closes_at_liquid_cooled_temperature() {
+        // End-to-end: at the junction temperature the microchannel loop
+        // reaches under FSOI load, the VCSEL output droop still leaves the
+        // link budget closing at the paper's *relaxed* BER target (1e-5) —
+        // the engineering margin §4.3.1 banks on.
+        let cool = MicrochannelLoop::paper_default();
+        let t = cool.junction_temperature_c(Power::from_watts(121.0));
+        let droop = VcselThermalModel::paper_default().output_multiplier(t, 0.48 / 0.14);
+        let budget = OpticalLink::paper_default().budget();
+        // Q scales with the eye, i.e. with the optical amplitude.
+        let hot_q = budget.q_factor * droop;
+        let needed = crate::noise::ber_to_q(1e-5);
+        assert!(
+            hot_q > needed,
+            "hot Q = {hot_q:.2} must clear the relaxed target {needed:.2}"
+        );
+    }
+}

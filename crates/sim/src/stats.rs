@@ -1,0 +1,526 @@
+//! Measurement primitives: counters, streaming summaries, histograms,
+//! exponentially-weighted rates, and labelled series.
+//!
+//! These are the building blocks behind every number reported in
+//! `EXPERIMENTS.md`: packet-latency breakdowns (Fig 6/7), collision-rate
+//! scatter plots (Fig 9), reply-latency distributions (Fig 5), and energy
+//! tallies (Fig 8).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A saturating event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+
+    /// This counter as a fraction of `denom` (0.0 when `denom` is zero).
+    pub fn ratio_of(self, denom: u64) -> f64 {
+        if denom == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Streaming mean/variance/min/max over `f64` observations (Welford).
+///
+/// ```
+/// use fsoi_sim::stats::Summary;
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0] { s.record(x); }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram over non-negative integers with fixed-width bins plus an
+/// overflow bin; also tracks the exact mean.
+///
+/// Used for reply-latency distributions (Figure 5 uses buckets of cycles up
+/// to a `>200` overflow bucket).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    overflow: u64,
+    summary: Summary,
+}
+
+impl Histogram {
+    /// Creates a histogram with `num_bins` bins of `bin_width` each; values
+    /// at or above `num_bins * bin_width` land in the overflow bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width == 0` or `num_bins == 0`.
+    pub fn new(bin_width: u64, num_bins: usize) -> Self {
+        assert!(bin_width > 0, "bin width must be positive");
+        assert!(num_bins > 0, "need at least one bin");
+        Histogram {
+            bin_width,
+            bins: vec![0; num_bins],
+            overflow: 0,
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.summary.record(value as f64);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Exact mean of all observations.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// The count in bin `idx` (bins are `[idx*w, (idx+1)*w)`).
+    pub fn bin(&self, idx: usize) -> u64 {
+        self.bins.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Count of observations beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of regular bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Width of each regular bin.
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// Fraction of observations in bin `idx` (0.0 when empty).
+    pub fn fraction(&self, idx: usize) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.bin(idx) as f64 / n as f64
+        }
+    }
+
+    /// Approximate percentile (linear in bins): smallest value `v` such that
+    /// at least `q` (in `[0,1]`) of the mass lies at or below `v`'s bin.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return (i as u64 + 1) * self.bin_width - 1;
+            }
+        }
+        u64::MAX
+    }
+
+    /// Iterates `(bin_start, count)` pairs over the regular bins.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as u64 * self.bin_width, c))
+    }
+}
+
+/// Exponentially-weighted moving average for on-line rate estimation.
+///
+/// The FSOI receiver uses one to track the background transmission rate `G`
+/// that parameterizes the back-off analysis (Figure 4).
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    initialized: bool,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`; larger
+    /// alpha weights recent samples more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma {
+            alpha,
+            value: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// Feeds one sample.
+    pub fn record(&mut self, x: f64) {
+        if self.initialized {
+            self.value += self.alpha * (x - self.value);
+        } else {
+            self.value = x;
+            self.initialized = true;
+        }
+    }
+
+    /// Current estimate (0.0 before any sample).
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+}
+
+/// A labelled map of named scalar metrics, used to assemble report rows.
+///
+/// Keys iterate in sorted order (BTreeMap) so printed tables are stable.
+#[derive(Debug, Clone, Default)]
+pub struct MetricSet {
+    values: BTreeMap<String, f64>,
+}
+
+impl MetricSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets metric `name` to `value` (overwriting).
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Adds `value` to metric `name` (starting from zero).
+    pub fn add(&mut self, name: &str, value: f64) {
+        *self.values.entry(name.to_string()).or_insert(0.0) += value;
+    }
+
+    /// Reads metric `name`, defaulting to 0.0.
+    pub fn get(&self, name: &str) -> f64 {
+        self.values.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// True if the metric has been set.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Iterates `(name, value)` in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Computes the geometric mean of strictly positive values.
+///
+/// The paper reports all speedups as geometric means. Returns `None` for an
+/// empty slice or if any value is non-positive.
+///
+/// ```
+/// use fsoi_sim::stats::geometric_mean;
+/// let g = geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+        assert!((c.ratio_of(10) - 0.5).abs() < 1e-12);
+        assert_eq!(c.ratio_of(0), 0.0);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn summary_mean_var() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37).collect();
+        let mut all = Summary::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        // Merging an empty summary is a no-op.
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(10, 5);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(49);
+        h.record(50); // overflow
+        h.record(1000); // overflow
+        assert_eq!(h.bin(0), 2);
+        assert_eq!(h.bin(1), 1);
+        assert_eq!(h.bin(4), 1);
+        assert_eq!(h.bin(99), 0);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.num_bins(), 5);
+        assert_eq!(h.bin_width(), 10);
+        assert!((h.fraction(0) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentile() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 49);
+        assert_eq!(h.percentile(1.0), 99);
+        let empty = Histogram::new(1, 4);
+        assert_eq!(empty.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_iter() {
+        let mut h = Histogram::new(5, 3);
+        h.record(7);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 0), (5, 1), (10, 0)]);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.get(), 0.0);
+        e.record(10.0);
+        assert_eq!(e.get(), 10.0); // first sample initializes
+        for _ in 0..50 {
+            e.record(2.0);
+        }
+        assert!((e.get() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metric_set_ops() {
+        let mut m = MetricSet::new();
+        assert!(m.is_empty());
+        m.set("x", 1.0);
+        m.add("x", 2.0);
+        m.add("y", 5.0);
+        assert_eq!(m.get("x"), 3.0);
+        assert_eq!(m.get("missing"), 0.0);
+        assert!(m.contains("y"));
+        assert_eq!(m.len(), 2);
+        let names: Vec<_> = m.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn geomean() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+        let g = geometric_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! # fsoi — intra-chip free-space optical interconnect
+//!
+//! A full reproduction of *"An Intra-Chip Free-Space Optical Interconnect"*
+//! (Xue et al., ISCA 2010): the FSOI network architecture, its optical
+//! physical layer, an electrical mesh baseline, a MESI directory coherence
+//! substrate, and a chip-multiprocessor simulator that regenerates every
+//! table and figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace's sub-crates under one
+//! namespace:
+//!
+//! * [`sim`] — deterministic simulation kernel (cycles, events, RNG, stats),
+//! * [`optics`] — VCSELs, photodetectors, Gaussian-beam paths, link budgets,
+//! * [`net`] — the FSOI interconnect itself (the paper's contribution),
+//! * [`mesh`] — the packet-switched electrical mesh baseline,
+//! * [`coherence`] — the MESI directory protocol of the paper's Table 2,
+//! * [`cmp`] — the CMP system simulator, workloads, and energy model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fsoi::net::config::FsoiConfig;
+//! use fsoi::net::network::FsoiNetwork;
+//! use fsoi::net::packet::{Packet, PacketClass};
+//! use fsoi::net::topology::NodeId;
+//!
+//! // A 16-node FSOI network with the paper's default configuration.
+//! let mut net = FsoiNetwork::new(FsoiConfig::nodes(16), 42);
+//!
+//! // Beam a data packet from node 0 to node 5 and run until delivery.
+//! net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Data, 0)).unwrap();
+//! while net.delivered_count() == 0 {
+//!     net.tick();
+//! }
+//! let out = net.drain_delivered();
+//! assert_eq!(out[0].packet.dst, NodeId(5));
+//! ```
+//!
+//! To reproduce a paper experiment end to end, run the harness in
+//! `crates/bench`:
+//!
+//! ```text
+//! cargo run --release -p fsoi-bench --bin experiments -- table1
+//! cargo run --release -p fsoi-bench --bin experiments -- fig6
+//! ```
+
+pub use fsoi_cmp as cmp;
+pub use fsoi_coherence as coherence;
+pub use fsoi_mesh as mesh;
+pub use fsoi_net as net;
+pub use fsoi_optics as optics;
+pub use fsoi_ring as ring;
+pub use fsoi_sim as sim;

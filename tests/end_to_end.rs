@@ -1,0 +1,195 @@
+//! End-to-end system tests: full CMP runs over every interconnect,
+//! checking the paper's qualitative performance structure and the
+//! effectiveness of the §5 optimizations.
+
+use fsoi::cmp::configs::{NetworkKind, SystemConfig};
+use fsoi::cmp::system::CmpSystem;
+use fsoi::cmp::workload::AppProfile;
+
+const MAX: u64 = 50_000_000;
+
+fn small(name: &str, ops: u64) -> AppProfile {
+    let mut app = AppProfile::by_name(name).expect("known app");
+    app.ops_per_core = ops;
+    app
+}
+
+#[test]
+fn performance_ordering_holds_per_paper() {
+    // Figure 6's structure: L0 ≥ FSOI > Lr1 > Lr2, all faster than mesh.
+    let app = small("oc", 800);
+    let cycles = |kind| CmpSystem::new(SystemConfig::paper_16(kind), app).run(MAX).cycles;
+    let mesh = cycles(NetworkKind::mesh(16));
+    let fsoi = cycles(NetworkKind::fsoi(16));
+    let l0 = cycles(NetworkKind::L0);
+    let lr1 = cycles(NetworkKind::Lr1);
+    let lr2 = cycles(NetworkKind::Lr2);
+    assert!(l0 <= fsoi, "L0 {l0} bounds FSOI {fsoi}");
+    assert!(fsoi < lr1, "FSOI {fsoi} beats Lr1 {lr1}");
+    assert!(lr1 < lr2, "Lr1 {lr1} beats Lr2 {lr2}");
+    assert!(lr2 < mesh, "Lr2 {lr2} beats the mesh {mesh}");
+}
+
+#[test]
+fn fsoi_packet_latency_is_single_digit_and_mesh_is_not() {
+    let app = small("ba", 800);
+    let run = |kind| {
+        CmpSystem::new(SystemConfig::paper_16(kind), app).run(MAX)
+    };
+    let fsoi = run(NetworkKind::fsoi(16));
+    let mesh = run(NetworkKind::mesh(16));
+    assert!(
+        fsoi.mean_packet_latency() < 10.0,
+        "paper: 7.5 cycles; got {}",
+        fsoi.mean_packet_latency()
+    );
+    assert!(
+        mesh.mean_packet_latency() > 2.0 * fsoi.mean_packet_latency(),
+        "mesh {} vs FSOI {}",
+        mesh.mean_packet_latency(),
+        fsoi.mean_packet_latency()
+    );
+}
+
+#[test]
+fn speedup_gap_widens_at_64_nodes() {
+    // Figure 7's headline: the FSOI advantage grows with scale.
+    let speedup = |nodes: usize, ops: u64| {
+        let app = small("ray", ops);
+        let mk = |kind| {
+            let cfg = if nodes == 16 {
+                SystemConfig::paper_16(kind)
+            } else {
+                SystemConfig::paper_64(kind)
+            };
+            CmpSystem::new(cfg, app).run(MAX).cycles as f64
+        };
+        mk(NetworkKind::mesh(nodes)) / mk(NetworkKind::fsoi(nodes))
+    };
+    let s16 = speedup(16, 700);
+    let s64 = speedup(64, 250);
+    assert!(s16 > 1.1, "16-node speedup {s16}");
+    assert!(s64 > s16, "64-node {s64} must exceed 16-node {s16}");
+}
+
+#[test]
+fn network_energy_is_an_order_of_magnitude_below_mesh() {
+    let app = small("fft", 800);
+    let run = |kind| CmpSystem::new(SystemConfig::paper_16(kind), app).run(MAX);
+    let fsoi = run(NetworkKind::fsoi(16));
+    let mesh = run(NetworkKind::mesh(16));
+    let ratio = mesh.energy.network_j / fsoi.energy.network_j;
+    assert!(ratio > 10.0, "paper: ~20x; got {ratio:.1}x");
+    assert!(
+        fsoi.energy.total_j() < 0.8 * mesh.energy.total_j(),
+        "paper: ~40% total savings"
+    );
+}
+
+#[test]
+fn confirmation_ack_elision_cuts_meta_traffic_and_collisions() {
+    let app = small("mp", 900);
+    let run = |on| {
+        let cfg = SystemConfig::paper_16(NetworkKind::fsoi(16)).with_optimizations(on);
+        CmpSystem::new(cfg, app).run(MAX)
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(with.acks_elided > 0);
+    assert!(with.packets_sent[0] < without.packets_sent[0]);
+    // The paper notes the optimized run speeds up, which *raises* the
+    // per-slot transmission probability — so the per-transmission
+    // collision rate may tick up even as absolute collisions fall. Bound
+    // it instead of ordering it.
+    assert!(
+        with.meta_collision_rate < 1.5 * without.meta_collision_rate.max(0.005),
+        "collision rate must not explode: {} vs {}",
+        with.meta_collision_rate,
+        without.meta_collision_rate
+    );
+    // Absolute meta-lane collision volume (rate × traffic) must not grow.
+    let abs_with = with.meta_collision_rate * with.packets_sent[0] as f64;
+    let abs_without = without.meta_collision_rate * without.packets_sent[0] as f64;
+    assert!(
+        abs_with < 1.1 * abs_without,
+        "absolute collisions must not grow: {abs_with:.0} vs {abs_without:.0}"
+    );
+}
+
+#[test]
+fn data_lane_optimizations_cut_collision_cost() {
+    // §5.2 ablation: hints + request spacing reduce the data collision
+    // rate or its resolution cost.
+    let app = small("mp", 900);
+    let with = CmpSystem::new(
+        SystemConfig::paper_16(NetworkKind::fsoi(16)),
+        app,
+    )
+    .run(MAX);
+    let plain = fsoi::net::config::FsoiConfig::nodes(16)
+        .with_hints(false)
+        .with_request_spacing(false);
+    let without = CmpSystem::new(
+        SystemConfig::paper_16(NetworkKind::Fsoi(plain)),
+        app,
+    )
+    .run(MAX);
+    let cost_with = with.data_collision_rate * with.data_resolution_delay.max(1.0);
+    let cost_without = without.data_collision_rate * without.data_resolution_delay.max(1.0);
+    assert!(
+        cost_with < cost_without,
+        "collision cost must drop: {cost_with:.3} vs {cost_without:.3}"
+    );
+    assert!(with.hint_accuracy > 0.8, "paper: 94%; got {}", with.hint_accuracy);
+}
+
+#[test]
+fn more_memory_bandwidth_never_hurts() {
+    let app = small("rx", 600);
+    let run = |bw| {
+        let cfg = SystemConfig::paper_16(NetworkKind::fsoi(16)).with_mem_bandwidth(bw);
+        CmpSystem::new(cfg, app).run(MAX).cycles
+    };
+    assert!(run(52.8) <= run(8.8));
+}
+
+#[test]
+fn runs_are_deterministic_and_seed_sensitive() {
+    let app = small("ilink", 500);
+    let run = |seed| {
+        let cfg = SystemConfig::paper_16(NetworkKind::fsoi(16)).with_seed(seed);
+        CmpSystem::new(cfg, app).run(MAX).cycles
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+#[test]
+fn every_app_completes_on_fsoi() {
+    for mut app in AppProfile::suite() {
+        app.ops_per_core = 250;
+        let r = CmpSystem::new(SystemConfig::paper_16(NetworkKind::fsoi(16)), app).run(MAX);
+        assert!(r.cycles > 0, "{} must finish", r.app);
+        assert!(r.packets_sent[0] > 0 && r.packets_sent[1] > 0, "{}", r.app);
+    }
+}
+
+#[test]
+fn steady_state_miss_rates_are_in_band() {
+    // Short runs are cold-start dominated; check the band at a length
+    // where the L1 hot sets are established. The light and heavy ends of
+    // the suite must separate.
+    let rate = |name| {
+        let r = CmpSystem::new(
+            SystemConfig::paper_16(NetworkKind::fsoi(16)),
+            small(name, 2_000),
+        )
+        .run(MAX);
+        r.l1_miss_rate
+    };
+    let light = rate("ws");
+    let heavy = rate("mp");
+    assert!(light > 0.005 && light < 0.18, "ws miss rate {light}");
+    assert!(heavy > light, "mp ({heavy}) heavier than ws ({light})");
+    assert!(heavy < 0.30, "mp miss rate {heavy}");
+}

@@ -1,0 +1,124 @@
+//! Integration tests pinning the paper's analytic claims — the numbers a
+//! reader can check against the text without running workloads.
+
+use fsoi::net::analysis::backoff::{pathological_burst, resolution_delay};
+use fsoi::net::analysis::bandwidth::BandwidthAllocationModel;
+use fsoi::net::analysis::collision::{monte_carlo, node_collision_probability};
+use fsoi::net::backoff::BackoffPolicy;
+use fsoi::net::lane::Lanes;
+use fsoi::net::packet::PacketClass;
+use fsoi::net::topology::{array_area_mm2, dedicated_vcsel_count};
+use fsoi::optics::link::OpticalLink;
+use fsoi::optics::noise::ber_to_q;
+
+#[test]
+fn table1_link_budget_matches_paper() {
+    let b = OpticalLink::paper_default().budget();
+    assert!((b.distance_m - 0.02).abs() < 1e-12, "2 cm diagonal");
+    assert!((b.path_loss_db - 2.6).abs() < 0.2, "2.6 dB path loss");
+    assert!(b.bit_error_rate < 1e-9, "BER 1e-10 class");
+    assert!((b.jitter_ps - 1.7).abs() < 0.3, "1.7 ps jitter");
+    assert!((b.driver_power_mw - 6.3).abs() < 0.2, "6.3 mW driver");
+    assert!((b.vcsel_power_mw - 0.96).abs() < 0.01, "0.96 mW VCSEL");
+    assert!((b.tx_standby_mw - 0.43).abs() < 0.01, "0.43 mW standby");
+    assert!((b.rx_power_mw - 4.2).abs() < 0.01, "4.2 mW receiver");
+    assert!((b.data_rate_gbps - 40.0).abs() < 1e-9, "40 Gbps");
+}
+
+#[test]
+fn section_431_vcsel_inventory() {
+    // "for N = 16, k = 9 … approximately 2000 VCSELs" occupying "about
+    // 5 mm²" at 20 µm devices and 30 µm spacing.
+    let count = dedicated_vcsel_count(16, 9);
+    assert!((2000..2300).contains(&count));
+    assert!((array_area_mm2(2000, 20.0, 30.0) - 5.0).abs() < 0.1);
+}
+
+#[test]
+fn section_431_relaxed_ber_margin() {
+    // "the bit error rates of the signaling chain can be relaxed
+    // significantly (from 1e-10 to, say, 1e-5)".
+    assert!((ber_to_q(1e-10) - 6.36).abs() < 0.01);
+    assert!((ber_to_q(1e-5) - 4.26).abs() < 0.01);
+}
+
+#[test]
+fn figure3_collision_probability_shape() {
+    // Inverse proportionality in R, weak N dependence, Monte-Carlo
+    // agreement.
+    let p = 0.10;
+    let r1 = node_collision_probability(p, 16, 1);
+    let r2 = node_collision_probability(p, 16, 2);
+    assert!((r1 / r2 - 2.0).abs() < 0.3);
+    let n16 = node_collision_probability(p, 16, 2);
+    let n64 = node_collision_probability(p, 64, 2);
+    assert!((n16 - n64).abs() / n16 < 0.12);
+    let mc = monte_carlo(p, 16, 2, 150_000, 3);
+    assert!((mc.node_collision_rate - n16).abs() < 0.2 * n16);
+}
+
+#[test]
+fn section_432_slotting_and_serialization() {
+    // "a serialization latency of 2 (processor) cycles for a (72-bit)
+    // meta packet and 5 cycles for a (360-bit) data packet".
+    let lanes = Lanes::paper_default();
+    assert_eq!(lanes.serialization_cycles(PacketClass::Meta), 2);
+    assert_eq!(lanes.serialization_cycles(PacketClass::Data), 5);
+    assert_eq!(lanes.meta.packet_bits, 72);
+    assert_eq!(lanes.data.packet_bits, 360);
+    assert_eq!(lanes.meta.vcsels, 3);
+    assert_eq!(lanes.data.vcsels, 6);
+}
+
+#[test]
+fn section_432_bandwidth_allocation_optimum() {
+    // "the optimal latency value occurs at B_M = 0.285: about 30% of the
+    // bandwidth should be allocated to transmit meta packets" → 3 of 9
+    // VCSELs.
+    let model = BandwidthAllocationModel::paper_default();
+    assert!((model.optimal_bm() - 0.285).abs() < 0.005);
+    assert_eq!(model.integer_split(9), (3, 6));
+}
+
+#[test]
+fn figure4_backoff_optimum_region() {
+    // The paper's optimum (W = 2.7, B = 1.1) must beat binary back-off
+    // and both a too-small and a too-large starting window.
+    let d = |w, b| resolution_delay(BackoffPolicy::new(w, b), 0.01, 2, 2, 25_000, 11);
+    let opt = d(2.7, 1.1);
+    assert!((6.0..10.5).contains(&opt), "paper computed 7.26, got {opt}");
+    assert!(opt < d(2.7, 2.0), "B = 1.1 beats doubling");
+    assert!(opt < d(1.0, 1.1), "W = 1 recollides");
+    assert!(opt < d(8.0, 1.1), "W = 8 waits too long");
+}
+
+#[test]
+fn section_432_pathological_burst() {
+    // "it takes an average of about 26 retries (for a total of 416
+    // cycles)… with a fixed window size of 3, it would take 8.2e10…
+    // Setting B to 2 shortens this to about 5 retries (199 cycles)."
+    let opt = pathological_burst(63, BackoffPolicy::PAPER_OPTIMUM, 2, 2);
+    assert!((20.0..34.0).contains(&opt.retries), "{}", opt.retries);
+    assert!((250.0..600.0).contains(&opt.cycles), "{}", opt.cycles);
+    let binary = pathological_burst(63, BackoffPolicy::BINARY, 2, 2);
+    assert!((4.0..9.0).contains(&binary.retries), "{}", binary.retries);
+    let fixed = pathological_burst(63, BackoffPolicy::fixed(3.0), 2, 2);
+    assert!(
+        (5e10..1.2e11).contains(&fixed.retries),
+        "{:.2e}",
+        fixed.retries
+    );
+}
+
+#[test]
+fn figure11_bandwidth_scaling_configuration() {
+    // Footnote 9's base configuration: both lanes at 6 VCSELs so meta
+    // serializes in 1 cycle and data in 5 — matching the mesh flit
+    // timing; halving doubles both.
+    let base = Lanes::fig11_base();
+    assert_eq!(base.serialization_cycles(PacketClass::Meta), 1);
+    assert_eq!(base.serialization_cycles(PacketClass::Data), 5);
+    let half = base.scaled_bandwidth(0.5);
+    assert_eq!(half.serialization_cycles(PacketClass::Meta), 2);
+    assert_eq!(half.serialization_cycles(PacketClass::Data), 10);
+}
