@@ -2,7 +2,8 @@
 //! many protocol transitions per second the L1 and directory controllers
 //! sustain (every Figure 6–10 run is bounded by this).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fsoi_bench::microbench::{black_box, Criterion, Throughput};
+use fsoi_bench::{criterion_group, criterion_main};
 use fsoi_coherence::directory::Directory;
 use fsoi_coherence::l1::L1Controller;
 use fsoi_coherence::protocol::{CoherenceMsg, Grant, LineAddr};

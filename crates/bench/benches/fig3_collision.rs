@@ -1,7 +1,8 @@
 //! Figure 3 bench: closed-form and Monte-Carlo collision-probability
 //! computations.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsoi_bench::microbench::{black_box, Criterion};
+use fsoi_bench::{criterion_group, criterion_main};
 use fsoi_net::analysis::collision::{monte_carlo, node_collision_probability};
 
 fn bench_collision(c: &mut Criterion) {

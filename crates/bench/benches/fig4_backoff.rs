@@ -1,7 +1,8 @@
 //! Figure 4 bench: the back-off resolution-delay model and the
 //! pathological-burst series.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsoi_bench::microbench::{black_box, Criterion};
+use fsoi_bench::{criterion_group, criterion_main};
 use fsoi_net::analysis::backoff::{pathological_burst, resolution_delay};
 use fsoi_net::backoff::BackoffPolicy;
 

@@ -3,7 +3,8 @@
 //! workhorses behind every evaluation figure; the bench tracks how fast
 //! the reproduction itself runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsoi_bench::microbench::{BenchmarkId, Criterion};
+use fsoi_bench::{criterion_group, criterion_main};
 use fsoi_cmp::configs::{NetworkKind, SystemConfig};
 use fsoi_cmp::system::CmpSystem;
 use fsoi_cmp::workload::AppProfile;

@@ -2,7 +2,8 @@
 //! second of the FSOI and mesh simulators under sustained uniform random
 //! traffic.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fsoi_bench::microbench::{Criterion, Throughput};
+use fsoi_bench::{criterion_group, criterion_main};
 use fsoi_mesh::config::MeshConfig;
 use fsoi_mesh::network::MeshNetwork;
 use fsoi_mesh::packet::MeshPacket;

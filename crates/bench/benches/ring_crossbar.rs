@@ -1,7 +1,8 @@
 //! Corona-comparison bench: ring-crossbar engine throughput under
 //! uniform random traffic (the §7.1 comparison's substrate).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fsoi_bench::microbench::{Criterion, Throughput};
+use fsoi_bench::{criterion_group, criterion_main};
 use fsoi_ring::config::RingConfig;
 use fsoi_ring::network::{RingNetwork, RingPacket};
 use fsoi_sim::rng::Xoshiro256StarStar;

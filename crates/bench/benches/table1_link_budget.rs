@@ -1,7 +1,8 @@
 //! Table 1 bench: the link-budget computation (the physical-layer kernel
 //! behind every energy number in the evaluation).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsoi_bench::microbench::{black_box, Criterion};
+use fsoi_bench::{criterion_group, criterion_main};
 use fsoi_optics::link::OpticalLink;
 use fsoi_optics::noise::{ber_to_q, q_to_ber};
 

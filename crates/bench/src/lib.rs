@@ -4,10 +4,13 @@
 //!
 //! The heavy lifting lives in [`runner`]; the `experiments` binary exposes
 //! one subcommand per table/figure and prints rows shaped like the paper's
-//! plots. Criterion benches under `benches/` reuse the same entry points.
+//! plots. The micro-benches under `benches/` (built only with the
+//! non-default `criterion` feature, on the in-repo [`microbench`] shim)
+//! reuse the same entry points.
 
 #![warn(missing_docs)]
 
+pub mod microbench;
 pub mod runner;
 
 pub use runner::{run_app, sweep_apps, AppResult, SweepOptions};

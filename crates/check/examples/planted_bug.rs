@@ -1,0 +1,31 @@
+//! Demonstrates the harness finding, shrinking and reporting a planted
+//! bug through the public API:
+//!
+//! ```bash
+//! cargo run -p fsoi-check --example planted_bug
+//! ```
+
+use fsoi_check::{vec_of, Checker};
+
+fn main() {
+    // The "bug": sums of 100-bounded vectors allegedly never reach 250.
+    let gen = vec_of(0u64..100, 1..20);
+    let prop = |xs: &Vec<u64>| {
+        let sum: u64 = xs.iter().sum();
+        assert!(sum < 250, "sum {sum} reached 250");
+    };
+
+    let checker = Checker::new().no_record();
+    match checker.check_result("planted_bug", &gen, &prop) {
+        Ok(()) => println!("property held (the bug hid — try more cases)"),
+        Err(f) => {
+            println!("case seed : {:#018x}", f.seed);
+            println!("original  : {:?} (len {})", f.original, f.original.len());
+            println!("shrunk    : {:?} ({} steps)", f.shrunk, f.steps);
+            println!("assertion : {}", f.message);
+            println!("replay    : FSOI_CHECK_REPLAY={:#x} <rerun>", f.seed);
+            let sum: u64 = f.shrunk.iter().sum();
+            assert!((250..350).contains(&sum), "shrunk sum {sum} should be near-minimal");
+        }
+    }
+}

@@ -1,149 +1,163 @@
-//! Property tests for the coherence substrate's data structures.
+//! Property tests for the coherence substrate's data structures (on the
+//! in-repo `fsoi-check` harness).
 
+use fsoi_check::{any_bool, checker, set_of, vec_of};
 use fsoi_coherence::cache::{AllocOutcome, CacheArray};
 use fsoi_coherence::protocol::LineAddr;
 use fsoi_coherence::sync::{Barrier, BooleanSubscriptionHub, LlScMonitor};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-proptest! {
-    /// The cache never exceeds its capacity, lookups agree with a model
-    /// map of resident lines, and every eviction returns the evictee's
-    /// payload.
-    #[test]
-    fn cache_array_agrees_with_model(
-        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..400)
-    ) {
-        let mut cache: CacheArray<u64> = CacheArray::new(16 * 32, 2, 32); // 16 lines
-        let mut model: HashMap<LineAddr, u64> = HashMap::new();
-        for (i, &(l, write)) in accesses.iter().enumerate() {
-            let line = LineAddr(l * 32);
-            let resident = cache.lookup(line).is_some();
-            prop_assert_eq!(resident, model.contains_key(&line));
-            if !resident && write {
-                match cache.insert(line, i as u64) {
-                    AllocOutcome::Inserted => {}
-                    AllocOutcome::Evicted { line: victim, payload } => {
-                        let expect = model.remove(&victim);
-                        prop_assert_eq!(expect, Some(payload), "evicted payload mismatch");
+/// The cache never exceeds its capacity, lookups agree with a model map
+/// of resident lines, and every eviction returns the evictee's payload.
+#[test]
+fn cache_array_agrees_with_model() {
+    checker!().check(
+        "cache_array_agrees_with_model",
+        vec_of((0u64..64, any_bool()), 1..400),
+        |accesses| {
+            let mut cache: CacheArray<u64> = CacheArray::new(16 * 32, 2, 32); // 16 lines
+            let mut model: HashMap<LineAddr, u64> = HashMap::new();
+            for (i, &(l, write)) in accesses.iter().enumerate() {
+                let line = LineAddr(l * 32);
+                let resident = cache.lookup(line).is_some();
+                assert_eq!(resident, model.contains_key(&line));
+                if !resident && write {
+                    match cache.insert(line, i as u64) {
+                        AllocOutcome::Inserted => {}
+                        AllocOutcome::Evicted { line: victim, payload } => {
+                            let expect = model.remove(&victim);
+                            assert_eq!(expect, Some(payload), "evicted payload mismatch");
+                        }
                     }
+                    model.insert(line, i as u64);
                 }
-                model.insert(line, i as u64);
+                assert!(cache.len() <= cache.capacity_lines());
+                assert_eq!(cache.len(), model.len());
             }
-            prop_assert!(cache.len() <= cache.capacity_lines());
-            prop_assert_eq!(cache.len(), model.len());
-        }
-    }
+        },
+    );
+}
 
-    /// Filtered insertion never evicts a protected line.
-    #[test]
-    fn filtered_insert_respects_pins(
-        pins in prop::collection::btree_set(0u64..8, 0..4),
-        inserts in prop::collection::vec(0u64..8, 1..40)
-    ) {
-        // Single set, 4 ways: heavy conflict pressure.
-        let mut cache: CacheArray<u64> = CacheArray::new(4 * 32, 4, 32);
-        let pinned: Vec<LineAddr> = pins.iter().map(|&p| LineAddr(p * 32 * 8)).collect();
-        for ins in inserts {
-            let line = LineAddr(ins * 32 * 8 + 0x10000 * 32);
-            if cache.peek(line).is_some() {
-                continue;
+/// Filtered insertion never evicts a protected line.
+#[test]
+fn filtered_insert_respects_pins() {
+    checker!().check(
+        "filtered_insert_respects_pins",
+        (set_of(0..8, 0..4), vec_of(0u64..8, 1..40)),
+        |(pins, inserts)| {
+            // Single set, 4 ways: heavy conflict pressure.
+            let mut cache: CacheArray<u64> = CacheArray::new(4 * 32, 4, 32);
+            let pinned: Vec<LineAddr> =
+                pins.iter().map(|&p| LineAddr(p as u64 * 32 * 8)).collect();
+            for &ins in inserts {
+                let line = LineAddr(ins * 32 * 8 + 0x10000 * 32);
+                if cache.peek(line).is_some() {
+                    continue;
+                }
+                let _ = cache.insert_evicting_where(line, 0, |victim, _| !pinned.contains(&victim));
             }
-            let _ = cache.insert_evicting_where(line, 0, |victim, _| !pinned.contains(&victim));
-            for p in &pinned {
-                if cache.peek(*p).is_none() {
-                    // Pinned lines were never inserted here; insert them
-                    // first, then they must survive everything after.
+            // Direct check: insert pins, then flood; pins survive.
+            let mut cache: CacheArray<u64> = CacheArray::new(4 * 32, 4, 32);
+            for (i, p) in pinned.iter().enumerate() {
+                if cache.peek(*p).is_none() && i < 4 {
+                    let _ = cache.insert_evicting_where(*p, 99, |_, _| true);
                 }
             }
-        }
-        // Direct check: insert pins, then flood; pins survive.
-        let mut cache: CacheArray<u64> = CacheArray::new(4 * 32, 4, 32);
-        for (i, p) in pinned.iter().enumerate() {
-            if cache.peek(*p).is_none() && i < 4 {
-                let _ = cache.insert_evicting_where(*p, 99, |_, _| true);
+            let resident_pins: Vec<LineAddr> =
+                pinned.iter().copied().filter(|p| cache.peek(*p).is_some()).collect();
+            for k in 0..32u64 {
+                let line = LineAddr((0x500 + k) * 32); // arbitrary
+                if cache.peek(line).is_some() {
+                    continue;
+                }
+                let _ = cache.insert_evicting_where(line, k, |victim, _| {
+                    !resident_pins.contains(&victim)
+                });
             }
-        }
-        let resident_pins: Vec<LineAddr> =
-            pinned.iter().copied().filter(|p| cache.peek(*p).is_some()).collect();
-        for k in 0..32u64 {
-            let line = LineAddr((0x500 + k) * 32); // arbitrary
-            if cache.peek(line).is_some() {
-                continue;
+            for p in &resident_pins {
+                assert!(cache.peek(*p).is_some(), "pinned {p} was evicted");
             }
-            let _ = cache.insert_evicting_where(line, k, |victim, _| {
-                !resident_pins.contains(&victim)
-            });
-        }
-        for p in &resident_pins {
-            prop_assert!(cache.peek(*p).is_some(), "pinned {p} was evicted");
-        }
-    }
+        },
+    );
+}
 
-    /// ll/sc: a store-conditional succeeds iff no intervening
-    /// invalidation (or other sc) touched the reservation.
-    #[test]
-    fn llsc_reservation_semantics(
-        events in prop::collection::vec((0u8..3, 0u64..4), 1..200)
-    ) {
-        let mut m = LlScMonitor::new();
-        let mut model: Option<u64> = None;
-        for (kind, line) in events {
-            let addr = LineAddr(line * 32);
-            match kind {
-                0 => {
-                    m.ll(addr);
-                    model = Some(line);
-                }
-                1 => {
-                    let expect = model == Some(line);
-                    prop_assert_eq!(m.sc(addr), expect);
-                    model = None;
-                }
-                _ => {
-                    m.on_invalidate(addr);
-                    if model == Some(line) {
+/// ll/sc: a store-conditional succeeds iff no intervening invalidation
+/// (or other sc) touched the reservation.
+#[test]
+fn llsc_reservation_semantics() {
+    checker!().check(
+        "llsc_reservation_semantics",
+        vec_of((0u8..3, 0u64..4), 1..200),
+        |events| {
+            let mut m = LlScMonitor::new();
+            let mut model: Option<u64> = None;
+            for &(kind, line) in events {
+                let addr = LineAddr(line * 32);
+                match kind {
+                    0 => {
+                        m.ll(addr);
+                        model = Some(line);
+                    }
+                    1 => {
+                        let expect = model == Some(line);
+                        assert_eq!(m.sc(addr), expect);
                         model = None;
                     }
+                    _ => {
+                        m.on_invalidate(addr);
+                        if model == Some(line) {
+                            model = None;
+                        }
+                    }
                 }
             }
-        }
-    }
+        },
+    );
+}
 
-    /// A barrier of n participants releases exactly every n-th arrival
-    /// and flips its sense each episode.
-    #[test]
-    fn barrier_releases_every_nth(n in 1usize..32, arrivals in 1usize..200) {
-        let mut b = Barrier::new(n);
-        let mut sense = b.sense();
-        for i in 1..=arrivals {
-            let released = b.arrive();
-            prop_assert_eq!(released, i % n == 0, "arrival {} of groups of {}", i, n);
-            if released {
-                prop_assert_ne!(b.sense(), sense, "sense flips");
-                sense = b.sense();
+/// A barrier of n participants releases exactly every n-th arrival and
+/// flips its sense each episode.
+#[test]
+fn barrier_releases_every_nth() {
+    checker!().check(
+        "barrier_releases_every_nth",
+        (1usize..32, 1usize..200),
+        |&(n, arrivals)| {
+            let mut b = Barrier::new(n);
+            let mut sense = b.sense();
+            for i in 1..=arrivals {
+                let released = b.arrive();
+                assert_eq!(released, i % n == 0, "arrival {} of groups of {}", i, n);
+                if released {
+                    assert_ne!(b.sense(), sense, "sense flips");
+                    sense = b.sense();
+                }
             }
-        }
-        prop_assert_eq!(b.episodes(), (arrivals / n) as u64);
-    }
+            assert_eq!(b.episodes(), (arrivals / n) as u64);
+        },
+    );
+}
 
-    /// Subscription pushes go to exactly the live subscribers minus the
-    /// writer, and invalidation empties the line.
-    #[test]
-    fn subscription_hub_membership(
-        subs in prop::collection::btree_set(0usize..16, 1..10),
-        writer in 0usize..16
-    ) {
-        let mut hub = BooleanSubscriptionHub::new();
-        let line = LineAddr(0x40);
-        for &s in &subs {
-            hub.subscribe(line, s);
-        }
-        let targets = hub.push_update(line, writer);
-        let expect: Vec<usize> = subs.iter().copied().filter(|&s| s != writer).collect();
-        prop_assert_eq!(targets, expect);
-        let killed = hub.invalidate_all(line);
-        prop_assert_eq!(killed.len(), subs.len());
-        prop_assert!(hub.subscribers(line).is_empty());
-    }
+/// Subscription pushes go to exactly the live subscribers minus the
+/// writer, and invalidation empties the line.
+#[test]
+fn subscription_hub_membership() {
+    checker!().check(
+        "subscription_hub_membership",
+        (set_of(0..16, 1..10), 0usize..16),
+        |(subs, writer)| {
+            let writer = *writer;
+            let mut hub = BooleanSubscriptionHub::new();
+            let line = LineAddr(0x40);
+            for &s in subs {
+                hub.subscribe(line, s);
+            }
+            let targets = hub.push_update(line, writer);
+            let expect: Vec<usize> = subs.iter().copied().filter(|&s| s != writer).collect();
+            assert_eq!(targets, expect);
+            let killed = hub.invalidate_all(line);
+            assert_eq!(killed.len(), subs.len());
+            assert!(hub.subscribers(line).is_empty());
+        },
+    );
 }

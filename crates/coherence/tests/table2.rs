@@ -6,6 +6,7 @@
 //! `z` (stall) cells. This is the most direct fidelity artifact in the
 //! repository — the table in the paper is the protocol.
 
+use fsoi_check::{checker, vec_of, Gen};
 use fsoi_coherence::directory::Directory;
 use fsoi_coherence::l1::L1Controller;
 use fsoi_coherence::protocol::{
@@ -533,4 +534,234 @@ fn dir_deferred_upg_reinterprets_as_ex() {
     );
     assert_eq!(d.state_of(L), DirState::DMDMD);
     assert!(d.stats().reinterpreted >= 1);
+}
+
+// ---------------------------------------------------- regression: SMA pin
+
+/// Permanent named regression (L1 half of the recorded shrink
+/// `[[Read(1, 8)], [Read(2, 8)], [Write(1, 8), Evict(1, 8)]]`): a
+/// replacement arriving while the S→M upgrade is pending in S.Mᴬ must not
+/// evict the line — the MSHR pins it — and the upgrade must still
+/// complete when the ExcAck lands.
+#[test]
+fn l1_sma_pins_line_against_eviction() {
+    let mut c = l1_in(L1State::SMA);
+    let out = c.evict(L);
+    assert!(out.is_empty(), "eviction under a pending upgrade is a no-op");
+    assert_eq!(c.state_of(L), L1State::SMA, "the MSHR pins the line");
+    assert_eq!(c.outstanding(), 1);
+
+    let r = c.handle(CoherenceMsg::ExcAck { line: L }).unwrap();
+    assert_eq!(r.completed, Some(L), "upgrade still completes");
+    assert_eq!(c.state_of(L), L1State::M);
+    assert_eq!(c.outstanding(), 0);
+}
+
+/// And the race half: if the eviction attempt is followed by the
+/// directory's Inv (our upgrade lost), the line drops to I.Mᴰ and the
+/// reinterpreted exclusive grant must fill it back to M.
+#[test]
+fn l1_sma_evict_then_inv_falls_back_to_imd() {
+    let mut c = l1_in(L1State::SMA);
+    assert!(c.evict(L).is_empty());
+    let r = c.handle(CoherenceMsg::Inv { line: L }).unwrap();
+    assert!(matches!(r.out[0].msg, CoherenceMsg::InvAck { with_data: false, .. }));
+    assert_eq!(c.state_of(L), L1State::IMD, "the upgrade race");
+
+    let r = c.handle(CoherenceMsg::Data { grant: Grant::Modified, line: L }).unwrap();
+    assert_eq!(r.completed, Some(L));
+    assert_eq!(c.state_of(L), L1State::M);
+    assert_eq!(c.outstanding(), 0);
+}
+
+// ------------------------------------------- doc-adjacent property tests
+
+/// Doc-adjacent property: under any sequence of legal stimuli — processor
+/// reads/writes/evictions, home-node invalidations, and immediate
+/// responses to every request (with the Inv sometimes racing ahead of the
+/// response, as in the S.Mᴬ → I.Mᴰ row) — the L1 never takes an error
+/// transition, never strands an MSHR, and always settles in a stable
+/// Table 2 state.
+#[test]
+fn l1_never_errors_under_legal_stimuli() {
+    checker!().check(
+        "l1_never_errors_under_legal_stimuli",
+        vec_of((0u8..4, 0u64..12, 0u8..4), 1..80),
+        |ops| {
+            let mut c = l1();
+            for &(kind, l, flags) in ops {
+                let line = LineAddr(l * 32);
+                let (race_inv, exclusive) = (flags & 1 != 0, flags & 2 != 0);
+                let req = match kind {
+                    0 => c.read(line).out,
+                    1 => c.write(line).out,
+                    2 => {
+                        c.evict(line);
+                        Vec::new()
+                    }
+                    _ => {
+                        // A home-node Inv is legal in every Table 2 row.
+                        c.handle(CoherenceMsg::Inv { line }).unwrap();
+                        Vec::new()
+                    }
+                };
+                // Answer the request the L1 just emitted, optionally
+                // letting an Inv race in front of the response.
+                if let Some(CoherenceMsg::Req { kind: req_kind, line }) =
+                    req.first().map(|o| o.msg.clone())
+                {
+                    if race_inv {
+                        c.handle(CoherenceMsg::Inv { line }).unwrap();
+                    }
+                    let response = match req_kind {
+                        ReqType::Sh => CoherenceMsg::Data {
+                            grant: if exclusive { Grant::Exclusive } else { Grant::Shared },
+                            line,
+                        },
+                        ReqType::Ex => CoherenceMsg::Data { grant: Grant::Modified, line },
+                        ReqType::Upg => {
+                            if race_inv {
+                                // The directory reinterpreted the stale
+                                // Upg as Ex and answers with data.
+                                CoherenceMsg::Data { grant: Grant::Modified, line }
+                            } else {
+                                CoherenceMsg::ExcAck { line }
+                            }
+                        }
+                    };
+                    let r = c.handle(response).unwrap();
+                    assert_eq!(r.completed, Some(line), "request completes");
+                }
+                assert_eq!(c.outstanding(), 0, "no MSHR survives a completed request");
+                for probe in 0..12u64 {
+                    let s = c.state_of(LineAddr(probe * 32));
+                    assert!(
+                        matches!(s, L1State::I | L1State::S | L1State::E | L1State::M),
+                        "line {probe} stuck in transient {s:?}"
+                    );
+                }
+            }
+        },
+    );
+}
+
+/// Doc-adjacent property: a directory slice serving perfectly-behaved L1s
+/// (immediate acks, Table 2-conformant replies) never takes an error
+/// transition and always quiesces in a base state that agrees with the
+/// L1s' actual states.
+#[test]
+fn directory_never_errors_under_legal_streams() {
+    checker!().check(
+        "directory_never_errors_under_legal_streams",
+        vec_of((0u8..3, 0u8..4, 0u8..2), 1..60),
+        |ops| {
+            let lines = [LineAddr(0x400), LineAddr(0x800)];
+            let mut d = Directory::new(0, MEM, 1024);
+            // states[node][line-index]; nodes 1..=3 are the fake L1s.
+            let mut states = [[L1State::I; 2]; 4];
+            let mut wire: std::collections::VecDeque<(usize, CoherenceMsg)> =
+                std::collections::VecDeque::new();
+            for &(n, kind, li) in ops {
+                let node = 1 + (n as usize % 3);
+                let li = li as usize % 2;
+                let line = lines[li];
+                match (states[node][li], kind) {
+                    (L1State::I, 0) => wire.push_back((node, CoherenceMsg::Req {
+                        kind: ReqType::Sh,
+                        line,
+                    })),
+                    (L1State::I, 1) => wire.push_back((node, CoherenceMsg::Req {
+                        kind: ReqType::Ex,
+                        line,
+                    })),
+                    (L1State::S, 1) => wire.push_back((node, CoherenceMsg::Req {
+                        kind: ReqType::Upg,
+                        line,
+                    })),
+                    (L1State::S, 2) | (L1State::E, 2) => states[node][li] = L1State::I,
+                    (L1State::E, 1) => states[node][li] = L1State::M,
+                    (L1State::M, 2) => {
+                        states[node][li] = L1State::I;
+                        wire.push_back((node, CoherenceMsg::WriteBack { line }));
+                    }
+                    _ => {} // hits and no-ops
+                }
+                while let Some((from, msg)) = wire.pop_front() {
+                    let outs = d
+                        .handle(from, msg)
+                        .unwrap_or_else(|e| panic!("directory error: {e}"));
+                    for o in outs {
+                        let li = lines.iter().position(|&l| {
+                            matches!(&o.msg,
+                                CoherenceMsg::Inv { line }
+                                | CoherenceMsg::Dwg { line }
+                                | CoherenceMsg::Data { line, .. }
+                                | CoherenceMsg::ExcAck { line }
+                                | CoherenceMsg::MemReq { line, .. }
+                                | CoherenceMsg::Retry { line } if *line == l)
+                        });
+                        let Some(li) = li else { continue };
+                        let line = lines[li];
+                        if o.to == MEM {
+                            if let CoherenceMsg::MemReq { write: false, .. } = o.msg {
+                                wire.push_back((MEM, CoherenceMsg::MemAck { line }));
+                            }
+                            continue;
+                        }
+                        let st = &mut states[o.to][li];
+                        match o.msg {
+                            CoherenceMsg::Inv { .. } => {
+                                let dirty = *st == L1State::M;
+                                *st = L1State::I;
+                                wire.push_back((o.to, CoherenceMsg::InvAck {
+                                    line,
+                                    with_data: dirty,
+                                }));
+                            }
+                            CoherenceMsg::Dwg { .. } => {
+                                let dirty = *st == L1State::M;
+                                if matches!(*st, L1State::E | L1State::M) {
+                                    *st = L1State::S;
+                                }
+                                wire.push_back((o.to, CoherenceMsg::DwgAck {
+                                    line,
+                                    with_data: dirty,
+                                }));
+                            }
+                            CoherenceMsg::Data { grant, .. } => {
+                                *st = match grant {
+                                    Grant::Shared => L1State::S,
+                                    Grant::Exclusive => L1State::E,
+                                    Grant::Modified => L1State::M,
+                                };
+                            }
+                            CoherenceMsg::ExcAck { .. } => *st = L1State::M,
+                            CoherenceMsg::Retry { .. } => {} // request dropped
+                            _ => {}
+                        }
+                    }
+                }
+                for (li, &line) in lines.iter().enumerate() {
+                    let ds = d.state_of(line);
+                    assert!(
+                        matches!(ds, DirState::DI | DirState::DV | DirState::DM | DirState::DS),
+                        "{line}: directory not quiescent: {ds:?}"
+                    );
+                    for node in 1..=3usize {
+                        match states[node][li] {
+                            L1State::E | L1State::M => {
+                                assert_eq!(ds, DirState::DM, "{line}: writable outside DM");
+                                assert_eq!(d.owner_of(line), Some(node));
+                            }
+                            L1State::S => {
+                                assert_eq!(ds, DirState::DS, "{line}: S outside DS");
+                                assert!(d.sharers_of(line).contains(&node));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        },
+    );
 }

@@ -2,16 +2,24 @@
 //!
 //! Under the simplified model — every node transmits with probability `p`
 //! per slot to a uniformly random destination, and the `N − 1` senders of
-//! each destination are divided evenly among its `R` receivers — the
+//! each destination are divided among its `R` receivers by the static
+//! round-robin map in [`crate::topology::receiver_index`] — the
 //! probability that *some* receiver of a given node sees a collision in a
 //! slot is
 //!
 //! ```text
-//! P = 1 − [ (1 − p/(N−1))^n  +  n · p/(N−1) · (1 − p/(N−1))^(n−1) ]^R
+//! P = 1 − Π_rx [ (1 − q)^n_rx  +  n_rx · q · (1 − q)^(n_rx − 1) ]
 //! ```
 //!
-//! with `n = (N − 1)/R` senders sharing each receiver: each receiver is
-//! collision-free when zero or one of its senders targets it. Figure 3
+//! with `q = p/(N−1)` and `n_rx` the *integer* number of senders wired to
+//! receiver `rx` (the group sizes of `0..N−1` mod `R`): each receiver is
+//! collision-free when zero or one of its senders targets it, and a
+//! receiver with a single sender can never collide. When `R` divides
+//! `N − 1` every `n_rx` equals `(N−1)/R` and the product collapses to the
+//! paper's symmetric `[...]^R` form; for the general case the per-group
+//! product is the exact probability, whereas interpolating a fractional
+//! `n = (N−1)/R` into the symmetric form under-counts small-`N`
+//! configurations (the recorded `nodes = 3, R = 2` regression). Figure 3
 //! plots this normalized to `p` for `R = 1..4`, showing collision
 //! frequency inversely proportional to the receiver count — the basis for
 //! the paper's choice of 2 receivers per lane.
@@ -28,15 +36,23 @@ pub fn node_collision_probability(p: f64, nodes: usize, receivers: usize) -> f64
     assert!(nodes >= 2, "need at least two nodes");
     assert!(receivers >= 1, "need at least one receiver");
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    let n = (nodes - 1) as f64 / receivers as f64;
-    if n <= 1.0 {
-        // One (or fewer) senders per receiver: collisions are impossible.
-        return 0.0;
+    let senders = nodes - 1;
+    let q = p / senders as f64; // P(a specific sender targets this node)
+    // Exact per-receiver group sizes: sender rank r ∈ 0..N−1 is wired to
+    // receiver r % R, so group rx holds ceil/floor((N−1)/R) senders.
+    let mut no_collision = 1.0;
+    for rx in 0..receivers {
+        let n_rx = senders / receivers + usize::from(rx < senders % receivers);
+        if n_rx <= 1 {
+            // Zero or one senders on this receiver: it can never collide.
+            continue;
+        }
+        let n = n_rx as f64;
+        let none = (1.0 - q).powi(n_rx as i32);
+        let one = n * q * (1.0 - q).powi(n_rx as i32 - 1);
+        no_collision *= none + one;
     }
-    let q = p / (nodes - 1) as f64; // P(a specific sender targets this node)
-    let none = (1.0 - q).powf(n);
-    let one = n * q * (1.0 - q).powf(n - 1.0);
-    1.0 - (none + one).powi(receivers as i32)
+    1.0 - no_collision
 }
 
 /// Figure 3's y-axis: the node collision probability normalized to the
@@ -223,6 +239,44 @@ mod tests {
                 mc.node_collision_rate
             );
         }
+    }
+
+    /// Permanent named regression for the recorded
+    /// `collision_probability_sane` shrink: `p = 0.2334228658634545,
+    /// nodes = 3`. With two senders, the old fractional closed form
+    /// interpolated `n = (N−1)/R` between integer group sizes and its
+    /// `n <= 1` early return zeroed every `R ≥ 2` point; the exact
+    /// per-group product must stay in bounds, decrease in `R` (reaching
+    /// exactly 0 once every receiver has ≤ 1 sender), grow with `p`, and
+    /// match a Monte-Carlo run of the same partition.
+    #[test]
+    fn fig3_shrink_regression_nodes3() {
+        let p = 0.2334228658634545;
+        let probs: Vec<f64> = (1..=4)
+            .map(|r| node_collision_probability(p, 3, r))
+            .collect();
+        for (i, &c) in probs.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&c), "R={}: {c} out of bounds", i + 1);
+            assert!(c <= p + 1e-12, "R={}: collision rate {c} exceeds p", i + 1);
+        }
+        // Monotone non-increasing in R; with 2 senders, R ≥ 2 gives each
+        // receiver a single sender and collisions become impossible.
+        assert!(probs.windows(2).all(|w| w[1] <= w[0] + 1e-15), "{probs:?}");
+        assert!(probs[0] > 0.0, "one shared receiver does collide");
+        assert_eq!(&probs[1..], &[0.0, 0.0, 0.0], "singleton receivers never collide");
+        // Monotone in p at the shrink's R = 1.
+        assert!(node_collision_probability(p + 0.05, 3, 1) > probs[0]);
+        // At R = 1 the closed form reduces to q² (both of the two senders
+        // must fire), and the Monte-Carlo partition agrees.
+        let q = p / 2.0;
+        assert!((probs[0] - q * q).abs() < 1e-15);
+        let mc = monte_carlo(p, 3, 1, 400_000, 13);
+        assert!(
+            (mc.node_collision_rate - probs[0]).abs() < 0.10 * probs[0],
+            "sim {} vs theory {}",
+            mc.node_collision_rate,
+            probs[0]
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! Property tests for the FSOI network's data structures and analysis.
+//! Property tests for the FSOI network's data structures and analysis
+//! (on the in-repo `fsoi-check` harness).
 
+use fsoi_check::{checker, set_of, vec_of};
 use fsoi_net::analysis::collision::node_collision_probability;
 use fsoi_net::backoff::BackoffPolicy;
 use fsoi_net::lane::Lanes;
@@ -8,118 +10,144 @@ use fsoi_net::spacing::ReplySlotReservations;
 use fsoi_net::topology::{receiver_index, senders_for_receiver, NodeId};
 use fsoi_sim::rng::Xoshiro256StarStar;
 use fsoi_sim::Cycle;
-use proptest::prelude::*;
 
-proptest! {
-    /// Any set of two or more distinct senders produces a detectably
-    /// collided header, and the decoded superset always contains every
-    /// actual participant.
-    #[test]
-    fn header_code_detects_and_bounds_collisions(
-        mut senders in prop::collection::btree_set(0usize..64, 2..8)
-    ) {
-        let nodes = 64;
-        let list: Vec<NodeId> = senders.iter().map(|&s| NodeId(s)).collect();
-        let h = HeaderCode::superpose_all(&list, nodes);
-        prop_assert!(h.is_collided(), "distinct senders must be detected");
-        prop_assert_eq!(h.decode(), None);
-        let superset = h.possible_senders(nodes);
-        for s in &list {
-            prop_assert!(superset.contains(s), "superset must contain {s}");
-        }
-        // Bonus sanity: a single sender decodes cleanly.
-        let lone = NodeId(senders.pop_first().unwrap());
-        let clean = HeaderCode::encode(lone, nodes);
-        prop_assert_eq!(clean.decode(), Some(lone));
-    }
+/// Any set of two or more distinct senders produces a detectably
+/// collided header, and the decoded superset always contains every
+/// actual participant.
+#[test]
+fn header_code_detects_and_bounds_collisions() {
+    checker!().check(
+        "header_code_detects_and_bounds_collisions",
+        set_of(0..64, 2..8),
+        |senders| {
+            let nodes = 64;
+            let list: Vec<NodeId> = senders.iter().map(|&s| NodeId(s)).collect();
+            let h = HeaderCode::superpose_all(&list, nodes);
+            assert!(h.is_collided(), "distinct senders must be detected");
+            assert_eq!(h.decode(), None);
+            let superset = h.possible_senders(nodes);
+            for s in &list {
+                assert!(superset.contains(s), "superset must contain {s}");
+            }
+            // Bonus sanity: a single sender decodes cleanly.
+            let lone = NodeId(senders[0]);
+            let clean = HeaderCode::encode(lone, nodes);
+            assert_eq!(clean.decode(), Some(lone));
+        },
+    );
+}
 
-    /// Receiver assignment partitions the senders: every sender of a
-    /// destination appears in exactly one receiver group.
-    #[test]
-    fn receiver_groups_partition_senders(nodes in 2usize..65, receivers in 1usize..5) {
-        for dst in 0..nodes {
-            let mut seen = vec![0u32; nodes];
-            for rx in 0..receivers {
-                for s in senders_for_receiver(NodeId(dst), rx, nodes, receivers) {
-                    seen[s.0] += 1;
-                    prop_assert_eq!(receiver_index(s, NodeId(dst), nodes, receivers), rx);
+/// Receiver assignment partitions the senders: every sender of a
+/// destination appears in exactly one receiver group.
+#[test]
+fn receiver_groups_partition_senders() {
+    checker!().check(
+        "receiver_groups_partition_senders",
+        (2usize..65, 1usize..5),
+        |&(nodes, receivers)| {
+            for dst in 0..nodes {
+                let mut seen = vec![0u32; nodes];
+                for rx in 0..receivers {
+                    for s in senders_for_receiver(NodeId(dst), rx, nodes, receivers) {
+                        seen[s.0] += 1;
+                        assert_eq!(receiver_index(s, NodeId(dst), nodes, receivers), rx);
+                    }
+                }
+                for (i, &c) in seen.iter().enumerate() {
+                    assert_eq!(c, u32::from(i != dst), "node {} vs dst {}", i, dst);
                 }
             }
-            for (i, &c) in seen.iter().enumerate() {
-                prop_assert_eq!(c, u32::from(i != dst), "node {} vs dst {}", i, dst);
-            }
-        }
-    }
+        },
+    );
+}
 
-    /// Back-off draws always fall inside the (ceiling of the) window and
-    /// windows never shrink with the retry count.
-    #[test]
-    fn backoff_windows_grow_and_bound_draws(
-        w in 1.0f64..10.0, b in 1.0f64..2.5, seed in any::<u64>()
-    ) {
-        let p = BackoffPolicy::new(w, b);
-        let mut rng = Xoshiro256StarStar::new(seed);
-        let mut prev = 0.0;
-        for retry in 1..12u32 {
-            let win = p.window_for_retry(retry);
-            prop_assert!(win >= prev);
-            prev = win;
-            for _ in 0..50 {
-                let d = p.draw_delay_slots(retry, &mut rng);
-                prop_assert!(d >= 1 && d as f64 <= win.ceil());
+/// Back-off draws always fall inside the (ceiling of the) window and
+/// windows never shrink with the retry count.
+#[test]
+fn backoff_windows_grow_and_bound_draws() {
+    checker!().check(
+        "backoff_windows_grow_and_bound_draws",
+        (1.0f64..10.0, 1.0f64..2.5, 0u64..u64::MAX),
+        |&(w, b, seed)| {
+            let p = BackoffPolicy::new(w, b);
+            let mut rng = Xoshiro256StarStar::new(seed);
+            let mut prev = 0.0;
+            for retry in 1..12u32 {
+                let win = p.window_for_retry(retry);
+                assert!(win >= prev);
+                prev = win;
+                for _ in 0..50 {
+                    let d = p.draw_delay_slots(retry, &mut rng);
+                    assert!(d >= 1 && d as f64 <= win.ceil());
+                }
+                // The analytic mean matches the support.
+                let m = p.mean_delay_slots(retry);
+                assert!(m >= 1.0 && m <= win.ceil());
             }
-            // The analytic mean matches the support.
-            let m = p.mean_delay_slots(retry);
-            prop_assert!(m >= 1.0 && m <= win.ceil());
-        }
-    }
+        },
+    );
+}
 
-    /// Scaling lane bandwidth down never shortens serialization, and the
-    /// scaled lanes still carry whole packets.
-    #[test]
-    fn lane_scaling_is_monotone(frac in 0.05f64..1.0) {
+/// Scaling lane bandwidth down never shortens serialization, and the
+/// scaled lanes still carry whole packets.
+#[test]
+fn lane_scaling_is_monotone() {
+    checker!().check("lane_scaling_is_monotone", 0.05f64..1.0, |&frac| {
         let base = Lanes::fig11_base();
         let scaled = base.scaled_bandwidth(frac);
         for class in [PacketClass::Meta, PacketClass::Data] {
-            prop_assert!(
-                scaled.serialization_cycles(class) >= base.serialization_cycles(class)
-            );
-            prop_assert!(scaled.spec(class).vcsels >= 1);
+            assert!(scaled.serialization_cycles(class) >= base.serialization_cycles(class));
+            assert!(scaled.spec(class).vcsels >= 1);
         }
-    }
+    });
+}
 
-    /// Reservations never double-book a slot and delays are multiples of
-    /// the slot length.
-    #[test]
-    fn reservations_never_collide(
-        arrivals in prop::collection::vec(0u64..400, 1..60), slot in 1u64..10
-    ) {
-        let mut book = ReplySlotReservations::new();
-        let mut taken = std::collections::HashSet::new();
-        for &a in &arrivals {
-            let r = book.reserve(Cycle(a), slot);
-            prop_assert!(r.slot_start.as_u64().is_multiple_of(slot));
-            prop_assert!(r.request_delay.is_multiple_of(slot));
-            prop_assert!(r.slot_start.as_u64() + slot > a, "grant not in the past");
-            prop_assert!(taken.insert(r.slot_start), "double booking at {:?}", r.slot_start);
-        }
-    }
+/// Reservations never double-book a slot and delays are multiples of
+/// the slot length.
+#[test]
+fn reservations_never_collide() {
+    checker!().check(
+        "reservations_never_collide",
+        (vec_of(0u64..400, 1..60), 1u64..10),
+        |(arrivals, slot)| {
+            let slot = *slot;
+            let mut book = ReplySlotReservations::new();
+            let mut taken = std::collections::HashSet::new();
+            for &a in arrivals {
+                let r = book.reserve(Cycle(a), slot);
+                assert!(r.slot_start.as_u64().is_multiple_of(slot));
+                assert!(r.request_delay.is_multiple_of(slot));
+                assert!(r.slot_start.as_u64() + slot > a, "grant not in the past");
+                assert!(taken.insert(r.slot_start), "double booking at {:?}", r.slot_start);
+            }
+        },
+    );
+}
 
-    /// The Figure 3 closed form is a probability, monotone in p, and
-    /// decreasing in the receiver count.
-    #[test]
-    fn collision_probability_sane(p in 0.0f64..1.0, nodes in 3usize..128) {
-        let mut prev = f64::INFINITY;
-        for r in 1..=4usize {
-            let c = node_collision_probability(p, nodes, r);
-            prop_assert!((0.0..=1.0).contains(&c));
-            prop_assert!(c <= prev + 1e-12);
-            prev = c;
-        }
-        if p > 0.01 {
-            let lo = node_collision_probability(p * 0.5, nodes, 2);
-            let hi = node_collision_probability(p, nodes, 2);
-            prop_assert!(hi >= lo - 1e-12);
-        }
-    }
+/// The Figure 3 closed form is a probability, monotone in p, and
+/// decreasing in the receiver count.
+///
+/// The `.regressions`-era proptest failure (shrunk to `p = 0.2334...,
+/// nodes = 3`) is additionally pinned as the named unit test
+/// `fig3_shrink_regression_nodes3` in `src/analysis/collision.rs`.
+#[test]
+fn collision_probability_sane() {
+    checker!().check(
+        "collision_probability_sane",
+        (0.0f64..1.0, 3usize..128),
+        |&(p, nodes)| {
+            let mut prev = f64::INFINITY;
+            for r in 1..=4usize {
+                let c = node_collision_probability(p, nodes, r);
+                assert!((0.0..=1.0).contains(&c));
+                assert!(c <= prev + 1e-12);
+                prev = c;
+            }
+            if p > 0.01 {
+                let lo = node_collision_probability(p * 0.5, nodes, 2);
+                let hi = node_collision_probability(p, nodes, 2);
+                assert!(hi >= lo - 1e-12);
+            }
+        },
+    );
 }

@@ -1,100 +1,114 @@
-//! Property tests for the Corona-style ring crossbar.
+//! Property tests for the Corona-style ring crossbar (on the in-repo
+//! `fsoi-check` harness).
 
+use fsoi_check::{any_bool, checker, vec_of};
 use fsoi_ring::config::RingConfig;
 use fsoi_ring::network::{RingNetwork, RingPacket};
-use proptest::prelude::*;
 
-proptest! {
-    /// Every accepted packet is delivered exactly once.
-    #[test]
-    fn ring_conserves_packets(
-        script in prop::collection::vec((0usize..16, 1usize..16, any::<bool>()), 1..150)
-    ) {
-        let mut net = RingNetwork::new(RingConfig::nodes(16));
-        let mut accepted = 0u64;
-        for (src, off, data) in script {
+/// Every accepted packet is delivered exactly once.
+#[test]
+fn ring_conserves_packets() {
+    checker!().check(
+        "ring_conserves_packets",
+        vec_of((0usize..16, 1usize..16, any_bool()), 1..150),
+        |script| {
+            let mut net = RingNetwork::new(RingConfig::nodes(16));
+            let mut accepted = 0u64;
+            for &(src, off, data) in script {
+                let dst = (src + off) % 16;
+                let pkt = if data {
+                    RingPacket::data(src, dst, accepted)
+                } else {
+                    RingPacket::meta(src, dst, accepted)
+                };
+                if net.inject(pkt).is_ok() {
+                    accepted += 1;
+                }
+                net.tick();
+            }
+            let mut delivered: Vec<u64> =
+                net.drain_delivered().iter().map(|d| d.packet.tag).collect();
+            for _ in 0..50_000 {
+                net.tick();
+                delivered.extend(net.drain_delivered().iter().map(|d| d.packet.tag));
+                if net.is_idle() {
+                    break;
+                }
+            }
+            assert!(net.is_idle(), "ring must drain");
+            delivered.sort_unstable();
+            assert_eq!(delivered, (0..accepted).collect::<Vec<_>>());
+        },
+    );
+}
+
+/// Per home channel, packets deliver in injection order (the token
+/// serves the writer queue FIFO) and never overlap in channel time.
+#[test]
+fn home_channels_serialize_fifo() {
+    checker!().check(
+        "home_channels_serialize_fifo",
+        vec_of(1usize..16, 2..20),
+        |writers| {
+            let mut net = RingNetwork::new(RingConfig::nodes(16));
+            let mut wanted = 0;
+            for (i, &w) in writers.iter().enumerate() {
+                if net.inject(RingPacket::data(w, 0, i as u64)).is_ok() {
+                    wanted += 1;
+                }
+            }
+            let mut out = Vec::new();
+            for _ in 0..100_000 {
+                net.tick();
+                out.extend(net.drain_delivered());
+                if net.is_idle() {
+                    break;
+                }
+            }
+            assert_eq!(out.len(), wanted);
+            // FIFO order of tags.
+            let tags: Vec<u64> = out.iter().map(|d| d.packet.tag).collect();
+            let mut sorted = tags.clone();
+            sorted.sort_unstable();
+            assert_eq!(&tags, &sorted, "home channel is FIFO");
+            // Deliveries are at least a serialization apart (one writer at
+            // a time holds the token).
+            let times: Vec<u64> = out.iter().map(|d| d.delivered_at.as_u64()).collect();
+            for w in times.windows(2) {
+                assert!(w[1] >= w[0] + 3, "data serialization is 3 cycles: {w:?}");
+            }
+        },
+    );
+}
+
+/// Latency is bounded below by the physical floor: idle token wait +
+/// serialization + half-loop flight.
+#[test]
+fn latency_floor() {
+    checker!().check(
+        "latency_floor",
+        (0usize..16, 1usize..16, any_bool()),
+        |&(src, off, data)| {
+            let cfg = RingConfig::nodes(16);
+            let mut net = RingNetwork::new(cfg);
             let dst = (src + off) % 16;
             let pkt = if data {
-                RingPacket::data(src, dst, accepted)
+                RingPacket::data(src, dst, 0)
             } else {
-                RingPacket::meta(src, dst, accepted)
+                RingPacket::meta(src, dst, 0)
             };
-            if net.inject(pkt).is_ok() {
-                accepted += 1;
+            net.inject(pkt).unwrap();
+            let mut out = Vec::new();
+            for _ in 0..200 {
+                net.tick();
+                out.extend(net.drain_delivered());
+                if !out.is_empty() {
+                    break;
+                }
             }
-            net.tick();
-        }
-        let mut delivered: Vec<u64> = net.drain_delivered().iter().map(|d| d.packet.tag).collect();
-        for _ in 0..50_000 {
-            net.tick();
-            delivered.extend(net.drain_delivered().iter().map(|d| d.packet.tag));
-            if net.is_idle() {
-                break;
-            }
-        }
-        prop_assert!(net.is_idle(), "ring must drain");
-        delivered.sort_unstable();
-        prop_assert_eq!(delivered, (0..accepted).collect::<Vec<_>>());
-    }
-
-    /// Per home channel, packets deliver in injection order (the token
-    /// serves the writer queue FIFO) and never overlap in channel time.
-    #[test]
-    fn home_channels_serialize_fifo(
-        writers in prop::collection::vec(1usize..16, 2..20)
-    ) {
-        let mut net = RingNetwork::new(RingConfig::nodes(16));
-        let mut wanted = 0;
-        for (i, &w) in writers.iter().enumerate() {
-            if net.inject(RingPacket::data(w, 0, i as u64)).is_ok() {
-                wanted += 1;
-            }
-        }
-        let mut out = Vec::new();
-        for _ in 0..100_000 {
-            net.tick();
-            out.extend(net.drain_delivered());
-            if net.is_idle() {
-                break;
-            }
-        }
-        prop_assert_eq!(out.len(), wanted);
-        // FIFO order of tags.
-        let tags: Vec<u64> = out.iter().map(|d| d.packet.tag).collect();
-        let mut sorted = tags.clone();
-        sorted.sort_unstable();
-        prop_assert_eq!(&tags, &sorted, "home channel is FIFO");
-        // Deliveries are at least a serialization apart (one writer at a
-        // time holds the token).
-        let times: Vec<u64> = out.iter().map(|d| d.delivered_at.as_u64()).collect();
-        for w in times.windows(2) {
-            prop_assert!(w[1] >= w[0] + 3, "data serialization is 3 cycles: {w:?}");
-        }
-    }
-
-    /// Latency is bounded below by the physical floor: idle token wait +
-    /// serialization + half-loop flight.
-    #[test]
-    fn latency_floor(src in 0usize..16, off in 1usize..16, data in any::<bool>()) {
-        let cfg = RingConfig::nodes(16);
-        let mut net = RingNetwork::new(cfg);
-        let dst = (src + off) % 16;
-        let pkt = if data {
-            RingPacket::data(src, dst, 0)
-        } else {
-            RingPacket::meta(src, dst, 0)
-        };
-        net.inject(pkt).unwrap();
-        let mut out = Vec::new();
-        for _ in 0..200 {
-            net.tick();
-            out.extend(net.drain_delivered());
-            if !out.is_empty() {
-                break;
-            }
-        }
-        let ser = if data { cfg.data_serialization } else { cfg.meta_serialization };
-        let floor = cfg.idle_token_wait() + ser + cfg.ring_circulation_cycles / 2;
-        prop_assert_eq!(out[0].latency(), floor);
-    }
+            let ser = if data { cfg.data_serialization } else { cfg.meta_serialization };
+            let floor = cfg.idle_token_wait() + ser + cfg.ring_circulation_cycles / 2;
+            assert_eq!(out[0].latency(), floor);
+        },
+    );
 }

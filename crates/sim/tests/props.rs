@@ -1,108 +1,142 @@
-//! Property tests for the simulation kernel.
+//! Property tests for the simulation kernel (on the in-repo `fsoi-check`
+//! harness; see that crate's docs for seeding and `.regressions` replay).
 
+use fsoi_check::{any_bool, checker, vec_of};
 use fsoi_sim::event::EventQueue;
 use fsoi_sim::queue::BoundedQueue;
 use fsoi_sim::rng::Xoshiro256StarStar;
 use fsoi_sim::stats::{Histogram, Summary};
 use fsoi_sim::Cycle;
-use proptest::prelude::*;
 
-proptest! {
-    /// Events pop in time order, FIFO within a timestamp — regardless of
-    /// push order.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..50, 1..200)) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(Cycle(t), i);
-        }
-        let mut prev: Option<(Cycle, usize)> = None;
-        while let Some((t, id)) = q.pop() {
-            if let Some((pt, pid)) = prev {
-                prop_assert!(t >= pt, "time order");
-                if t == pt {
-                    prop_assert!(id > pid, "FIFO within a cycle");
-                }
+/// Events pop in time order, FIFO within a timestamp — regardless of
+/// push order.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    checker!().check(
+        "event_queue_is_a_stable_priority_queue",
+        vec_of(0u64..50, 1..200),
+        |times| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(Cycle(t), i);
             }
-            prev = Some((t, id));
-        }
-    }
-
-    /// A bounded queue is exactly a FIFO of its accepted elements and
-    /// never exceeds capacity.
-    #[test]
-    fn bounded_queue_is_fifo(cap in 1usize..20, ops in prop::collection::vec(any::<bool>(), 1..300)) {
-        let mut q = BoundedQueue::new(cap);
-        let mut model = std::collections::VecDeque::new();
-        let mut n = 0u32;
-        for push in ops {
-            if push {
-                let accepted = q.push(n).is_ok();
-                prop_assert_eq!(accepted, model.len() < cap);
-                if accepted {
-                    model.push_back(n);
+            let mut prev: Option<(Cycle, usize)> = None;
+            while let Some((t, id)) = q.pop() {
+                if let Some((pt, pid)) = prev {
+                    assert!(t >= pt, "time order");
+                    if t == pt {
+                        assert!(id > pid, "FIFO within a cycle");
+                    }
                 }
-                n += 1;
-            } else {
-                prop_assert_eq!(q.pop(), model.pop_front());
+                prev = Some((t, id));
             }
-            prop_assert!(q.len() <= cap);
-            prop_assert_eq!(q.len(), model.len());
-        }
-    }
+        },
+    );
+}
 
-    /// Histogram totals and means agree with a plain summary of the same
-    /// observations.
-    #[test]
-    fn histogram_matches_summary(values in prop::collection::vec(0u64..500, 1..300)) {
-        let mut h = Histogram::new(10, 20);
-        let mut s = Summary::new();
-        for &v in &values {
-            h.record(v);
-            s.record(v as f64);
-        }
-        prop_assert_eq!(h.count(), values.len() as u64);
-        prop_assert!((h.mean() - s.mean()).abs() < 1e-9);
-        let binned: u64 = (0..h.num_bins()).map(|i| h.bin(i)).sum::<u64>() + h.overflow();
-        prop_assert_eq!(binned, h.count());
-    }
+/// A bounded queue is exactly a FIFO of its accepted elements and never
+/// exceeds capacity.
+#[test]
+fn bounded_queue_is_fifo() {
+    checker!().check(
+        "bounded_queue_is_fifo",
+        (1usize..20, vec_of(any_bool(), 1..300)),
+        |(cap, ops)| {
+            let cap = *cap;
+            let mut q = BoundedQueue::new(cap);
+            let mut model = std::collections::VecDeque::new();
+            let mut n = 0u32;
+            for &push in ops {
+                if push {
+                    let accepted = q.push(n).is_ok();
+                    assert_eq!(accepted, model.len() < cap);
+                    if accepted {
+                        model.push_back(n);
+                    }
+                    n += 1;
+                } else {
+                    assert_eq!(q.pop(), model.pop_front());
+                }
+                assert!(q.len() <= cap);
+                assert_eq!(q.len(), model.len());
+            }
+        },
+    );
+}
 
-    /// Summary::merge is order-insensitive and equals sequential feeding.
-    #[test]
-    fn summary_merge_associates(a in prop::collection::vec(-1e3f64..1e3, 1..100),
-                                b in prop::collection::vec(-1e3f64..1e3, 1..100)) {
-        let feed = |xs: &[f64]| {
+/// Histogram totals and means agree with a plain summary of the same
+/// observations.
+#[test]
+fn histogram_matches_summary() {
+    checker!().check(
+        "histogram_matches_summary",
+        vec_of(0u64..500, 1..300),
+        |values| {
+            let mut h = Histogram::new(10, 20);
             let mut s = Summary::new();
-            for &x in xs { s.record(x); }
-            s
-        };
-        let mut merged = feed(&a);
-        merged.merge(&feed(&b));
-        let mut all = a.clone();
-        all.extend_from_slice(&b);
-        let seq = feed(&all);
-        prop_assert_eq!(merged.count(), seq.count());
-        prop_assert!((merged.mean() - seq.mean()).abs() < 1e-6);
-        prop_assert!((merged.variance() - seq.variance()).abs() < 1e-4);
-    }
+            for &v in values {
+                h.record(v);
+                s.record(v as f64);
+            }
+            assert_eq!(h.count(), values.len() as u64);
+            assert!((h.mean() - s.mean()).abs() < 1e-9);
+            let binned: u64 = (0..h.num_bins()).map(|i| h.bin(i)).sum::<u64>() + h.overflow();
+            assert_eq!(binned, h.count());
+        },
+    );
+}
 
-    /// Uniform draws respect their bounds and cover residues.
-    #[test]
-    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1000) {
+/// Summary::merge is order-insensitive and equals sequential feeding.
+#[test]
+fn summary_merge_associates() {
+    checker!().check(
+        "summary_merge_associates",
+        (vec_of(-1e3f64..1e3, 1..100), vec_of(-1e3f64..1e3, 1..100)),
+        |(a, b)| {
+            let feed = |xs: &[f64]| {
+                let mut s = Summary::new();
+                for &x in xs {
+                    s.record(x);
+                }
+                s
+            };
+            let mut merged = feed(a);
+            merged.merge(&feed(b));
+            let mut all = a.clone();
+            all.extend_from_slice(b);
+            let seq = feed(&all);
+            assert_eq!(merged.count(), seq.count());
+            assert!((merged.mean() - seq.mean()).abs() < 1e-6);
+            assert!((merged.variance() - seq.variance()).abs() < 1e-4);
+        },
+    );
+}
+
+/// Uniform draws respect their bounds and cover residues.
+#[test]
+fn rng_bounds() {
+    checker!().check("rng_bounds", (0u64..u64::MAX, 1u64..1000), |(seed, bound)| {
+        let (seed, bound) = (*seed, *bound);
         let mut r = Xoshiro256StarStar::new(seed);
         for _ in 0..200 {
-            prop_assert!(r.next_below(bound) < bound);
+            assert!(r.next_below(bound) < bound);
             let v = r.range_inclusive(10, 10 + bound);
-            prop_assert!((10..=10 + bound).contains(&v));
+            assert!((10..=10 + bound).contains(&v));
         }
-    }
+    });
+}
 
-    /// Slot rounding lands on a boundary at or after the input.
-    #[test]
-    fn slot_rounding_properties(t in 0u64..1_000_000, slot in 1u64..100) {
-        let rounded = Cycle(t).round_up_to_slot(slot);
-        prop_assert!(rounded.as_u64() >= t);
-        prop_assert!(rounded.is_slot_boundary(slot));
-        prop_assert!(rounded.as_u64() - t < slot);
-    }
+/// Slot rounding lands on a boundary at or after the input.
+#[test]
+fn slot_rounding_properties() {
+    checker!().check(
+        "slot_rounding_properties",
+        (0u64..1_000_000, 1u64..100),
+        |&(t, slot)| {
+            let rounded = Cycle(t).round_up_to_slot(slot);
+            assert!(rounded.as_u64() >= t);
+            assert!(rounded.is_slot_boundary(slot));
+            assert!(rounded.as_u64() - t < slot);
+        },
+    );
 }

@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate, hermetic by construction: the workspace has no
+# external dependencies, so --offline proves no network is ever consulted.
+# Bench targets are feature-gated (`criterion`) and stay out of both steps.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

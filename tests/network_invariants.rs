@@ -1,7 +1,7 @@
 //! Property-based invariants of the two network engines: whatever the
 //! traffic, packets are conserved (delivered exactly once, never
 //! fabricated), runs are deterministic in the seed, and collision-free
-//! traffic stays collision-free.
+//! traffic stays collision-free. (On the in-repo `fsoi-check` harness.)
 
 use fsoi::mesh::config::MeshConfig;
 use fsoi::mesh::network::MeshNetwork;
@@ -10,16 +10,13 @@ use fsoi::net::config::FsoiConfig;
 use fsoi::net::network::FsoiNetwork;
 use fsoi::net::packet::{Packet, PacketClass};
 use fsoi::net::topology::NodeId;
-use proptest::prelude::*;
+use fsoi_check::{any_bool, checker, vec_of, Gen};
 use std::collections::HashMap;
 
 /// An arbitrary traffic script: (delay-before-inject, src, dst-offset,
 /// is-data).
-fn traffic_strategy(max_events: usize) -> impl Strategy<Value = Vec<(u8, u8, u8, bool)>> {
-    prop::collection::vec(
-        (0u8..6, 0u8..16, 1u8..16, any::<bool>()),
-        1..max_events,
-    )
+fn traffic_gen(max_events: usize) -> impl Gen<Value = Vec<(u8, u8, u8, bool)>> {
+    vec_of((0u8..6, 0u8..16, 1u8..16, any_bool()), 1..max_events)
 }
 
 fn drive_fsoi(script: &[(u8, u8, u8, bool)], seed: u64) -> Vec<(usize, usize, u64, u64)> {
@@ -63,39 +60,49 @@ fn drive_fsoi(script: &[(u8, u8, u8, bool)], seed: u64) -> Vec<(usize, usize, u6
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Every accepted packet is delivered exactly once, to the right node,
+/// whatever collisions happened along the way.
+#[test]
+fn fsoi_conserves_packets() {
+    checker!().cases(48).check(
+        "fsoi_conserves_packets",
+        (traffic_gen(120), 0u64..1000),
+        |(script, seed)| {
+            let delivered = drive_fsoi(script, *seed);
+            let mut seen = HashMap::new();
+            for (_, _, tag, _) in &delivered {
+                *seen.entry(*tag).or_insert(0u32) += 1;
+            }
+            assert!(seen.values().all(|&c| c == 1), "duplicate delivery");
+            // Tags are assigned densely from 0, so conservation means the
+            // set of tags is exactly 0..len.
+            let mut tags: Vec<u64> = seen.keys().copied().collect();
+            tags.sort_unstable();
+            let expect: Vec<u64> = (0..delivered.len() as u64).collect();
+            assert_eq!(tags, expect, "lost or fabricated packets");
+        },
+    );
+}
 
-    /// Every accepted packet is delivered exactly once, to the right
-    /// node, whatever collisions happened along the way.
-    #[test]
-    fn fsoi_conserves_packets(script in traffic_strategy(120), seed in 0u64..1000) {
-        let delivered = drive_fsoi(&script, seed);
-        let mut seen = HashMap::new();
-        for (_, _, tag, _) in &delivered {
-            *seen.entry(*tag).or_insert(0u32) += 1;
-        }
-        prop_assert!(seen.values().all(|&c| c == 1), "duplicate delivery");
-        // Tags are assigned densely from 0, so conservation means the set
-        // of tags is exactly 0..len.
-        let mut tags: Vec<u64> = seen.keys().copied().collect();
-        tags.sort_unstable();
-        let expect: Vec<u64> = (0..delivered.len() as u64).collect();
-        prop_assert_eq!(tags, expect, "lost or fabricated packets");
-    }
+/// Identical seeds replay identical runs.
+#[test]
+fn fsoi_is_deterministic() {
+    checker!().cases(48).check(
+        "fsoi_is_deterministic",
+        (traffic_gen(60), 0u64..1000),
+        |(script, seed)| {
+            assert_eq!(drive_fsoi(script, *seed), drive_fsoi(script, *seed));
+        },
+    );
+}
 
-    /// Identical seeds replay identical runs.
-    #[test]
-    fn fsoi_is_deterministic(script in traffic_strategy(60), seed in 0u64..1000) {
-        prop_assert_eq!(drive_fsoi(&script, seed), drive_fsoi(&script, seed));
-    }
-
-    /// The mesh conserves packets too.
-    #[test]
-    fn mesh_conserves_packets(script in traffic_strategy(80)) {
+/// The mesh conserves packets too.
+#[test]
+fn mesh_conserves_packets() {
+    checker!().cases(48).check("mesh_conserves_packets", traffic_gen(80), |script| {
         let mut net = MeshNetwork::new(MeshConfig::nodes(16));
         let mut injected = 0u64;
-        for &(_, src, off, data) in &script {
+        for &(_, src, off, data) in script {
             let src = src as usize;
             let dst = (src + off as usize) % 16;
             let pkt = if data {
@@ -116,29 +123,36 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(net.is_idle(), "mesh must drain");
-        prop_assert_eq!(delivered.len() as u64, injected);
+        assert!(net.is_idle(), "mesh must drain");
+        assert_eq!(delivered.len() as u64, injected);
         let mut tags: Vec<u64> = delivered.iter().map(|d| d.packet.tag).collect();
         tags.sort_unstable();
-        prop_assert_eq!(tags, (0..injected).collect::<Vec<_>>());
-    }
+        assert_eq!(tags, (0..injected).collect::<Vec<_>>());
+    });
+}
 
-    /// Traffic with all-distinct destinations and one sender per receiver
-    /// group never collides.
-    #[test]
-    fn partitioned_traffic_is_collision_free(data in any::<bool>(), seed in 0u64..100) {
-        let mut net = FsoiNetwork::new(FsoiConfig::nodes(16), seed);
-        let class = if data { PacketClass::Data } else { PacketClass::Meta };
-        for src in 0..8usize {
-            net.inject(Packet::new(NodeId(src), NodeId(src + 8), class, src as u64)).unwrap();
-        }
-        for _ in 0..100 {
-            net.tick();
-        }
-        prop_assert!(net.is_idle());
-        prop_assert_eq!(net.stats().collision_events, [0, 0]);
-        prop_assert_eq!(net.stats().delivered[class.lane()], 8);
-    }
+/// Traffic with all-distinct destinations and one sender per receiver
+/// group never collides.
+#[test]
+fn partitioned_traffic_is_collision_free() {
+    checker!().cases(48).check(
+        "partitioned_traffic_is_collision_free",
+        (any_bool(), 0u64..100),
+        |&(data, seed)| {
+            let mut net = FsoiNetwork::new(FsoiConfig::nodes(16), seed);
+            let class = if data { PacketClass::Data } else { PacketClass::Meta };
+            for src in 0..8usize {
+                net.inject(Packet::new(NodeId(src), NodeId(src + 8), class, src as u64))
+                    .unwrap();
+            }
+            for _ in 0..100 {
+                net.tick();
+            }
+            assert!(net.is_idle());
+            assert_eq!(net.stats().collision_events, [0, 0]);
+            assert_eq!(net.stats().delivered[class.lane()], 8);
+        },
+    );
 }
 
 /// Heavier non-proptest soak: a sustained all-to-all burst storm drains

@@ -4,11 +4,12 @@
 //! writes and evictions. At quiescence the classic invariants must hold:
 //! at most one writable copy per line, owner/sharer lists consistent with
 //! the L1s' states, and no protocol-error transition ever taken.
+//! (On the in-repo `fsoi-check` harness.)
 
 use fsoi::coherence::directory::Directory;
 use fsoi::coherence::l1::L1Controller;
 use fsoi::coherence::protocol::{CoherenceMsg, DirState, L1State, LineAddr, OutMsg};
-use proptest::prelude::*;
+use fsoi_check::{checker, vec_of, Gen};
 use std::collections::VecDeque;
 
 const NODES: usize = 4;
@@ -43,6 +44,23 @@ impl Cluster {
     fn send_all(&mut self, from: usize, outs: Vec<OutMsg>) {
         for o in outs {
             self.wire.push_back((from, o.to, o.msg));
+        }
+    }
+
+    fn apply(&mut self, op: FuzzOp) {
+        match op {
+            FuzzOp::Read(n, l) => {
+                let a = self.l1s[n].read(LineAddr(l * 32));
+                self.send_all(n, a.out);
+            }
+            FuzzOp::Write(n, l) => {
+                let a = self.l1s[n].write(LineAddr(l * 32));
+                self.send_all(n, a.out);
+            }
+            FuzzOp::Evict(n, l) => {
+                let outs = self.l1s[n].evict(LineAddr(l * 32));
+                self.send_all(n, outs);
+            }
         }
     }
 
@@ -154,73 +172,53 @@ enum FuzzOp {
     Evict(usize, u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = FuzzOp> {
-    (0usize..NODES, 0u64..LINES, 0u8..3).prop_map(|(node, line, kind)| match kind {
+fn op_gen() -> impl Gen<Value = FuzzOp> {
+    (0usize..NODES, 0u64..LINES, 0u8..3).gen_map(|&(node, line, kind)| match kind {
         0 => FuzzOp::Read(node, line),
         1 => FuzzOp::Write(node, line),
         _ => FuzzOp::Evict(node, line),
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random operation sequences, fully drained between operations,
-    /// never violate coherence.
-    #[test]
-    fn random_ops_preserve_coherence(ops in prop::collection::vec(op_strategy(), 1..120)) {
-        let mut cluster = Cluster::new();
-        for op in ops {
-            match op {
-                FuzzOp::Read(n, l) => {
-                    let a = cluster.l1s[n].read(LineAddr(l * 32));
-                    cluster.send_all(n, a.out);
-                }
-                FuzzOp::Write(n, l) => {
-                    let a = cluster.l1s[n].write(LineAddr(l * 32));
-                    cluster.send_all(n, a.out);
-                }
-                FuzzOp::Evict(n, l) => {
-                    let outs = cluster.l1s[n].evict(LineAddr(l * 32));
-                    cluster.send_all(n, outs);
-                }
+/// Random operation sequences, fully drained between operations, never
+/// violate coherence.
+#[test]
+fn random_ops_preserve_coherence() {
+    checker!().cases(64).check(
+        "random_ops_preserve_coherence",
+        vec_of(op_gen(), 1..120),
+        |ops| {
+            let mut cluster = Cluster::new();
+            for &op in ops {
+                cluster.apply(op);
+                cluster.drain();
             }
-            cluster.drain();
-        }
-        cluster.check_invariants();
-    }
+            cluster.check_invariants();
+        },
+    );
+}
 
-    /// Concurrent bursts: several nodes issue before any message moves,
-    /// exercising the z-stall queues and the race transitions (upgrade vs
-    /// invalidation, writeback crossings).
-    #[test]
-    fn concurrent_bursts_preserve_coherence(
-        rounds in prop::collection::vec(
-            prop::collection::vec(op_strategy(), 1..8), 1..20)
-    ) {
-        let mut cluster = Cluster::new();
-        for round in rounds {
-            for op in round {
-                match op {
-                    FuzzOp::Read(n, l) => {
-                        let a = cluster.l1s[n].read(LineAddr(l * 32));
-                        cluster.send_all(n, a.out);
-                    }
-                    FuzzOp::Write(n, l) => {
-                        let a = cluster.l1s[n].write(LineAddr(l * 32));
-                        cluster.send_all(n, a.out);
-                    }
-                    FuzzOp::Evict(n, l) => {
-                        let outs = cluster.l1s[n].evict(LineAddr(l * 32));
-                        cluster.send_all(n, outs);
-                    }
+/// Concurrent bursts: several nodes issue before any message moves,
+/// exercising the z-stall queues and the race transitions (upgrade vs
+/// invalidation, writeback crossings).
+#[test]
+fn concurrent_bursts_preserve_coherence() {
+    checker!().cases(64).check(
+        "concurrent_bursts_preserve_coherence",
+        vec_of(vec_of(op_gen(), 1..8), 1..20),
+        |rounds| {
+            let mut cluster = Cluster::new();
+            for round in rounds {
+                for &op in round {
+                    cluster.apply(op);
                 }
+                // All the round's requests race through the protocol
+                // together.
+                cluster.drain();
             }
-            // All the round's requests race through the protocol together.
-            cluster.drain();
-        }
-        cluster.check_invariants();
-    }
+            cluster.check_invariants();
+        },
+    );
 }
 
 /// Directed regression: the upgrade-vs-invalidation race (S.Mᴬ + Inv →
@@ -253,4 +251,32 @@ fn upgrade_race_resolves_coherently() {
         "someone must own the line: {states:?}"
     );
     assert_eq!(cluster.completions, 4, "two fills + two write grants");
+}
+
+/// Permanent named regression: the recorded proptest shrink
+/// `rounds = [[Read(1, 8)], [Read(2, 8)], [Write(1, 8), Evict(1, 8)]]` —
+/// an S→M upgrade pending in S.Mᴬ while the processor tries to evict the
+/// line. The MSHR must pin the line (the eviction is a no-op), the
+/// directory's sharer bookkeeping must survive the Upg, and the upgrade
+/// must still complete.
+#[test]
+fn upgrade_vs_evict_shrink_regression() {
+    let mut cluster = Cluster::new();
+    let line = LineAddr(8 * 32);
+    for round in [
+        vec![FuzzOp::Read(1, 8)],
+        vec![FuzzOp::Read(2, 8)],
+        vec![FuzzOp::Write(1, 8), FuzzOp::Evict(1, 8)],
+    ] {
+        for op in round {
+            cluster.apply(op);
+        }
+        cluster.drain();
+    }
+    cluster.check_invariants();
+    // The upgrade won: node 1 owns the line; the shared copy at node 2
+    // was invalidated; the mid-upgrade evict did not strand the MSHR.
+    assert_eq!(cluster.l1s[1].state_of(line), L1State::M, "upgrade completes to M");
+    assert_eq!(cluster.l1s[2].state_of(line), L1State::I, "old sharer invalidated");
+    assert_eq!(cluster.completions, 3, "two fills + one write grant");
 }
