@@ -1,0 +1,72 @@
+//! Tracing overhead guard: `FsoiNetwork::tick()` throughput with the
+//! structured-trace machinery disabled must stay within noise of a plain
+//! build, and the cost with recording enabled must stay bounded.
+//!
+//! In a release build *without* the `trace` feature every emit site
+//! compiles out entirely, so `traced_off` and the `network_engines`
+//! numbers coincide by construction. Built `--features trace`, this bench
+//! shows the residual cost of the per-event enabled check (`traced_off`)
+//! and of actually recording into the ring (`traced_on`).
+
+use fsoi_bench::microbench::{Criterion, Throughput};
+use fsoi_bench::{criterion_group, criterion_main};
+use fsoi_net::config::FsoiConfig;
+use fsoi_net::network::FsoiNetwork;
+use fsoi_net::packet::{Packet, PacketClass};
+use fsoi_net::topology::NodeId;
+use fsoi_sim::rng::Xoshiro256StarStar;
+use fsoi_sim::trace;
+
+const CYCLES: u64 = 20_000;
+
+/// Same uniform-random drive as the `network_engines` bench.
+fn drive(seed: u64) -> u64 {
+    let mut net = FsoiNetwork::new(FsoiConfig::nodes(16), seed);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    for cycle in 0..CYCLES {
+        if cycle % 2 == 0 {
+            for src in 0..16usize {
+                if rng.bernoulli(0.05) {
+                    let mut dst = rng.next_below(15) as usize;
+                    if dst >= src {
+                        dst += 1;
+                    }
+                    let class = if rng.bernoulli(0.4) {
+                        PacketClass::Data
+                    } else {
+                        PacketClass::Meta
+                    };
+                    let _ = net.inject(Packet::new(NodeId(src), NodeId(dst), class, cycle));
+                }
+            }
+        }
+        net.tick();
+        net.drain_delivered();
+    }
+    net.stats().delivered[0] + net.stats().delivered[1]
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(10);
+    g.bench_function("traced_off_20k_cycles", |b| {
+        trace::set_enabled(false);
+        b.iter(|| drive(7));
+    });
+    if trace::compiled() {
+        g.bench_function("traced_on_20k_cycles", |b| {
+            trace::set_enabled(true);
+            b.iter(|| {
+                let d = drive(7);
+                trace::clear();
+                d
+            });
+        });
+        trace::set_enabled(false);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

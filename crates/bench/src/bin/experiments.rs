@@ -5,10 +5,14 @@
 //!
 //! cmd: table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10 |
 //!      fig11 | table4 | bm | opts | corona | l1 | ber | receivers |
-//!      seeds | all
+//!      seeds | snapshot | all
 //! ```
 //!
 //! `--full` uses larger workloads (closer statistics, slower).
+//!
+//! `snapshot` dumps the metric registry (table + JSONL) for the Figure 6
+//! 16-node runs — the single code path behind every exported number. Two
+//! same-seed invocations emit byte-identical output.
 
 use fsoi_bench::runner::{network_by_name, run_app, sweep_apps, SweepOptions};
 use fsoi_cmp::workload::AppProfile;
@@ -43,6 +47,7 @@ fn main() {
         "ber" => ber_relaxation(scale),
         "receivers" => receivers(scale),
         "seeds" => seed_stability(scale),
+        "snapshot" => snapshot(scale),
         "all" => {
             table1();
             fig3();
@@ -775,6 +780,28 @@ fn receivers(scale: u64) {
         prev_cycles = cyc;
     }
     println!("  (paper: collisions fall ~1/R; beyond 2-3 receivers, diminishing returns)");
+}
+
+// --------------------------------------------------------------- snapshot
+
+/// Dumps the full metric registry for the Figure 6 16-node runs, first as
+/// the aligned human-readable table, then as JSONL. Every number in the
+/// performance tables flows through `RunReport::export`, so regenerated
+/// EXPERIMENTS.md figures and these snapshots can never disagree.
+fn snapshot(scale: u64) {
+    header("snapshot: metric registry for the Figure 6 16-node runs");
+    let mut opts = SweepOptions::quick_16();
+    opts.ops_per_core *= scale;
+    let results = sweep_apps(&["mesh", "fsoi"], opts);
+    let mut reg = fsoi_sim::metrics::Registry::new();
+    for r in &results {
+        for report in &r.reports {
+            report.export(&mut reg);
+        }
+    }
+    print!("{}", reg.to_table());
+    println!("\n--- JSONL ---");
+    print!("{}", reg.to_jsonl());
 }
 
 // ------------------------------------------------------------------ seeds

@@ -39,6 +39,7 @@
 use crate::gen::Gen;
 use crate::tree::Tree;
 use fsoi_sim::rng::{SplitMix64, Xoshiro256StarStar};
+use fsoi_sim::trace;
 use std::cell::Cell;
 use std::fmt::Debug;
 use std::fs;
@@ -88,13 +89,34 @@ fn install_quiet_hook() {
 fn probe<V, P: Fn(&V)>(prop: &P, value: &V) -> Option<String> {
     install_quiet_hook();
     PROBING.with(|p| p.set(true));
+    // Shrinking probes hundreds of panicking candidates; only the final,
+    // minimal counterexample should produce a flight-recorder dump.
+    trace::set_panic_dump_suppressed(true);
     let result = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    trace::set_panic_dump_suppressed(false);
     PROBING.with(|p| p.set(false));
     match result {
         Ok(()) => None,
         Err(payload) => Some(payload_message(&payload)),
     }
 }
+
+/// Re-runs the shrunk counterexample with a cleared flight recorder and
+/// returns the recorded event tail as JSON lines. The events stay in the
+/// thread's recorder so the eventual failure panic also dumps exactly the
+/// minimal counterexample's trace (see `fsoi_sim::trace::install_panic_dump`).
+/// Empty when tracing is compiled out or the property recorded nothing.
+fn counterexample_trace<V, P: Fn(&V)>(prop: &P, value: &V) -> String {
+    if !trace::compiled() {
+        return String::new();
+    }
+    trace::clear();
+    let _ = probe(prop, value);
+    trace::tail_jsonl(MAX_REPORTED_TRACE_EVENTS)
+}
+
+/// Trace records shown in the failure report and regression file.
+const MAX_REPORTED_TRACE_EVENTS: usize = 16;
 
 fn payload_message(payload: &Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -119,6 +141,9 @@ pub struct Failure<V> {
     pub steps: u32,
     /// The panic message from the shrunk case.
     pub message: String,
+    /// Flight-recorder tail (JSON lines) from re-running the shrunk case;
+    /// empty when tracing is compiled out or nothing was recorded.
+    pub trace: String,
 }
 
 /// A configured property-test runner. See the module docs for the seeding
@@ -202,12 +227,22 @@ impl Checker {
         P: Fn(&G::Value),
     {
         if let Err(f) = self.check_result(name, &gen, &prop) {
+            let trace = if f.trace.is_empty() {
+                String::new()
+            } else {
+                let events: Vec<&str> = f.trace.lines().collect();
+                format!(
+                    "\n  flight recorder (last {} events of the shrunk case):\n    {}",
+                    events.len(),
+                    events.join("\n    "),
+                )
+            };
             panic!(
                 "[fsoi-check] property '{name}' failed\n  \
                  case seed: {seed:#018x}  (replay: FSOI_CHECK_REPLAY={seed:#x} cargo test {name})\n  \
                  original:  {orig:?}\n  \
                  shrunk ({steps} candidate evals): {shrunk:?}\n  \
-                 assertion: {msg}",
+                 assertion: {msg}{trace}",
                 seed = f.seed,
                 orig = f.original,
                 steps = f.steps,
@@ -260,7 +295,8 @@ impl Checker {
         let message = probe(prop, &tree.value)?;
         let original = tree.value.clone();
         let (shrunk, steps, message) = self.shrink(tree, prop, message);
-        Some(Failure { seed, original, shrunk, steps, message })
+        let trace = counterexample_trace(prop, &shrunk);
+        Some(Failure { seed, original, shrunk, steps, message, trace })
     }
 
     /// Greedy descent: repeatedly move to the first child that still
@@ -310,6 +346,12 @@ impl Checker {
             let mut shrunk = format!("{:?}", f.shrunk);
             shrunk.truncate(200);
             writeln!(file, "cc {} {:#018x}  # shrunk: {}", name, f.seed, shrunk)?;
+            // The flight-recorder tail rides along as comment lines so the
+            // regression entry documents *how* the case failed, not just
+            // which seed regenerates it.
+            for event in f.trace.lines() {
+                writeln!(file, "#   trace: {event}")?;
+            }
             Ok(())
         })();
     }

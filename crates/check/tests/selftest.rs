@@ -1,7 +1,7 @@
 //! The harness testing itself: shrink convergence on planted bugs,
 //! regression-file round-trips, and seed determinism.
 
-use fsoi_check::{vec_of, Checker, Gen};
+use fsoi_check::{vec_of, Checker};
 use std::cell::RefCell;
 use std::path::PathBuf;
 
@@ -141,6 +141,44 @@ fn recording_failures_is_idempotent() {
     let text = std::fs::read_to_string(&path).unwrap();
     let lines = text.lines().filter(|l| l.trim_start().starts_with("cc ")).count();
     assert_eq!(lines, 1, "duplicate seeds must not accumulate: {text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn failure_carries_flight_recorder_tail() {
+    use fsoi_sim::trace::{self, TraceEvent};
+    if !trace::compiled() {
+        return; // release without the `trace` feature: nothing to record
+    }
+    let path = PathBuf::from(std::env::temp_dir())
+        .join(format!("fsoi_check_trace_{}.regressions", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // The property leaves a trace event behind before failing, like an
+    // instrumented network tick would.
+    let failing = |&x: &u64| {
+        trace::emit(fsoi_sim::Cycle(x), TraceEvent::Mark { label: "case".into(), value: x });
+        assert!(x < 50, "x = {x}");
+    };
+    let f = Checker::with_regressions_file(&path)
+        .seed(19)
+        .check_result("trace_prop", &(0u64..1000), &failing)
+        .expect_err("property must fail");
+    assert!(f.trace.contains("\"event\":\"mark\""), "tail recorded: {}", f.trace);
+    // The tail belongs to the *shrunk* case (x = 50), not some probe.
+    assert!(f.trace.contains("\"cycle\":50"), "tail is the minimal case: {}", f.trace);
+    assert_eq!(f.trace.lines().count(), 1, "one probe, one event: {}", f.trace);
+
+    // The regression entry carries the tail as comment lines…
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("#   trace: {\"cycle\":50"), "trace comment recorded: {text}");
+    // …which must not confuse the seed parser on the next run.
+    let g = Checker::with_regressions_file(&path)
+        .seed(0xFFFF) // only the file can supply the case
+        .cases(0)
+        .check_result("trace_prop", &(0u64..1000), &failing)
+        .expect_err("recorded regression must re-fail");
+    assert_eq!(g.seed, f.seed);
     let _ = std::fs::remove_file(&path);
 }
 

@@ -2,6 +2,7 @@
 
 use crate::energy::ChipEnergy;
 use crate::interconnect::LatencyAttribution;
+use fsoi_sim::metrics::Registry;
 use fsoi_sim::stats::Histogram;
 
 /// Traffic classes used in Figure 10's data-lane collision breakdown.
@@ -33,6 +34,19 @@ impl DataPacketKind {
             DataPacketKind::WriteBack => "WriteBack",
         }
     }
+
+    /// Metric label value (lowercase, no spaces).
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            DataPacketKind::Memory => "memory",
+            DataPacketKind::Reply => "reply",
+            DataPacketKind::WriteBack => "writeback",
+        }
+    }
+
+    /// All kinds in dense-index order.
+    pub const ALL: [DataPacketKind; 3] =
+        [DataPacketKind::Memory, DataPacketKind::Reply, DataPacketKind::WriteBack];
 }
 
 /// The complete result of one application × network run.
@@ -95,6 +109,69 @@ impl RunReport {
     pub fn mean_packet_latency(&self) -> f64 {
         self.attribution.total()
     }
+
+    /// Exports every figure/table input as named metrics into `reg`.
+    ///
+    /// This is the single code path behind snapshot output: the harness
+    /// renders `Registry::to_table()` / `to_jsonl()` instead of formatting
+    /// struct fields ad hoc, so two same-seed runs produce byte-identical
+    /// snapshots. Every metric carries `app` and `network` labels, so
+    /// reports from several runs can merge into one registry.
+    pub fn export(&self, reg: &mut Registry) {
+        let app = self.app.as_str();
+        let net = self.network.as_str();
+        let run: [(&str, &str); 2] = [("app", app), ("network", net)];
+        let lane = |l: &'static str| -> [(&str, &str); 3] {
+            [("app", app), ("network", net), ("lane", l)]
+        };
+
+        reg.inc("cmp.cycles", &run, self.cycles);
+        reg.gauge("cmp.latency.queuing", &run, self.attribution.queuing);
+        reg.gauge("cmp.latency.scheduling", &run, self.attribution.scheduling);
+        reg.gauge("cmp.latency.network", &run, self.attribution.network);
+        reg.gauge("cmp.latency.resolution", &run, self.attribution.collision_resolution);
+        reg.gauge("cmp.latency.total", &run, self.attribution.total());
+        reg.histogram("cmp.reply_latency", &run, self.reply_latency.clone());
+
+        reg.gauge("cmp.tx_probability", &lane("meta"), self.meta_tx_probability);
+        reg.gauge("cmp.tx_probability", &lane("data"), self.data_tx_probability);
+        reg.gauge("cmp.collision_rate", &lane("meta"), self.meta_collision_rate);
+        reg.gauge("cmp.collision_rate", &lane("data"), self.data_collision_rate);
+        reg.inc("cmp.packets_sent", &lane("meta"), self.packets_sent[0]);
+        reg.inc("cmp.packets_sent", &lane("data"), self.packets_sent[1]);
+
+        for kind in DataPacketKind::ALL {
+            let labels: [(&str, &str); 3] =
+                [("app", app), ("network", net), ("kind", kind.metric_label())];
+            reg.inc("cmp.data_delivered", &labels, self.data_by_kind[kind.index()]);
+            reg.inc("cmp.data_collided", &labels, self.collided_by_kind[kind.index()]);
+        }
+        reg.inc("cmp.data_recollided", &run, self.collided_by_kind[3]);
+
+        reg.inc("cmp.acks_elided", &run, self.acks_elided);
+        reg.inc("cmp.subscription_packets_saved", &run, self.subscription_packets_saved);
+        reg.gauge("cmp.l1_miss_rate", &run, self.l1_miss_rate);
+        reg.inc("cmp.active_cycles", &run, self.active_cycles);
+        reg.inc("cmp.stalled_cycles", &run, self.stalled_cycles);
+
+        reg.gauge("cmp.energy.network_j", &run, self.energy.network_j);
+        reg.gauge("cmp.energy.core_j", &run, self.energy.core_j);
+        reg.gauge("cmp.energy.leakage_j", &run, self.energy.leakage_j);
+        reg.gauge("cmp.energy.total_j", &run, self.energy.total_j());
+
+        reg.gauge("cmp.data_resolution_delay", &run, self.data_resolution_delay);
+        reg.gauge("cmp.hint_accuracy", &run, self.hint_accuracy);
+        reg.gauge("cmp.hint_wrong_rate", &run, self.hint_wrong_rate);
+        reg.inc("cmp.bit_error_drops", &run, self.bit_error_drops);
+    }
+
+    /// A fresh registry holding only this report's metrics (see
+    /// [`RunReport::export`]).
+    pub fn registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        self.export(&mut reg);
+        reg
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +213,70 @@ mod tests {
             bit_error_drops: 0,
         };
         assert!((r.speedup_vs(1000) - 2.0).abs() < 1e-12);
+    }
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            app: "tsp".into(),
+            network: "fsoi".into(),
+            cycles: 500,
+            attribution: LatencyAttribution {
+                queuing: 1.0,
+                scheduling: 2.0,
+                network: 3.0,
+                collision_resolution: 4.0,
+            },
+            reply_latency: Histogram::new(10, 20),
+            meta_tx_probability: 0.25,
+            data_tx_probability: 0.125,
+            meta_collision_rate: 0.5,
+            data_collision_rate: 0.75,
+            packets_sent: [10, 20],
+            data_by_kind: [3, 4, 5],
+            collided_by_kind: [1, 2, 3, 4],
+            acks_elided: 6,
+            subscription_packets_saved: 7,
+            l1_miss_rate: 0.01,
+            active_cycles: 400,
+            stalled_cycles: 100,
+            energy: ChipEnergy { network_j: 0.5, core_j: 1.5, leakage_j: 0.25 },
+            data_resolution_delay: 9.0,
+            hint_accuracy: 0.9,
+            hint_wrong_rate: 0.1,
+            bit_error_drops: 2,
+        }
+    }
+
+    #[test]
+    fn registry_export_covers_report_fields() {
+        let r = sample_report();
+        let reg = r.registry();
+        let run = [("app", "tsp"), ("network", "fsoi")];
+        assert_eq!(reg.counter("cmp.cycles", &run), 500);
+        assert_eq!(reg.gauge_value("cmp.latency.total", &run), Some(10.0));
+        assert_eq!(
+            reg.gauge_value("cmp.tx_probability", &[("app", "tsp"), ("network", "fsoi"), ("lane", "meta")]),
+            Some(0.25)
+        );
+        assert_eq!(
+            reg.counter("cmp.data_delivered", &[("app", "tsp"), ("network", "fsoi"), ("kind", "writeback")]),
+            5
+        );
+        assert_eq!(reg.counter("cmp.data_recollided", &run), 4);
+        assert_eq!(reg.gauge_value("cmp.energy.total_j", &run), Some(2.25));
+        assert_eq!(reg.counter("cmp.bit_error_drops", &run), 2);
+    }
+
+    #[test]
+    fn registry_export_is_deterministic() {
+        let r = sample_report();
+        assert_eq!(r.registry().to_jsonl(), r.registry().to_jsonl());
+        // Two reports merge into one registry without key clashes (the
+        // app/network labels keep them apart).
+        let mut merged = r.registry();
+        let mut other = sample_report();
+        other.network = "mesh".into();
+        other.export(&mut merged);
+        assert_eq!(merged.len(), 2 * r.registry().len());
     }
 }

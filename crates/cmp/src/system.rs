@@ -863,6 +863,25 @@ mod tests {
     }
 
     #[test]
+    fn metric_snapshots_are_byte_identical_across_same_seed_runs() {
+        // Figure 6-style configuration (16-node FSOI, paper workload mix,
+        // reduced op count) run twice from the same seed: the registry
+        // snapshot — the single code path behind every exported number —
+        // must match byte for byte.
+        let snapshot = || {
+            let (cfg, app) = small_cfg(NetworkKind::fsoi(16));
+            let report = CmpSystem::new(cfg, app).run(2_000_000);
+            let reg = report.registry();
+            (reg.to_jsonl(), reg.to_table())
+        };
+        let (jsonl_a, table_a) = snapshot();
+        let (jsonl_b, table_b) = snapshot();
+        assert!(!jsonl_a.is_empty());
+        assert_eq!(jsonl_a, jsonl_b, "same-seed JSONL snapshots must be byte-identical");
+        assert_eq!(table_a, table_b, "same-seed table snapshots must be byte-identical");
+    }
+
+    #[test]
     fn mesh_system_runs_to_completion() {
         let (cfg, app) = small_cfg(NetworkKind::mesh(16));
         let mut sys = CmpSystem::new(cfg, app);

@@ -17,6 +17,8 @@
 use crate::protocol::{
     CoherenceMsg, DirState, Grant, LineAddr, OutMsg, ProtocolError, ReqType,
 };
+use fsoi_sim::trace::{self, TraceEvent};
+use fsoi_sim::Cycle;
 use std::collections::{HashMap, VecDeque};
 
 /// Directory statistics.
@@ -170,6 +172,7 @@ impl Directory {
     /// Returns [`ProtocolError`] for combinations Table 2 marks "error".
     pub fn handle(&mut self, from: usize, msg: CoherenceMsg) -> Result<Vec<OutMsg>, ProtocolError> {
         let line = msg.line();
+        let before = self.state_of(line);
         let mut out = Vec::new();
         match msg {
             CoherenceMsg::Req { kind, .. } => self.handle_request(from, kind, line, &mut out)?,
@@ -185,6 +188,18 @@ impl Directory {
         }
         self.drain_deferred(line, &mut out)?;
         self.enforce_capacity(&mut out)?;
+        // One trace record per net state change of the handled line. The
+        // directory is clock-agnostic, so records are stamped with the
+        // slice's monotone event counter rather than a global cycle.
+        let after = self.state_of(line);
+        if after != before {
+            trace::emit_with(Cycle(self.tick), || TraceEvent::Dir {
+                node: self.node as u64,
+                line: line.0,
+                from: format!("{before:?}"),
+                to: format!("{after:?}"),
+            });
+        }
         Ok(out)
     }
 
@@ -699,6 +714,35 @@ mod tests {
         assert_eq!(d.state_of(line), DirState::DM);
         d.handle(1, CoherenceMsg::WriteBack { line }).unwrap();
         assert_eq!(d.state_of(line), DirState::DV);
+    }
+
+    #[test]
+    fn transitions_emit_trace_events() {
+        let (records, ()) = trace::capture(|| {
+            let mut d = dir();
+            d.handle(3, req(ReqType::Sh, L)).unwrap();
+            d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
+        });
+        if !trace::compiled() {
+            return;
+        }
+        let dirs: Vec<(String, String)> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::Dir { node: 0, line, from, to } if *line == L.0 => {
+                    Some((from.clone(), to.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            dirs,
+            vec![
+                ("DI".to_string(), "DIDSD".to_string()),
+                ("DIDSD".to_string(), "DM".to_string()),
+            ],
+            "each net state change of the line is one dir record"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `z` (stall) cells. This is the most direct fidelity artifact in the
 //! repository — the table in the paper is the protocol.
 
-use fsoi_check::{checker, vec_of, Gen};
+use fsoi_check::{checker, vec_of};
 use fsoi_coherence::directory::Directory;
 use fsoi_coherence::l1::L1Controller;
 use fsoi_coherence::protocol::{

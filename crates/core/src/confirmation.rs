@@ -18,6 +18,7 @@
 
 use crate::topology::NodeId;
 use fsoi_sim::event::EventQueue;
+use fsoi_sim::trace::{self, TraceEvent};
 use fsoi_sim::Cycle;
 use std::collections::BTreeMap;
 
@@ -41,6 +42,17 @@ pub enum ConfirmationKind {
         /// The boolean payload.
         value: bool,
     },
+}
+
+impl ConfirmationKind {
+    /// Short wire name used in trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConfirmationKind::Receipt { .. } => "receipt",
+            ConfirmationKind::WinnerHint { .. } => "hint",
+            ConfirmationKind::BooleanUpdate { .. } => "bool",
+        }
+    }
 }
 
 /// A confirmation in flight.
@@ -93,6 +105,11 @@ impl ConfirmationChannel {
     pub fn send(&mut self, received_at: Cycle, confirmation: Confirmation) {
         self.in_flight.push(received_at + self.delay, confirmation);
         self.sent += 1;
+        trace::emit_with(received_at, || TraceEvent::Confirm {
+            src: confirmation.from.0 as u64,
+            dst: confirmation.to.0 as u64,
+            kind: confirmation.kind.name().to_string(),
+        });
     }
 
     /// Schedules a confirmation with an explicit arrival time (used by the
@@ -100,6 +117,11 @@ impl ConfirmationChannel {
     pub fn send_at(&mut self, arrive_at: Cycle, confirmation: Confirmation) {
         self.in_flight.push(arrive_at, confirmation);
         self.sent += 1;
+        trace::emit_with(arrive_at, || TraceEvent::Confirm {
+            src: confirmation.from.0 as u64,
+            dst: confirmation.to.0 as u64,
+            kind: confirmation.kind.name().to_string(),
+        });
     }
 
     /// Pops every confirmation due at or before `now`.

@@ -33,11 +33,16 @@ use crate::phase_array::PhaseArraySteering;
 use crate::spacing::ReplySlotReservations;
 use crate::topology::{receiver_index, NodeId};
 use fsoi_sim::event::EventQueue;
+use fsoi_sim::metrics::Registry;
 use fsoi_sim::queue::BoundedQueue;
 use fsoi_sim::rng::Xoshiro256StarStar;
 use fsoi_sim::stats::Summary;
+use fsoi_sim::trace::{self, TraceEvent};
 use fsoi_sim::Cycle;
 use std::collections::{HashMap, HashSet};
+
+/// Label values for the two lanes, indexed like every `[meta, data]` pair.
+const LANE_NAMES: [&str; 2] = ["meta", "data"];
 
 /// Where each cycle of a delivered packet's latency went (the Figure 6/7
 /// breakdown).
@@ -116,20 +121,57 @@ pub struct NetStats {
 impl NetStats {
     /// First-attempt transmission probability per node per slot for a lane:
     /// initial (non-retry) transmissions / (nodes × slots elapsed).
+    ///
+    /// Returns 0.0 — never `NaN` or `±inf` — for degenerate zero-slot or
+    /// zero-node configurations (e.g. a probe before the first slot
+    /// boundary, or an empty sweep row).
     pub fn transmission_probability(&self, lane: usize, nodes: usize, slots: u64) -> f64 {
-        if slots == 0 {
+        if slots == 0 || nodes == 0 {
             return 0.0;
         }
         self.transmissions[lane] as f64 / (nodes as f64 * slots as f64)
     }
 
     /// Fraction of transmissions that collided, per lane.
+    ///
+    /// Returns 0.0 instead of `NaN` when nothing has been transmitted yet.
     pub fn collision_rate(&self, lane: usize) -> f64 {
         if self.transmissions[lane] == 0 {
             0.0
         } else {
             self.collided_packets[lane] as f64 / self.transmissions[lane] as f64
         }
+    }
+
+    /// Exports every counter and summary into `reg` under `net.*` names,
+    /// labelled by lane — the single code path report tables build on.
+    pub fn export(&self, reg: &mut Registry) {
+        for lane in 0..2 {
+            let labels: [(&str, &str); 1] = [("lane", LANE_NAMES[lane])];
+            reg.inc("net.injected", &labels, self.injected[lane]);
+            reg.inc("net.rejected", &labels, self.rejected[lane]);
+            reg.inc("net.delivered", &labels, self.delivered[lane]);
+            reg.inc("net.transmissions", &labels, self.transmissions[lane]);
+            reg.inc("net.collision_events", &labels, self.collision_events[lane]);
+            reg.inc("net.collided_packets", &labels, self.collided_packets[lane]);
+            reg.inc("net.retransmissions", &labels, self.retransmissions[lane]);
+            reg.inc("net.bit_error_drops", &labels, self.bit_error_drops[lane]);
+            reg.gauge("net.collision_rate", &labels, self.collision_rate(lane));
+            reg.merge_summary("net.latency", &labels, &self.latency[lane]);
+            reg.merge_summary("net.latency.queuing", &labels, &self.queuing[lane]);
+            reg.merge_summary("net.latency.scheduling", &labels, &self.scheduling[lane]);
+            reg.merge_summary("net.latency.network", &labels, &self.network[lane]);
+            reg.merge_summary("net.latency.resolution", &labels, &self.resolution[lane]);
+            reg.merge_summary(
+                "net.latency.resolution_when_collided",
+                &labels,
+                &self.resolution_when_collided[lane],
+            );
+            reg.merge_summary("net.retries", &labels, &self.retries[lane]);
+        }
+        reg.inc("net.hints_issued", &[], self.hints_issued);
+        reg.inc("net.hints_correct", &[], self.hints_correct);
+        reg.inc("net.hints_wrong", &[], self.hints_wrong);
     }
 }
 
@@ -191,6 +233,11 @@ impl FsoiNetwork {
             cfg.lanes.serialization_cycles(PacketClass::Data),
         ];
         let confirmation_delay = cfg.confirmation_delay;
+        if trace::compiled() {
+            // A failed invariant anywhere downstream dumps the flight
+            // recorder's JSONL tail for post-mortem replay.
+            trace::install_panic_dump();
+        }
         FsoiNetwork {
             cfg,
             now: Cycle::ZERO,
@@ -266,10 +313,22 @@ impl FsoiNetwork {
             Ok(()) => {
                 self.next_id += 1;
                 self.stats.injected[lane] += 1;
+                trace::emit_with(self.now, || TraceEvent::Inject {
+                    packet: packet.id,
+                    src: packet.src.0 as u64,
+                    dst: packet.dst.0 as u64,
+                    lane: lane as u64,
+                    tag: packet.tag,
+                });
                 Ok(packet.id)
             }
             Err(p) => {
                 self.stats.rejected[lane] += 1;
+                trace::emit_with(self.now, || TraceEvent::Reject {
+                    src: p.src.0 as u64,
+                    dst: p.dst.0 as u64,
+                    lane: lane as u64,
+                });
                 Err(p)
             }
         }
@@ -383,6 +442,14 @@ impl FsoiNetwork {
                     rx,
                     slot_id: self.now.as_u64() / slot,
                 };
+                trace::emit_with(self.now, || TraceEvent::TxStart {
+                    packet: packet.id,
+                    src: packet.src.0 as u64,
+                    dst: packet.dst.0 as u64,
+                    lane: lane as u64,
+                    attempt: u64::from(packet.retries),
+                    slot: key.slot_id,
+                });
                 // All packets of a slot resolve at the same deterministic
                 // cycle: slot end plus the worst-case phase-array setup.
                 let resolve_at =
@@ -448,6 +515,17 @@ impl FsoiNetwork {
                 .record(breakdown.collision_resolution as f64);
         }
         self.stats.retries[lane].record(packet.retries as f64);
+        trace::emit_with(at, || TraceEvent::Deliver {
+            packet: packet.id,
+            src: packet.src.0 as u64,
+            dst: packet.dst.0 as u64,
+            lane: lane as u64,
+            queuing: breakdown.queuing,
+            scheduling: breakdown.scheduling,
+            network: breakdown.network,
+            resolution: breakdown.collision_resolution,
+            retries: u64::from(packet.retries),
+        });
         self.confirmations.send(
             at,
             Confirmation {
@@ -473,8 +551,22 @@ impl FsoiNetwork {
         let next_boundary = detect.round_up_to_slot(slot);
         packet.retries += 1;
         self.stats.retransmissions[lane] += 1;
-        let delay = self.cfg.backoff.draw_delay_slots(packet.retries, &mut self.rng);
-        self.nodes[packet.src.0].retries[lane].push(next_boundary + (delay - 1) * slot, packet);
+        trace::emit_with(at, || TraceEvent::BitError {
+            packet: packet.id,
+            src: packet.src.0 as u64,
+            dst: packet.dst.0 as u64,
+            lane: lane as u64,
+        });
+        let draw = self.cfg.backoff.draw(packet.retries, &mut self.rng);
+        let ready = next_boundary + (draw.delay_slots - 1) * slot;
+        trace::emit_with(at, || TraceEvent::Backoff {
+            packet: packet.id,
+            lane: lane as u64,
+            retry: u64::from(packet.retries),
+            delay_slots: draw.delay_slots,
+            ready: ready.as_u64(),
+        });
+        self.nodes[packet.src.0].retries[lane].push(ready, packet);
     }
 
     fn collide(&mut self, key: GroupKey, group: Vec<Packet>, at: Cycle) {
@@ -493,21 +585,46 @@ impl FsoiNetwork {
             None
         };
 
+        let group_size = group.len() as u64;
         for mut packet in group {
             packet.retries += 1;
             self.stats.retransmissions[lane] += 1;
+            trace::emit_with(at, || TraceEvent::Collide {
+                packet: packet.id,
+                src: packet.src.0 as u64,
+                dst: packet.dst.0 as u64,
+                lane: lane as u64,
+                rx: key.rx as u64,
+                group: group_size,
+            });
             let ready = if Some(packet.src) == winner {
                 // The winner retransmits in the very next slot.
                 next_boundary
             } else if winner.is_some() {
                 // Losers skip the winner's slot, then back off.
-                let delay = self.cfg.backoff.draw_delay_slots(packet.retries, &mut self.rng);
-                next_boundary + delay * slot
+                let draw = self.cfg.backoff.draw(packet.retries, &mut self.rng);
+                let ready = next_boundary + draw.delay_slots * slot;
+                trace::emit_with(at, || TraceEvent::Backoff {
+                    packet: packet.id,
+                    lane: lane as u64,
+                    retry: u64::from(packet.retries),
+                    delay_slots: draw.delay_slots,
+                    ready: ready.as_u64(),
+                });
+                ready
             } else {
                 // No hint: random slot within the back-off window after
                 // detection.
-                let delay = self.cfg.backoff.draw_delay_slots(packet.retries, &mut self.rng);
-                next_boundary + (delay - 1) * slot
+                let draw = self.cfg.backoff.draw(packet.retries, &mut self.rng);
+                let ready = next_boundary + (draw.delay_slots - 1) * slot;
+                trace::emit_with(at, || TraceEvent::Backoff {
+                    packet: packet.id,
+                    lane: lane as u64,
+                    retry: u64::from(packet.retries),
+                    delay_slots: draw.delay_slots,
+                    ready: ready.as_u64(),
+                });
+                ready
             };
             self.nodes[packet.src.0].retries[lane].push(ready, packet);
         }
@@ -543,6 +660,10 @@ impl FsoiNetwork {
         };
         let winner = *self.rng.choose(&candidates)?;
         self.stats.hints_issued += 1;
+        trace::emit_with(next_slot, || TraceEvent::Hint {
+            dst: dst.0 as u64,
+            winner: winner.0 as u64,
+        });
         if senders.contains(&winner) {
             self.stats.hints_correct += 1;
         } else {
@@ -876,6 +997,57 @@ mod tests {
         assert!(p > 0.0 && p < 1.0);
         assert_eq!(net.stats().collision_rate(0), 0.0);
         assert_eq!(net.stats().collision_rate(1), 0.0);
+    }
+
+    #[test]
+    fn stats_rates_never_nan_on_degenerate_configs() {
+        // Fresh network: zero slots elapsed, nothing transmitted.
+        let net = net16(30);
+        let s = net.stats();
+        for lane in 0..2 {
+            assert_eq!(s.transmission_probability(lane, 16, 0), 0.0, "zero slots");
+            assert_eq!(s.transmission_probability(lane, 0, 5), 0.0, "zero nodes");
+            assert_eq!(s.transmission_probability(lane, 0, 0), 0.0, "both zero");
+            assert_eq!(s.collision_rate(lane), 0.0, "no transmissions yet");
+        }
+        // Even with traffic recorded, a zero-node denominator must not
+        // poison the result with inf/NaN.
+        let mut net = net16(31);
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 1))
+            .unwrap();
+        run_until_idle(&mut net, 20);
+        let s = net.stats();
+        assert!(s.transmissions[0] > 0);
+        assert_eq!(s.transmission_probability(0, 0, 5), 0.0);
+        assert!(s.transmission_probability(0, 16, 5).is_finite());
+        assert!(s.collision_rate(0).is_finite());
+    }
+
+    #[test]
+    fn stats_export_matches_fields() {
+        let mut net = net16(32);
+        for src in 1..8 {
+            net.inject(Packet::new(NodeId(src), NodeId(0), PacketClass::Meta, 0))
+                .unwrap();
+        }
+        run_until_idle(&mut net, 20_000);
+        let mut reg = Registry::new();
+        net.stats().export(&mut reg);
+        let meta: [(&str, &str); 1] = [("lane", "meta")];
+        assert_eq!(reg.counter("net.injected", &meta), net.stats().injected[0]);
+        assert_eq!(reg.counter("net.delivered", &meta), 7);
+        assert_eq!(
+            reg.counter("net.collided_packets", &meta),
+            net.stats().collided_packets[0]
+        );
+        assert_eq!(
+            reg.gauge_value("net.collision_rate", &meta),
+            Some(net.stats().collision_rate(0))
+        );
+        // Deterministic export: same stats, same bytes.
+        let mut again = Registry::new();
+        net.stats().export(&mut again);
+        assert_eq!(reg.to_jsonl(), again.to_jsonl());
     }
 
     #[test]

@@ -5,9 +5,10 @@ use fsoi_check::{checker, set_of, vec_of};
 use fsoi_net::analysis::collision::node_collision_probability;
 use fsoi_net::backoff::BackoffPolicy;
 use fsoi_net::lane::Lanes;
-use fsoi_net::packet::{HeaderCode, PacketClass};
+use fsoi_net::packet::{HeaderCode, Packet, PacketClass};
 use fsoi_net::spacing::ReplySlotReservations;
 use fsoi_net::topology::{receiver_index, senders_for_receiver, NodeId};
+use fsoi_net::{FsoiConfig, FsoiNetwork};
 use fsoi_sim::rng::Xoshiro256StarStar;
 use fsoi_sim::Cycle;
 
@@ -119,6 +120,95 @@ fn reservations_never_collide() {
                 assert!(r.request_delay.is_multiple_of(slot));
                 assert!(r.slot_start.as_u64() + slot > a, "grant not in the past");
                 assert!(taken.insert(r.slot_start), "double booking at {:?}", r.slot_start);
+            }
+        },
+    );
+}
+
+/// Every delivered packet's trace lifecycle is complete: exactly one
+/// `inject` and one `deliver`, every collision / bit error is paired with
+/// a retransmission (`tx_start` count = 1 + failures), and the retry
+/// count reported at delivery equals the number of traced failures.
+#[test]
+fn delivered_packets_have_complete_trace_lifecycles() {
+    use fsoi_sim::trace::{self, TraceEvent};
+    use std::collections::BTreeMap;
+    if !trace::compiled() {
+        return; // release build without the `trace` feature: nothing recorded
+    }
+
+    #[derive(Default)]
+    struct Life {
+        injects: u32,
+        delivers: u32,
+        tx_starts: u32,
+        failures: u32, // collisions + bit errors
+        backoffs: u32,
+    }
+
+    checker!().check(
+        "delivered_packets_have_complete_trace_lifecycles",
+        (2usize..17, 0u64..u64::MAX, vec_of((0u64..64, 0u64..64, 0u64..2), 1..24)),
+        |&(nodes, seed, ref traffic)| {
+            let (records, delivered) = trace::capture(|| {
+                let mut net = FsoiNetwork::new(FsoiConfig::nodes(nodes), seed);
+                for &(s, d, class_bit) in traffic {
+                    let src = (s as usize) % nodes;
+                    let dst = if d as usize % nodes == src {
+                        (src + 1) % nodes
+                    } else {
+                        d as usize % nodes
+                    };
+                    let class = if class_bit == 0 { PacketClass::Meta } else { PacketClass::Data };
+                    let _ = net.inject(Packet::new(NodeId(src), NodeId(dst), class, s));
+                }
+                for _ in 0..64 {
+                    if net.is_idle() {
+                        break;
+                    }
+                    net.run(1_000);
+                }
+                assert!(net.is_idle(), "injected traffic must drain");
+                net.drain_delivered()
+            });
+
+            let mut lives: BTreeMap<u64, Life> = BTreeMap::new();
+            for r in &records {
+                match &r.event {
+                    TraceEvent::Inject { packet, .. } => lives.entry(*packet).or_default().injects += 1,
+                    TraceEvent::Deliver { packet, .. } => lives.entry(*packet).or_default().delivers += 1,
+                    TraceEvent::TxStart { packet, .. } => lives.entry(*packet).or_default().tx_starts += 1,
+                    TraceEvent::Collide { packet, .. } | TraceEvent::BitError { packet, .. } => {
+                        lives.entry(*packet).or_default().failures += 1
+                    }
+                    TraceEvent::Backoff { packet, .. } => lives.entry(*packet).or_default().backoffs += 1,
+                    _ => {}
+                }
+            }
+
+            // Nothing is ever dropped: with the network drained, every
+            // accepted injection must have been delivered.
+            let total_injects: u32 = lives.values().map(|l| l.injects).sum();
+            assert_eq!(delivered.len() as u32, total_injects, "drained network delivers everything");
+
+            for d in &delivered {
+                let id = d.packet.id;
+                let l = lives.get(&id).unwrap_or_else(|| panic!("packet {id} left no trace"));
+                assert_eq!(l.injects, 1, "packet {id}: exactly one inject");
+                assert_eq!(l.delivers, 1, "packet {id}: exactly one deliver");
+                assert_eq!(
+                    l.tx_starts,
+                    1 + l.failures,
+                    "packet {id}: every collision/bit error pairs with a retransmission"
+                );
+                assert_eq!(
+                    u32::from(d.packet.retries),
+                    l.failures,
+                    "packet {id}: delivered retry count matches traced failures"
+                );
+                // Hint winners retransmit without backing off, so backoffs
+                // can undershoot failures but never exceed them.
+                assert!(l.backoffs <= l.failures, "packet {id}: at most one backoff per failure");
             }
         },
     );

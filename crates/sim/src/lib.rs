@@ -12,6 +12,10 @@
 //!   event queue,
 //! * [`stats`] — counters, streaming summaries, histograms and rate
 //!   estimators used by all measurement code,
+//! * [`metrics::Registry`] — named, labelled metrics with deterministic
+//!   JSONL/table export, the single code path behind reported numbers,
+//! * [`trace`] — cycle-stamped structured event tracing with a bounded
+//!   flight recorder that dumps JSON lines when an invariant fails,
 //! * [`queue::BoundedQueue`] — a bounded FIFO with occupancy accounting,
 //!   modelling finite hardware buffers.
 //!
@@ -31,9 +35,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 use core::fmt;
 use core::ops::{Add, AddAssign, Sub};

@@ -4,12 +4,21 @@
 //! These are the building blocks behind every number reported in
 //! `EXPERIMENTS.md`: packet-latency breakdowns (Fig 6/7), collision-rate
 //! scatter plots (Fig 9), reply-latency distributions (Fig 5), and energy
-//! tallies (Fig 8).
+//! tallies (Fig 8). For *labelled* metrics with a deterministic JSONL /
+//! table export, wrap these primitives in [`crate::metrics::Registry`] —
+//! report-building code should migrate there rather than accrete more
+//! bespoke counter fields.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A saturating event counter.
+///
+/// Every mutator saturates at `u64::MAX` instead of wrapping: a counter
+/// that hits the ceiling stays pinned there (and is obviously bogus)
+/// rather than silently restarting near zero mid-experiment. The
+/// pathological-burst arithmetic of Figure 4 reaches ~8.2 × 10¹⁰ retries,
+/// so overflow is a real concern, not hygiene.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
@@ -19,13 +28,13 @@ impl Counter {
         Counter(0)
     }
 
-    /// Adds one.
+    /// Adds one, saturating at `u64::MAX`.
     #[inline]
     pub fn inc(&mut self) {
         self.0 = self.0.saturating_add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`, saturating at `u64::MAX`.
     #[inline]
     pub fn add(&mut self, n: u64) {
         self.0 = self.0.saturating_add(n);
@@ -42,7 +51,14 @@ impl Counter {
         self.0 = 0;
     }
 
-    /// This counter as a fraction of `denom` (0.0 when `denom` is zero).
+    /// This counter as a fraction of `denom`.
+    ///
+    /// Returns 0.0 — never `NaN` or `±inf` — when `denom` is zero, so a
+    /// rate computed over an empty interval reads as "no events" instead
+    /// of poisoning downstream means. The result can exceed 1.0 when the
+    /// counter genuinely exceeds `denom`; no clamping is applied. A
+    /// saturated counter (see type docs) yields a correspondingly
+    /// saturated, still-finite ratio.
     pub fn ratio_of(self, denom: u64) -> f64 {
         if denom == 0 {
             0.0
@@ -317,6 +333,11 @@ impl Ewma {
 /// A labelled map of named scalar metrics, used to assemble report rows.
 ///
 /// Keys iterate in sorted order (BTreeMap) so printed tables are stable.
+///
+/// This is the flat, scalar-only precursor of
+/// [`crate::metrics::Registry`], which additionally carries labels,
+/// counters, summaries and histograms plus JSONL/table export; prefer the
+/// registry for new measurement code.
 #[derive(Debug, Clone, Default)]
 pub struct MetricSet {
     values: BTreeMap<String, f64>,
@@ -397,6 +418,20 @@ mod tests {
         assert_eq!(c.ratio_of(0), 0.0);
         c.reset();
         assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        c.add(17);
+        assert_eq!(c.get(), u64::MAX, "mutators must pin at the ceiling");
+        // The ratio of a saturated counter is still finite.
+        assert!(c.ratio_of(2).is_finite());
+        assert_eq!(c.ratio_of(0), 0.0);
     }
 
     #[test]

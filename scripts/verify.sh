@@ -6,3 +6,14 @@ set -eu
 cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# The structured-trace event API must also build compiled-in on release
+# (debug builds always carry it; plain release compiles it out).
+cargo build --release --offline --workspace --features trace
+
+# Microbench guard: tick() throughput with tracing disabled must stay
+# within noise of a plain release build. The emit sites compile out
+# entirely without the `trace` feature, so this run *is* the baseline —
+# the bench exists so the trace-feature cost is one command away:
+#   cargo bench -p fsoi-bench --features criterion,trace --bench trace_overhead
+cargo bench -q --offline -p fsoi-bench --features criterion --bench trace_overhead
