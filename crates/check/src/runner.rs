@@ -237,6 +237,7 @@ impl Checker {
                     events.join("\n    "),
                 )
             };
+            // lint: allow(P1) property failure is reported by panicking, matching cargo test
             panic!(
                 "[fsoi-check] property '{name}' failed\n  \
                  case seed: {seed:#018x}  (replay: FSOI_CHECK_REPLAY={seed:#x} cargo test {name})\n  \
@@ -392,11 +393,13 @@ fn parse_u64(s: &str) -> Option<u64> {
 }
 
 fn env_u64(var: &str) -> Option<u64> {
+    // lint: allow(D2) callers pass only the documented FSOI_CHECK_* knob names
     let s = std::env::var(var).ok()?;
     match parse_u64(s.trim()) {
         Some(v) => Some(v),
         // A set-but-unparseable override must not be silently ignored:
         // the caller thinks they are replaying/seeding something specific.
+        // lint: allow(P1) aborting beats silently running the wrong cases
         None => panic!("{var}={s:?} is not a u64 (use 0x-prefixed hex or decimal)"),
     }
 }

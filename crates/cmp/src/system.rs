@@ -29,11 +29,12 @@ use fsoi_coherence::l1::L1Controller;
 use fsoi_coherence::protocol::{CoherenceMsg, LineAddr, OutMsg};
 use fsoi_coherence::sync::{Barrier, BooleanSubscriptionHub, SpinLock};
 use fsoi_net::packet::PacketClass;
+use fsoi_sim::det::{DetMap, DetSet};
 use fsoi_sim::event::EventQueue;
 use fsoi_sim::rng::Xoshiro256StarStar;
 use fsoi_sim::stats::Histogram;
 use fsoi_sim::Cycle;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// How often a spinning core re-probes a sync word, cycles.
 const SPIN_PROBE_PERIOD: u64 = 12;
@@ -57,8 +58,9 @@ enum Pending {
 }
 
 /// Per-line ordering queue: pending messages with their scheduling delay
-/// and a confirmation-channel (direct) marker.
-type OrderQueue = HashMap<(usize, usize, LineAddr), VecDeque<(OutMsg, u64, bool)>>;
+/// and a confirmation-channel (direct) marker. Deterministic (BTree-backed)
+/// so no hasher state can ever leak into drain order or exports.
+type OrderQueue = DetMap<(usize, usize, LineAddr), VecDeque<(OutMsg, u64, bool)>>;
 
 /// The simulated CMP.
 #[derive(Debug)]
@@ -82,7 +84,7 @@ pub struct CmpSystem {
     /// Per-(src, dst, line) ordering: messages waiting for the slot.
     /// The `bool` marks confirmation-channel (direct) deliveries.
     order_wait: OrderQueue,
-    order_busy: HashSet<(usize, usize, LineAddr)>,
+    order_busy: DetSet<(usize, usize, LineAddr)>,
     /// Packets that bounced off a full injection queue.
     inject_backlog: VecDeque<(usize, NetPacket)>,
     // --- statistics ---
@@ -151,8 +153,8 @@ impl CmpSystem {
             pending: EventQueue::new(),
             msgs: Vec::new(),
             free_tags: Vec::new(),
-            order_wait: HashMap::new(),
-            order_busy: HashSet::new(),
+            order_wait: DetMap::new(),
+            order_busy: DetSet::new(),
             inject_backlog: VecDeque::new(),
             reply_latency: Histogram::new(10, 20),
             packets_sent: [0, 0],
@@ -340,6 +342,7 @@ impl CmpSystem {
             let tag = d.packet.tag;
             let (from, msg) = self.msgs[tag as usize]
                 .take()
+                // lint: allow(P1) tags are allocated from free_tags, so a delivered tag maps to a live message
                 .expect("delivered tag must be live");
             self.free_tags.push(tag);
             // Figure 10 accounting.
@@ -879,6 +882,30 @@ mod tests {
         assert!(!jsonl_a.is_empty());
         assert_eq!(jsonl_a, jsonl_b, "same-seed JSONL snapshots must be byte-identical");
         assert_eq!(table_a, table_b, "same-seed table snapshots must be byte-identical");
+    }
+
+    #[test]
+    fn eviction_pressure_exports_are_byte_identical_across_same_seed_runs() {
+        // Shrinks the L2 slices so the directory's eviction-victim scan —
+        // an iteration over the entry map, the path that used to read a
+        // HashMap in hasher order — runs hot, then compares the full
+        // export byte stream across two same-seed runs. Guards the
+        // DetMap/DetSet migration (lint rule D1) end to end.
+        let snapshot = || {
+            let (mut cfg, app) = small_cfg(NetworkKind::fsoi(16));
+            cfg.l2_lines = 8;
+            let mut sys = CmpSystem::new(cfg, app);
+            let report = sys.run(4_000_000);
+            let evictions: u64 = sys.dirs.iter().map(|d| d.stats().evictions).sum();
+            let reg = report.registry();
+            (evictions, reg.to_jsonl(), reg.to_table())
+        };
+        let (ev_a, jsonl_a, table_a) = snapshot();
+        let (ev_b, jsonl_b, table_b) = snapshot();
+        assert!(ev_a > 0, "the tiny L2 must force eviction scans");
+        assert_eq!(ev_a, ev_b, "same-seed eviction counts must match");
+        assert_eq!(jsonl_a, jsonl_b, "same-seed JSONL exports must be byte-identical");
+        assert_eq!(table_a, table_b, "same-seed table exports must be byte-identical");
     }
 
     #[test]

@@ -512,7 +512,7 @@ mod tests {
         p.stream_fraction = 1.0 - 1e-9;
         p.barrier_interval = 0;
         let mut w = CoreWorkload::new(p, 0, 32, 5);
-        let mut lines = std::collections::HashSet::new();
+        let mut lines = std::collections::BTreeSet::new();
         let mut mem = 0u64;
         while let Some(op) = w.next_op() {
             if let Op::Read(l) | Op::Write(l) = op {

@@ -17,9 +17,10 @@
 use crate::protocol::{
     CoherenceMsg, DirState, Grant, LineAddr, OutMsg, ProtocolError, ReqType,
 };
+use fsoi_sim::det::DetMap;
 use fsoi_sim::trace::{self, TraceEvent};
 use fsoi_sim::Cycle;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Directory statistics.
 #[derive(Debug, Default, Clone)]
@@ -96,7 +97,9 @@ pub struct Directory {
     mem_node: usize,
     capacity_lines: usize,
     deferred_limit: usize,
-    entries: HashMap<LineAddr, DirEntry>,
+    // Deterministic map: eviction-victim scans iterate these entries, so
+    // iteration order must not depend on hasher state (lint rule D1).
+    entries: DetMap<LineAddr, DirEntry>,
     tick: u64,
     stats: DirStats,
 }
@@ -111,7 +114,7 @@ impl Directory {
             mem_node,
             capacity_lines,
             deferred_limit: 16,
-            entries: HashMap::new(),
+            entries: DetMap::new(),
             tick: 0,
             stats: DirStats::default(),
         }
@@ -212,6 +215,15 @@ impl Directory {
         }
     }
 
+    /// The entry for a line the protocol dispatch already proved tracked:
+    /// every caller matched on `state_of(line)` (or inserted the entry
+    /// itself) before asking for mutable access, so absence here is a
+    /// protocol bug, not a recoverable condition.
+    fn tracked_mut(&mut self, line: LineAddr) -> &mut DirEntry {
+        // lint: allow(P1) state_of(line) returned a tracked state on every path here
+        self.entries.get_mut(&line).expect("tracked")
+    }
+
     fn touch(&mut self, line: LineAddr) {
         self.tick += 1;
         let t = self.tick;
@@ -258,7 +270,7 @@ impl Directory {
                     kind = ReqType::Ex;
                     self.stats.reinterpreted += 1;
                 }
-                let e = self.entries.get_mut(&line).expect("DV is tracked");
+                let e = self.tracked_mut(line);
                 e.state = DirState::DM;
                 e.owner = from;
                 let grant = if kind == ReqType::Sh {
@@ -280,7 +292,7 @@ impl Directory {
                 }
                 match kind {
                     ReqType::Sh => {
-                        let e = self.entries.get_mut(&line).expect("DS is tracked");
+                        let e = self.tracked_mut(line);
                         e.add_sharer(from);
                         self.stats.data_replies += 1;
                         out.push(OutMsg {
@@ -290,7 +302,7 @@ impl Directory {
                     }
                     ReqType::Ex | ReqType::Upg => {
                         let upgrade = kind == ReqType::Upg;
-                        let e = self.entries.get_mut(&line).expect("DS is tracked");
+                        let e = self.tracked_mut(line);
                         e.remove_sharer(from);
                         let victims = e.sharer_list();
                         e.acks_pending = victims.len() as u32;
@@ -303,7 +315,7 @@ impl Directory {
                                 msg: CoherenceMsg::Inv { line },
                             });
                         }
-                        let e = self.entries.get_mut(&line).expect("DS is tracked");
+                        let e = self.tracked_mut(line);
                         if e.acks_pending == 0 {
                             e.state = DirState::DM;
                             e.owner = from;
@@ -347,7 +359,7 @@ impl Directory {
                     });
                     return Ok(());
                 }
-                let e = self.entries.get_mut(&line).expect("DM is tracked");
+                let e = self.tracked_mut(line);
                 e.requester = from;
                 match kind {
                     ReqType::Sh => {
@@ -359,10 +371,10 @@ impl Directory {
                         });
                     }
                     ReqType::Ex | ReqType::Upg => {
+                        e.state = DirState::DMDMD;
                         if kind == ReqType::Upg {
                             self.stats.reinterpreted += 1;
                         }
-                        e.state = DirState::DMDMD;
                         self.stats.invalidations += 1;
                         out.push(OutMsg {
                             to: owner,
@@ -374,7 +386,7 @@ impl Directory {
             // Transient: stall (`z`) or NACK when the queue is full.
             _ => {
                 let limit = self.deferred_limit;
-                let e = self.entries.get_mut(&line).expect("transient is tracked");
+                let e = self.tracked_mut(line);
                 if e.deferred.len() >= limit {
                     self.stats.nacks += 1;
                     out.push(OutMsg {
@@ -382,8 +394,8 @@ impl Directory {
                         msg: CoherenceMsg::Retry { line },
                     });
                 } else {
-                    self.stats.deferred += 1;
                     e.deferred.push_back((from, kind));
+                    self.stats.deferred += 1;
                 }
             }
         }
@@ -400,7 +412,7 @@ impl Directory {
         match state {
             DirState::DM => {
                 // Owner eviction: "save/DV".
-                let e = self.entries.get_mut(&line).expect("tracked");
+                let e = self.tracked_mut(line);
                 if e.owner != from {
                     return Err(self.error(line, "WriteBack(non-owner)"));
                 }
@@ -409,16 +421,16 @@ impl Directory {
             }
             DirState::DMDSD => {
                 // Crossed with our Dwg: "save/DM.DSᴬ".
-                self.entries.get_mut(&line).expect("tracked").state = DirState::DMDSA;
+                self.tracked_mut(line).state = DirState::DMDSA;
             }
             DirState::DMDMD => {
                 // Crossed with our Inv: "save/DM.DMᴬ".
-                self.entries.get_mut(&line).expect("tracked").state = DirState::DMDMA;
+                self.tracked_mut(line).state = DirState::DMDMA;
             }
             DirState::DMDID => {
                 // Crossed with our eviction Inv: "save/DS.DIᴬ" — still owe
                 // one ack (the ex-owner answers the Inv from I).
-                let e = self.entries.get_mut(&line).expect("tracked");
+                let e = self.tracked_mut(line);
                 e.state = DirState::DSDIA;
                 e.acks_pending = 1;
             }
@@ -436,7 +448,7 @@ impl Directory {
         let state = self.state_of(line);
         match state {
             DirState::DSDIA => {
-                let e = self.entries.get_mut(&line).expect("tracked");
+                let e = self.tracked_mut(line);
                 e.acks_pending -= 1;
                 if e.acks_pending == 0 {
                     // "evict/DI": push the L2 copy back to memory.
@@ -444,7 +456,7 @@ impl Directory {
                 }
             }
             DirState::DSDMDA => {
-                let e = self.entries.get_mut(&line).expect("tracked");
+                let e = self.tracked_mut(line);
                 e.acks_pending -= 1;
                 if e.acks_pending == 0 {
                     e.state = DirState::DM;
@@ -458,7 +470,7 @@ impl Directory {
                 }
             }
             DirState::DSDMA => {
-                let e = self.entries.get_mut(&line).expect("tracked");
+                let e = self.tracked_mut(line);
                 e.acks_pending -= 1;
                 if e.acks_pending == 0 {
                     e.state = DirState::DM;
@@ -477,7 +489,7 @@ impl Directory {
             }
             DirState::DMDMD | DirState::DMDMA => {
                 // "save & fwd/DM" (DMDMD) or "Data(M)/DM" (DMDMA).
-                let e = self.entries.get_mut(&line).expect("tracked");
+                let e = self.tracked_mut(line);
                 e.state = DirState::DM;
                 e.owner = e.requester;
                 let to = e.requester;
@@ -504,7 +516,7 @@ impl Directory {
             DirState::DMDSD => {
                 // "save & fwd": the owner keeps a shared copy; the
                 // requester joins as a sharer.
-                let e = self.entries.get_mut(&line).expect("tracked");
+                let e = self.tracked_mut(line);
                 e.state = DirState::DS;
                 let owner = e.owner;
                 let req = e.requester;
@@ -520,7 +532,7 @@ impl Directory {
             }
             DirState::DMDSA => {
                 // Owner evicted mid-downgrade: requester is the only copy.
-                let e = self.entries.get_mut(&line).expect("tracked");
+                let e = self.tracked_mut(line);
                 e.state = DirState::DM;
                 e.owner = e.requester;
                 let to = e.requester;
@@ -544,7 +556,7 @@ impl Directory {
         match state {
             DirState::DIDSD | DirState::DIDMD => {
                 // "repl & fwd/DM".
-                let e = self.entries.get_mut(&line).expect("tracked");
+                let e = self.tracked_mut(line);
                 e.state = DirState::DM;
                 e.owner = e.requester;
                 let grant = if state == DirState::DIDSD {
@@ -658,7 +670,7 @@ impl Directory {
                     self.remove_with_memory_writeback(line, out);
                 }
                 DirState::DS => {
-                    let e = self.entries.get_mut(&line).expect("tracked");
+                    let e = self.tracked_mut(line);
                     let victims = e.sharer_list();
                     e.acks_pending = victims.len() as u32;
                     e.sharers = 0;
@@ -676,7 +688,7 @@ impl Directory {
                     }
                 }
                 DirState::DM => {
-                    let e = self.entries.get_mut(&line).expect("tracked");
+                    let e = self.tracked_mut(line);
                     e.state = DirState::DMDID;
                     let owner = e.owner;
                     self.stats.invalidations += 1;

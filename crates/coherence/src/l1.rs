@@ -11,7 +11,7 @@ use crate::cache::{AllocOutcome, CacheArray};
 use crate::protocol::{
     CoherenceMsg, Grant, L1State, LineAddr, OutMsg, ProtocolError, ReqType,
 };
-use std::collections::HashMap;
+use fsoi_sim::det::DetMap;
 
 /// What happened on a processor access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,7 +95,7 @@ pub struct L1Stats {
 pub struct L1Controller {
     node: usize,
     array: CacheArray<L1State>,
-    mshrs: HashMap<LineAddr, Mshr>,
+    mshrs: DetMap<LineAddr, Mshr>,
     max_mshrs: usize,
     home_nodes: usize,
     stats: L1Stats,
@@ -111,7 +111,7 @@ impl L1Controller {
         L1Controller {
             node,
             array: CacheArray::new(capacity_lines as u64 * line_bytes, ways, line_bytes),
-            mshrs: HashMap::new(),
+            mshrs: DetMap::new(),
             max_mshrs: 8,
             home_nodes: 1,
             stats: L1Stats::default(),
@@ -197,6 +197,7 @@ impl L1Controller {
             }
             L1State::E => {
                 // Silent E→M upgrade ("do write/M").
+                // lint: allow(P1) the E-state match arm proves the line is resident
                 *self.array.lookup(line).expect("E line is resident") = L1State::M;
                 self.stats.write_hits += 1;
                 Access::hit()
@@ -332,6 +333,7 @@ impl L1Controller {
                     *self
                         .array
                         .lookup(line)
+                        // lint: allow(P1) the S.MA match arm proves the line is resident
                         .expect("S.MA line remains resident") = L1State::M;
                     reaction.completed = Some(line);
                 }
@@ -367,6 +369,7 @@ impl L1Controller {
                 match state {
                     L1State::I | L1State::ISD | L1State::IMD => {}
                     L1State::E | L1State::M => {
+                        // lint: allow(P1) the E/M match arm proves the line is resident
                         *self.array.lookup(line).expect("resident") = L1State::S;
                     }
                     s @ (L1State::S | L1State::SMA) => return err(s, "Dwg"),

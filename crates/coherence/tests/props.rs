@@ -5,7 +5,7 @@ use fsoi_check::{any_bool, checker, set_of, vec_of};
 use fsoi_coherence::cache::{AllocOutcome, CacheArray};
 use fsoi_coherence::protocol::LineAddr;
 use fsoi_coherence::sync::{Barrier, BooleanSubscriptionHub, LlScMonitor};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The cache never exceeds its capacity, lookups agree with a model map
 /// of resident lines, and every eviction returns the evictee's payload.
@@ -16,7 +16,7 @@ fn cache_array_agrees_with_model() {
         vec_of((0u64..64, any_bool()), 1..400),
         |accesses| {
             let mut cache: CacheArray<u64> = CacheArray::new(16 * 32, 2, 32); // 16 lines
-            let mut model: HashMap<LineAddr, u64> = HashMap::new();
+            let mut model: BTreeMap<LineAddr, u64> = BTreeMap::new();
             for (i, &(l, write)) in accesses.iter().enumerate() {
                 let line = LineAddr(l * 32);
                 let resident = cache.lookup(line).is_some();

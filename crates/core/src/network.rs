@@ -39,7 +39,7 @@ use fsoi_sim::rng::Xoshiro256StarStar;
 use fsoi_sim::stats::Summary;
 use fsoi_sim::trace::{self, TraceEvent};
 use fsoi_sim::Cycle;
-use std::collections::{HashMap, HashSet};
+use fsoi_sim::det::{DetMap, DetSet};
 
 /// Label values for the two lanes, indexed like every `[meta, data]` pair.
 const LANE_NAMES: [&str; 2] = ["meta", "data"];
@@ -175,7 +175,7 @@ impl NetStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct GroupKey {
     dst: NodeId,
     lane: usize,
@@ -190,7 +190,7 @@ struct NodeState {
     retries: [EventQueue<Packet>; 2],
     steering: [PhaseArraySteering; 2],
     reservations: ReplySlotReservations,
-    expected_data: HashSet<NodeId>,
+    expected_data: DetSet<NodeId>,
 }
 
 /// The free-space optical interconnect simulator.
@@ -200,7 +200,9 @@ pub struct FsoiNetwork {
     now: Cycle,
     rng: Xoshiro256StarStar,
     nodes: Vec<NodeState>,
-    groups: HashMap<GroupKey, Vec<Packet>>,
+    // Deterministic map (lint rule D1): slot groups feed collision
+    // resolution and the delivered-packet order, which feed every export.
+    groups: DetMap<GroupKey, Vec<Packet>>,
     resolutions: EventQueue<GroupKey>,
     confirmations: ConfirmationChannel,
     delivered: Vec<Delivered>,
@@ -221,7 +223,7 @@ impl FsoiNetwork {
                 retries: [EventQueue::new(), EventQueue::new()],
                 steering: [PhaseArraySteering::new(), PhaseArraySteering::new()],
                 reservations: ReplySlotReservations::new(),
-                expected_data: HashSet::new(),
+                expected_data: DetSet::new(),
             })
             .collect();
         let slot_len = [
@@ -243,7 +245,7 @@ impl FsoiNetwork {
             now: Cycle::ZERO,
             rng: Xoshiro256StarStar::new(seed),
             nodes,
-            groups: HashMap::new(),
+            groups: DetMap::new(),
             resolutions: EventQueue::new(),
             confirmations: ConfirmationChannel::new(confirmation_delay),
             delivered: Vec::new(),
@@ -492,6 +494,7 @@ impl FsoiNetwork {
     fn deliver(&mut self, packet: Packet, at: Cycle) {
         let lane = packet.class.lane();
         self.stats.delivered[lane] += 1;
+        // lint: allow(P1) deliver() is only reached via transmit, which stamps first_tx_at
         let first_tx = packet.first_tx_at.expect("delivered packets were transmitted");
         // The final transmission started one serialization period (plus
         // any phase-array setup, folded into `at`) before resolution.

@@ -113,7 +113,7 @@ fn reservations_never_collide() {
         |(arrivals, slot)| {
             let slot = *slot;
             let mut book = ReplySlotReservations::new();
-            let mut taken = std::collections::HashSet::new();
+            let mut taken = std::collections::BTreeSet::new();
             for &a in arrivals {
                 let r = book.reserve(Cycle(a), slot);
                 assert!(r.slot_start.as_u64().is_multiple_of(slot));

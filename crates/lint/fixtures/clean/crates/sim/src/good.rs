@@ -1,0 +1,45 @@
+//! Clean fixture: the sanctioned counterpart of every violating idiom in
+//! `../../../violating/`. Never compiled — only lexed by `fsoi-lint`.
+//! Running `fsoi-lint check --root` against this tree must exit 0.
+
+use fsoi_sim::det::{DetMap, DetSet};
+
+pub fn build() -> DetMap<u64, u64> {
+    let mut m = DetMap::new();
+    m.insert(1, 2);
+    m
+}
+
+pub fn tags() -> DetSet<u64> {
+    let mut s = DetSet::new();
+    s.insert(7);
+    s
+}
+
+pub fn trace_lazily(cycle: Cycle) {
+    trace::emit_with(cycle, || TraceEvent::Tick { at: cycle.0 });
+}
+
+pub fn documented_knob() -> Option<String> {
+    std::env::var("FSOI_TRACE").ok()
+}
+
+pub fn justified(v: Option<u64>) -> u64 {
+    v.expect("caller checked") // lint: allow(P1) callers gate on is_some first
+}
+
+// lint: allow(P1) the preceding-line form covers the next code line
+pub fn also_justified(v: Option<u64>) -> u64 { v.unwrap() }
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt_from_every_rule() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        let _ = std::time::Instant::now();
+    }
+}

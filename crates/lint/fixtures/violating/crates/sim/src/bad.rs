@@ -1,0 +1,31 @@
+//! Deliberately-violating fixture. Never compiled — only lexed by
+//! `fsoi-lint`. Running `fsoi-lint check --root` against this tree must
+//! exit nonzero with every rule firing at least once.
+
+use std::collections::HashMap; // D1: default-hasher map
+
+pub fn sampled_now() -> u64 {
+    let t = std::time::Instant::now(); // D2: wall clock
+    let _ = std::env::var("FSOI_UNDOCUMENTED"); // D2: undocumented knob
+    let _ = std::env::var(knob_name()); // D2: non-literal env read
+    let mut s = HashSet::new(); // D1: default-hasher set
+    s.insert(0u8);
+    trace::emit(TraceEvent::Tick { at: 0 }); // T1: eager emission
+    s.len() as u64
+}
+
+pub fn last(v: &[u64]) -> u64 {
+    *v.last().unwrap() // P1: unannotated unwrap
+}
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().expect("non-empty") // lint: allow(Q9) A1: unknown rule
+}
+
+pub fn boom() {
+    panic!("unjustified"); // P1: unannotated panic
+}
+
+pub fn reasonless(v: Option<u64>) -> u64 {
+    v.unwrap() // lint: allow(P1)
+}

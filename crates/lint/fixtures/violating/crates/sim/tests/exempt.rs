@@ -1,0 +1,11 @@
+//! Exempt-path fixture: lives under `tests/`, so nothing here may be
+//! reported even though it uses every banned idiom.
+
+use std::collections::HashMap;
+
+fn helper() -> u64 {
+    let mut m = HashMap::new();
+    m.insert(1u64, 2u64);
+    let _ = std::time::Instant::now();
+    m.get(&1).copied().unwrap()
+}

@@ -1,0 +1,420 @@
+//! A hand-rolled Rust lexer, sufficient for token-level lint rules.
+//!
+//! This is *not* a full Rust lexer: it only needs to be sound about the
+//! things that would make a token-pattern scanner lie —
+//!
+//! * comments (line, doc, nested block) become [`TokKind::Comment`]
+//!   tokens so that prose mentioning `HashMap` never trips a rule and so
+//!   `// lint: allow(...)` annotations can be parsed,
+//! * string/char/byte literals (including raw strings with `#` fences)
+//!   become [`TokKind::Str`] tokens, so quoted code is inert,
+//! * lifetimes are distinguished from char literals, so `'a` does not
+//!   start an unterminated "string",
+//! * everything else is identifiers, numbers and single-character
+//!   punctuation with line numbers attached.
+//!
+//! The lexer never fails: unexpected bytes degrade to punctuation tokens,
+//! which at worst makes a rule miss — never panic — on exotic input.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `r#async`).
+    Ident,
+    /// A single punctuation character (`:`, `(`, `#`, …).
+    Punct,
+    /// A lifetime (`'a`), stored without the quote.
+    Lifetime,
+    /// A numeric literal (`42`, `0xFF`, `1.5e-3`), roughly tokenized.
+    Num,
+    /// A string, char, or byte literal; `text` keeps the raw source slice.
+    Str,
+    /// A line or block comment; `text` keeps the raw source slice.
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token's class.
+    pub kind: TokKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// For a `Str` token: the literal's inner text when it is a plain
+    /// (non-raw, non-byte) string literal, else `None`.
+    pub fn plain_str_content(&self) -> Option<&str> {
+        let t = self.text.as_str();
+        if self.kind == TokKind::Str && t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
+            Some(&t[1..t.len() - 1])
+        } else {
+            None
+        }
+    }
+}
+
+/// Lexes `src` into tokens. Whitespace is dropped; comments are kept.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::with_capacity(src.len() / 6);
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Pushes a token spanning `start..end`, tracking newlines inside it.
+    macro_rules! push {
+        ($kind:expr, $start:expr, $end:expr, $at:expr) => {{
+            toks.push(Tok {
+                kind: $kind,
+                text: src[$start..$end].to_string(),
+                line: $at,
+            });
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                push!(TokKind::Comment, start, i, line);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comment.
+                let start = i;
+                let at = line;
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                push!(TokKind::Comment, start, i, at);
+            }
+            b'"' => {
+                let (end, newlines) = scan_string(b, i);
+                push!(TokKind::Str, i, end, line);
+                line += newlines;
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(b, i) => {
+                let (end, newlines, kind) = scan_prefixed_literal(b, i);
+                push!(kind, i, end, line);
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a'` is a char; `'a` (no
+                // closing quote right after one symbol) is a lifetime.
+                if is_lifetime(b, i) {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    push!(TokKind::Lifetime, start, j, line);
+                    i = j;
+                } else {
+                    let (end, newlines) = scan_char(b, i);
+                    push!(TokKind::Str, i, end, line);
+                    line += newlines;
+                    i = end;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                push!(TokKind::Ident, start, i, line);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i = scan_number(b, i);
+                push!(TokKind::Num, start, i, line);
+            }
+            _ => {
+                push!(TokKind::Punct, i, i + 1, line);
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Does `b[i..]` start a raw string (`r"`, `r#`), byte string (`b"`),
+/// or raw byte string (`br`)? A lone identifier like `result` must not.
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'\'' {
+            return true; // byte char b'x'
+        }
+        if j < b.len() && b[j] == b'r' {
+            j += 1;
+        }
+    } else if b[j] == b'r' {
+        j += 1;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Scans `r#"…"#` / `b"…"` / `br##"…"##` / `b'x'` starting at `i`.
+/// Returns (end index, newline count, token kind).
+fn scan_prefixed_literal(b: &[u8], i: usize) -> (usize, u32, TokKind) {
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'\'' {
+            let (end, nl) = scan_char(b, j);
+            return (end, nl, TokKind::Str);
+        }
+        if j < b.len() && b[j] == b'r' {
+            raw = true;
+            j += 1;
+        }
+    } else {
+        raw = true;
+        j += 1;
+    }
+    let mut fences = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        fences += 1;
+        j += 1;
+    }
+    if raw || fences > 0 {
+        // Raw: ends at `"` followed by `fences` hashes; no escapes.
+        j += 1; // the opening quote
+        let mut nl = 0u32;
+        while j < b.len() {
+            if b[j] == b'\n' {
+                nl += 1;
+            }
+            if b[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while k < b.len() && b[k] == b'#' && seen < fences {
+                    k += 1;
+                    seen += 1;
+                }
+                if seen == fences {
+                    return (k, nl, TokKind::Str);
+                }
+            }
+            j += 1;
+        }
+        (j, nl, TokKind::Str)
+    } else {
+        let (end, nl) = scan_string(b, j);
+        (end, nl, TokKind::Str)
+    }
+}
+
+/// Scans a `"…"` string with escapes, starting at the opening quote.
+fn scan_string(b: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return (j + 1, nl),
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+/// Scans a `'…'` char literal with escapes, starting at the quote.
+fn scan_char(b: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return (j + 1, nl),
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+/// True when the `'` at `i` starts a lifetime rather than a char literal.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&first) = b.get(i + 1) else { return false };
+    if first == b'\\' || first == b'\'' {
+        return false; // '\n' or ''' — char-ish
+    }
+    if !(first == b'_' || first.is_ascii_alphabetic()) {
+        return false; // '0', '+', … are char literals
+    }
+    // `'a'` → char, `'a` / `'static` → lifetime. A char literal has the
+    // closing quote immediately after exactly one symbol (multi-byte
+    // UTF-8 chars also lex fine: their continuation bytes fail the
+    // alphabetic test above, so they take the char-literal path).
+    !matches!(b.get(i + 2), Some(b'\''))
+}
+
+/// Scans a numeric literal (decimal, hex/oct/bin, float with exponent).
+fn scan_number(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        // Stop so `0..64` keeps its range dots, but eat `1.5`'s dot below.
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'.' && b.get(j + 1).is_some_and(|c| c.is_ascii_digit()) {
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+    }
+    // Exponent with a sign (`1e-3` is consumed above until `e`; the sign
+    // and digits follow).
+    if j < b.len()
+        && (b[j] == b'+' || b[j] == b'-')
+        && j > i
+        && (b[j - 1] == b'e' || b[j - 1] == b'E')
+        && b.get(j + 1).is_some_and(|c| c.is_ascii_digit())
+    {
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+            j += 1;
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("use std::collections::HashMap;");
+        assert_eq!(t[0], (TokKind::Ident, "use".into()));
+        assert!(t.contains(&(TokKind::Ident, "HashMap".into())));
+        assert!(t.contains(&(TokKind::Punct, ";".into())));
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let t = kinds("// HashMap here\nlet x = 1; /* HashSet\n there */");
+        assert_eq!(t[0].0, TokKind::Comment);
+        assert!(t[0].1.contains("HashMap"));
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && s == "HashMap"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Comment && s.contains("HashSet")));
+    }
+
+    #[test]
+    fn line_numbers_track_comments_and_strings() {
+        let toks = lex("a\n\"two\nlines\"\nb");
+        let a = toks.iter().find(|t| t.is_ident("a")).unwrap();
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn strings_swallow_code() {
+        let t = kinds(r#"let s = "HashMap::new()";"#);
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && s == "HashMap"));
+        assert!(t.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let t = kinds(r###"let s = r#"say "HashMap" loud"#; x"###);
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && s == "HashMap"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "x"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "a"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Str && s == "'x'"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Str && s == "'\\n'"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let t = kinds("0..64 1.5e-3 0xFF_u64");
+        assert_eq!(t[0], (TokKind::Num, "0".into()));
+        assert_eq!(t[1], (TokKind::Punct, ".".into()));
+        assert_eq!(t[2], (TokKind::Punct, ".".into()));
+        assert_eq!(t[3], (TokKind::Num, "64".into()));
+        assert!(t.contains(&(TokKind::Num, "1.5e-3".into())));
+        assert!(t.contains(&(TokKind::Num, "0xFF_u64".into())));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_literals() {
+        let t = kinds(r##"b"bytes" br#"raw"# b'x' break"##);
+        let strs = t.iter().filter(|(k, _)| *k == TokKind::Str).count();
+        assert_eq!(strs, 3);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "break"));
+    }
+
+    #[test]
+    fn plain_str_content_extraction() {
+        let toks = lex(r#"env::var("FSOI_TRACE")"#);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.plain_str_content(), Some("FSOI_TRACE"));
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in ["'", "\"unterminated", "r#\"open", "/* open", "\\ @ ` $"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The `fsoi-lint` gate binary.
+//!
+//! ```text
+//! fsoi-lint check [--format table|jsonl] [--root PATH]   # exit 1 on violations
+//! fsoi-lint rules                                        # list the invariants
+//! ```
+
+use fsoi_lint::rules::{rule_summary, ALLOWED_ENV_KNOBS, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut format = "table".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "rules" if cmd.is_none() => cmd = Some(a.clone()),
+            "--format" => match it.next() {
+                Some(f) if f == "table" || f == "jsonl" => format = f.clone(),
+                _ => return usage("--format takes `table` or `jsonl`"),
+            },
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root takes a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    match cmd.as_deref() {
+        Some("rules") => {
+            for r in RULES {
+                println!("{r}  {}", rule_summary(r));
+            }
+            println!("\ndocumented env knobs (D2 allowlist): {ALLOWED_ENV_KNOBS:?}");
+            println!("escape hatch: `// lint: allow(RULE[,RULE]) <reason>` on or above the line");
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            // Default root: the workspace this binary was built from.
+            let root = root
+                .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+            match fsoi_lint::run_check(&root) {
+                Ok(report) => {
+                    let rendered = if format == "jsonl" {
+                        report.to_jsonl()
+                    } else {
+                        report.to_table()
+                    };
+                    print!("{rendered}");
+                    if report.is_clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!(
+                            "fsoi-lint: {} violation(s); see DESIGN.md \"Determinism policy\"",
+                            report.violations.len()
+                        );
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("fsoi-lint: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage("expected a subcommand"),
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("fsoi-lint: {why}");
+    eprintln!("usage: fsoi-lint <check [--format table|jsonl] [--root PATH] | rules>");
+    ExitCode::from(2)
+}

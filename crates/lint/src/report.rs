@@ -1,0 +1,185 @@
+//! Violation aggregation and the two export shapes.
+//!
+//! Mirrors the `fsoi_sim::metrics` idiom: one deterministic JSONL line
+//! per record for machines, one aligned table for humans, and a summary
+//! [`Registry`] so gate logs show counts with the same formatting as
+//! every other exported number in the workspace.
+
+use crate::rules::{rule_summary, Violation, RULES};
+use fsoi_sim::metrics::Registry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations, sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// Allow-annotation counts per rule.
+    pub allows: BTreeMap<String, u64>,
+    /// Number of files scanned (library + exempt).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Merges one file's findings into the report.
+    pub fn absorb(&mut self, findings: crate::rules::FileFindings) {
+        self.violations.extend(findings.violations);
+        for (rule, _) in findings.allows {
+            *self.allows.entry(rule).or_insert(0) += 1;
+        }
+    }
+
+    /// Sorts violations into their canonical report order.
+    pub fn finish(&mut self) {
+        self.violations.sort();
+    }
+
+    /// True when the scanned tree satisfies every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Summary counters in the workspace's standard metrics registry.
+    pub fn registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.inc("lint.files_scanned", &[], self.files_scanned as u64);
+        for rule in RULES {
+            let n = self.violations.iter().filter(|v| v.rule == *rule).count() as u64;
+            reg.inc("lint.violations", &[("rule", rule)], n);
+            reg.inc(
+                "lint.allows",
+                &[("rule", rule)],
+                self.allows.get(*rule).copied().unwrap_or(0),
+            );
+        }
+        reg
+    }
+
+    /// One JSON line per violation (sorted), then the summary registry's
+    /// JSONL. Byte-stable for a given tree: no timestamps, no paths
+    /// outside the workspace, keys in fixed order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"msg\":\"{}\"}}",
+                v.rule,
+                escape(&v.path),
+                v.line,
+                escape(&v.msg)
+            );
+        }
+        out.push_str(&self.registry().to_jsonl());
+        out
+    }
+
+    /// The human-readable gate output: a violation table (when any) and
+    /// the summary table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.violations.is_empty() {
+            let loc_w = self
+                .violations
+                .iter()
+                .map(|v| v.path.len() + 1 + v.line.to_string().len())
+                .max()
+                .unwrap_or(8)
+                .max(8);
+            let _ = writeln!(out, "{:<loc_w$}  rule  violation", "location");
+            let _ = writeln!(out, "{}  ----  {}", "-".repeat(loc_w), "-".repeat(9));
+            for v in &self.violations {
+                let loc = format!("{}:{}", v.path, v.line);
+                let _ = writeln!(out, "{loc:<loc_w$}  {:<4}  {}", v.rule, v.msg);
+            }
+            out.push('\n');
+            // Remind the reader what each failing rule means.
+            let mut seen: Vec<&str> = Vec::new();
+            for v in &self.violations {
+                if !seen.contains(&v.rule) {
+                    seen.push(v.rule);
+                    let _ = writeln!(out, "{}: {}", v.rule, rule_summary(v.rule));
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&self.registry().to_table());
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the same subset `metrics` relies on).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileFindings;
+
+    fn sample() -> Report {
+        let mut r = Report { files_scanned: 3, ..Report::default() };
+        r.absorb(FileFindings {
+            violations: vec![Violation {
+                path: "crates/core/src/x.rs".into(),
+                line: 7,
+                rule: "D1",
+                msg: "`HashMap` iterates in hasher order".into(),
+            }],
+            allows: vec![("P1".into(), 4)],
+        });
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn jsonl_lists_violations_then_summary() {
+        let r = sample();
+        let j = r.to_jsonl();
+        let first = j.lines().next().unwrap();
+        assert_eq!(
+            first,
+            "{\"rule\":\"D1\",\"path\":\"crates/core/src/x.rs\",\"line\":7,\"msg\":\"`HashMap` iterates in hasher order\"}"
+        );
+        assert!(j.contains("\"metric\":\"lint.violations\""));
+        assert!(j.contains("lint.allows"));
+        assert_eq!(j, sample().to_jsonl(), "byte-stable for the same tree");
+    }
+
+    #[test]
+    fn table_names_rule_and_location() {
+        let t = sample().to_table();
+        assert!(t.contains("crates/core/src/x.rs:7"));
+        assert!(t.contains("D1"));
+        assert!(t.contains("DetMap"), "failing rules are explained");
+        assert!(t.contains("lint.files_scanned"));
+    }
+
+    #[test]
+    fn clean_report_is_clean() {
+        let mut r = Report { files_scanned: 1, ..Report::default() };
+        r.finish();
+        assert!(r.is_clean());
+        assert!(!r.to_table().contains("location"), "no violation table when clean");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_newlines() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -151,6 +151,7 @@ impl OpticalLink {
             Length::from_meters(self.tx_aperture.as_meters() / 2.0),
             self.wavelength,
         )
+        // lint: allow(P1) inputs were validated by this link's own constructor
         .expect("apertures and wavelengths are validated on construction")
     }
 

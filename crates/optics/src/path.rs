@@ -94,21 +94,20 @@ impl OpticalPath {
     /// 0.1 dB total.
     pub fn paper_diagonal() -> Self {
         let mut p = OpticalPath::new(Length::from_micrometers(95.0))
+            // lint: allow(P1) the paper's 95 um aperture is a positive constant
             .expect("aperture is positive");
-        p.push(PathElement::SubstrateAbsorption(Loss::from_db(0.05)))
-            .expect("valid");
-        p.push(PathElement::LensSurface { transmission: 0.995 })
-            .expect("valid");
-        p.push(PathElement::Mirror { reflectivity: 0.98 })
-            .expect("valid");
-        p.push(PathElement::FreeSpace(Length::from_millimeters(20.0)))
-            .expect("valid");
-        p.push(PathElement::Mirror { reflectivity: 0.98 })
-            .expect("valid");
-        p.push(PathElement::LensSurface { transmission: 0.995 })
-            .expect("valid");
-        p.push(PathElement::SubstrateAbsorption(Loss::from_db(0.05)))
-            .expect("valid");
+        for element in [
+            PathElement::SubstrateAbsorption(Loss::from_db(0.05)),
+            PathElement::LensSurface { transmission: 0.995 },
+            PathElement::Mirror { reflectivity: 0.98 },
+            PathElement::FreeSpace(Length::from_millimeters(20.0)),
+            PathElement::Mirror { reflectivity: 0.98 },
+            PathElement::LensSurface { transmission: 0.995 },
+            PathElement::SubstrateAbsorption(Loss::from_db(0.05)),
+        ] {
+            // lint: allow(P1) every element above is a fixed in-range paper constant
+            p.push(element).expect("paper path element is valid");
+        }
         p
     }
 

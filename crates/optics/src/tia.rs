@@ -69,6 +69,7 @@ impl Tia {
     /// at Table 1's BER of 10⁻¹⁰.
     pub fn paper_default() -> Self {
         Tia::new(Frequency::from_ghz(36.0), 15_000.0, 19.5e-12)
+            // lint: allow(P1) fixed paper constants satisfy the constructor's range checks
             .expect("paper defaults are valid")
     }
 

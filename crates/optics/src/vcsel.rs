@@ -166,6 +166,7 @@ impl Vcsel {
     pub fn paper_default() -> Self {
         VcselBuilder::new()
             .build()
+            // lint: allow(P1) the builder's defaults are the paper's validated constants
             .expect("paper defaults are valid")
     }
 

@@ -10,6 +10,9 @@
 //!   OS entropy, so every experiment is exactly reproducible),
 //! * [`event::EventQueue`] — a stable (FIFO within a cycle) time-ordered
 //!   event queue,
+//! * [`det::DetMap`] / [`det::DetSet`] — order-deterministic associative
+//!   containers (the sanctioned replacement for `HashMap`/`HashSet` in
+//!   simulation code, enforced by `fsoi-lint` rule D1),
 //! * [`stats`] — counters, streaming summaries, histograms and rate
 //!   estimators used by all measurement code,
 //! * [`metrics::Registry`] — named, labelled metrics with deterministic
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod det;
 pub mod event;
 pub mod metrics;
 pub mod queue;

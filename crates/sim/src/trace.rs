@@ -749,6 +749,7 @@ pub fn panic_dump_path() -> std::path::PathBuf {
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect();
+    // lint: allow(D2) only names the crash-dump file; never feeds simulation state
     std::env::temp_dir().join(format!("fsoi-flight-{}-{}.jsonl", std::process::id(), name))
 }
 

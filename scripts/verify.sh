@@ -7,6 +7,11 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
+# Determinism & invariant lints (DESIGN.md "Determinism policy"): the
+# committed tree must scan clean — zero D1/D2/T1/P1/A1 violations, every
+# escape hatch annotated. Exit 1 here means a new violation crept in.
+cargo run -q --release --offline -p fsoi-lint -- check
+
 # The structured-trace event API must also build compiled-in on release
 # (debug builds always carry it; plain release compiles it out).
 cargo build --release --offline --workspace --features trace
