@@ -53,24 +53,60 @@ fn invalidation_round() -> usize {
     let mut dir = Directory::new(0, 99, 4096);
     let line = LineAddr(0x40);
     // Build 16 sharers.
-    dir.handle(1, CoherenceMsg::Req { kind: fsoi_coherence::protocol::ReqType::Ex, line })
-        .unwrap();
+    dir.handle(
+        1,
+        CoherenceMsg::Req {
+            kind: fsoi_coherence::protocol::ReqType::Ex,
+            line,
+        },
+    )
+    .unwrap();
     dir.handle(99, CoherenceMsg::MemAck { line }).unwrap();
-    dir.handle(2, CoherenceMsg::Req { kind: fsoi_coherence::protocol::ReqType::Sh, line })
-        .unwrap();
-    dir.handle(1, CoherenceMsg::DwgAck { line, with_data: true })
-        .unwrap();
+    dir.handle(
+        2,
+        CoherenceMsg::Req {
+            kind: fsoi_coherence::protocol::ReqType::Sh,
+            line,
+        },
+    )
+    .unwrap();
+    dir.handle(
+        1,
+        CoherenceMsg::DwgAck {
+            line,
+            with_data: true,
+        },
+    )
+    .unwrap();
     for s in 3..16 {
-        dir.handle(s, CoherenceMsg::Req { kind: fsoi_coherence::protocol::ReqType::Sh, line })
-            .unwrap();
+        dir.handle(
+            s,
+            CoherenceMsg::Req {
+                kind: fsoi_coherence::protocol::ReqType::Sh,
+                line,
+            },
+        )
+        .unwrap();
     }
     let invs = dir
-        .handle(2, CoherenceMsg::Req { kind: fsoi_coherence::protocol::ReqType::Upg, line })
+        .handle(
+            2,
+            CoherenceMsg::Req {
+                kind: fsoi_coherence::protocol::ReqType::Upg,
+                line,
+            },
+        )
         .unwrap();
     let n = invs.len();
     for v in invs {
-        dir.handle(v.to, CoherenceMsg::InvAck { line, with_data: false })
-            .unwrap();
+        dir.handle(
+            v.to,
+            CoherenceMsg::InvAck {
+                line,
+                with_data: false,
+            },
+        )
+        .unwrap();
     }
     n
 }
@@ -90,7 +126,10 @@ fn bench_protocol(c: &mut Criterion) {
         l1.set_home_nodes(1);
         let line = LineAddr(0x40);
         l1.read(line);
-        let _ = l1.handle(CoherenceMsg::Data { grant: Grant::Shared, line });
+        let _ = l1.handle(CoherenceMsg::Data {
+            grant: Grant::Shared,
+            line,
+        });
         b.iter(|| l1.read(black_box(line)).hit)
     });
 }

@@ -8,9 +8,7 @@ use fsoi_optics::noise::{ber_to_q, q_to_ber};
 
 fn bench_link_budget(c: &mut Criterion) {
     let link = OpticalLink::paper_default();
-    c.bench_function("table1/budget", |b| {
-        b.iter(|| black_box(&link).budget())
-    });
+    c.bench_function("table1/budget", |b| b.iter(|| black_box(&link).budget()));
     c.bench_function("table1/validate_1e-10", |b| {
         b.iter(|| black_box(&link).validate(1e-10))
     });

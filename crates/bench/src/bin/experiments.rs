@@ -138,7 +138,9 @@ fn table1() {
 
 fn fig3() {
     header("Figure 3: collision probability / p vs transmission probability");
-    let ps = [0.33, 0.25, 0.20, 0.15, 0.10, 0.07, 0.05, 0.04, 0.03, 0.02, 0.01];
+    let ps = [
+        0.33, 0.25, 0.20, 0.15, 0.10, 0.07, 0.05, 0.04, 0.03, 0.02, 0.01,
+    ];
     print!("  {:>6}", "p");
     for r in 1..=4 {
         print!("  R={r} theory");
@@ -147,7 +149,10 @@ fn fig3() {
     for &p in &ps {
         print!("  {:>5.0}%", p * 100.0);
         for r in 1..=4 {
-            print!("  {:>9.2}%", 100.0 * ac::normalized_collision_probability(p, 16, r));
+            print!(
+                "  {:>9.2}%",
+                100.0 * ac::normalized_collision_probability(p, 16, r)
+            );
         }
         let mc = ac::monte_carlo(p, 16, 2, 60_000, 42);
         println!(
@@ -382,10 +387,14 @@ fn fig9(scale: u64) {
     let mut pk_without = 0u64;
     for app in AppProfile::suite() {
         let with = run_app(app, network_by_name("fsoi", 16), opts);
-        let without = run_app(app, network_by_name("fsoi", 16), SweepOptions {
-            optimizations: false,
-            ..opts
-        });
+        let without = run_app(
+            app,
+            network_by_name("fsoi", 16),
+            SweepOptions {
+                optimizations: false,
+                ..opts
+            },
+        );
         meta_with += with.meta_collision_rate;
         meta_without += without.meta_collision_rate;
         pk_with += with.packets_sent[0] + with.packets_sent[1];
@@ -430,11 +439,7 @@ fn fig10(scale: u64) {
         let cfg = fsoi_net::config::FsoiConfig::nodes(16)
             .with_hints(false)
             .with_request_spacing(false);
-        let without = run_app(
-            app,
-            fsoi_cmp::configs::NetworkKind::Fsoi(cfg),
-            opts,
-        );
+        let without = run_app(app, fsoi_cmp::configs::NetworkKind::Fsoi(cfg), opts);
         let total: u64 = with.collided_by_kind.iter().take(3).sum();
         let pct = |x: u64| {
             if total == 0 {
@@ -475,7 +480,10 @@ fn fig11(scale: u64) {
         .iter()
         .map(|n| AppProfile::by_name(n).unwrap())
         .collect();
-    println!("  {:>10} {:>12} {:>12}", "bandwidth", "FSOI perf", "mesh perf");
+    println!(
+        "  {:>10} {:>12} {:>12}",
+        "bandwidth", "FSOI perf", "mesh perf"
+    );
     let fracs = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5];
     let mut fsoi_base = 0.0;
     let mut mesh_base = 0.0;
@@ -485,7 +493,9 @@ fn fig11(scale: u64) {
         let cfg = fsoi_net::config::FsoiConfig::nodes(16).with_lanes(lanes);
         let fsoi_cycles: f64 = apps
             .iter()
-            .map(|a| run_app(*a, fsoi_cmp::configs::NetworkKind::Fsoi(cfg.clone()), opts).cycles as f64)
+            .map(|a| {
+                run_app(*a, fsoi_cmp::configs::NetworkKind::Fsoi(cfg.clone()), opts).cycles as f64
+            })
             .sum();
         // Mesh: links narrowed to the same fraction — packets serialize
         // into proportionally more flits.
@@ -519,7 +529,9 @@ fn run_mesh_scaled(app: AppProfile, fraction: f64, opts: SweepOptions) -> u64 {
         .with_mem_bandwidth(opts.mem_gb_per_s)
         .with_optimizations(opts.optimizations)
         .with_seed(opts.seed);
-    CmpSystem::new(cfg, app).run(fsoi_bench::runner::MAX_CYCLES).cycles
+    CmpSystem::new(cfg, app)
+        .run(fsoi_bench::runner::MAX_CYCLES)
+        .cycles
 }
 
 // ---------------------------------------------------------------- Table 4
@@ -606,10 +618,14 @@ fn opts(scale: u64) {
     for name in sync_apps {
         let a = AppProfile::by_name(name).unwrap();
         let on = run_app(a, network_by_name("fsoi", 16), o);
-        let off = run_app(a, network_by_name("fsoi", 16), SweepOptions {
-            optimizations: false,
-            ..o
-        });
+        let off = run_app(
+            a,
+            network_by_name("fsoi", 16),
+            SweepOptions {
+                optimizations: false,
+                ..o
+            },
+        );
         speeds.push(off.cycles as f64 / on.cycles as f64);
         saved += on.subscription_packets_saved;
     }
@@ -634,11 +650,7 @@ fn corona(scale: u64) {
     );
     for app in AppProfile::suite() {
         let f = run_app(app, network_by_name("fsoi", 64), opts);
-        let r = run_app(
-            app,
-            fsoi_cmp::configs::NetworkKind::ring(64),
-            opts,
-        );
+        let r = run_app(app, fsoi_cmp::configs::NetworkKind::ring(64), opts);
         let ratio = r.cycles as f64 / f.cycles as f64;
         speeds.push(ratio);
         println!(
@@ -673,8 +685,7 @@ fn l1_sensitivity(scale: u64) {
             let run = |kind| {
                 let mut a = app;
                 a.ops_per_core = o.ops_per_core;
-                let mut cfg = fsoi_cmp::configs::SystemConfig::paper_16(kind)
-                    .with_seed(o.seed);
+                let mut cfg = fsoi_cmp::configs::SystemConfig::paper_16(kind).with_seed(o.seed);
                 cfg.l1_lines = lines;
                 fsoi_cmp::system::CmpSystem::new(cfg, a).run(fsoi_bench::runner::MAX_CYCLES)
             };
@@ -706,7 +717,10 @@ fn ber_relaxation(scale: u64) {
     let mut o = SweepOptions::quick_16();
     o.ops_per_core *= scale;
     let apps = ["ba", "oc", "mp", "fft"];
-    println!("  {:>9} {:>12} {:>14}", "BER", "cycles (sum)", "error drops");
+    println!(
+        "  {:>9} {:>12} {:>14}",
+        "BER", "cycles (sum)", "error drops"
+    );
     let mut base = 0.0;
     for &ber in &[1e-10f64, 1e-6, 1e-5, 1e-4] {
         let mut cycles = 0u64;
@@ -770,7 +784,10 @@ fn receivers(scale: u64) {
         let delta = if prev_cycles == 0 {
             String::new()
         } else {
-            format!("  ({:+.1}% vs R-1)", 100.0 * (cyc as f64 / prev_cycles as f64 - 1.0))
+            format!(
+                "  ({:+.1}% vs R-1)",
+                100.0 * (cyc as f64 / prev_cycles as f64 - 1.0)
+            )
         };
         println!(
             "  {r:>3} {cyc:>12} {:>11.2}% {:>11.2}%{delta}",

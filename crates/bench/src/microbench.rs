@@ -36,12 +36,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id rendered from a bare parameter, criterion-style.
     pub fn from_parameter<D: std::fmt::Display>(parameter: D) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 
     /// An id with a function name and a parameter.
     pub fn new<S: Into<String>, D: std::fmt::Display>(function: S, parameter: D) -> Self {
-        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
     }
 }
 
@@ -73,11 +77,17 @@ const TARGET: Duration = Duration::from_millis(500);
 
 fn run_one(name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
     // Calibration pass: one iteration, to size the sample.
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     let iters = (TARGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
-    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let mean_ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
     let rate = throughput.map(|t| match t {
@@ -99,7 +109,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.to_string(), throughput: None }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
     }
 }
 
@@ -133,7 +147,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&format!("{}/{}", self.name, id.id), self.throughput, |b| f(b, input));
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, |b| {
+            f(b, input)
+        });
         self
     }
 

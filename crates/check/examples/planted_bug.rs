@@ -25,7 +25,10 @@ fn main() {
             println!("assertion : {}", f.message);
             println!("replay    : FSOI_CHECK_REPLAY={:#x} <rerun>", f.seed);
             let sum: u64 = f.shrunk.iter().sum();
-            assert!((250..350).contains(&sum), "shrunk sum {sum} should be near-minimal");
+            assert!(
+                (250..350).contains(&sum),
+                "shrunk sum {sum} should be near-minimal"
+            );
         }
     }
 }

@@ -36,7 +36,11 @@ pub trait Gen {
         U: Clone + Debug + 'static,
         F: Fn(&Self::Value) -> U + 'static,
     {
-        Map { inner: self, f: Rc::new(f), _marker: std::marker::PhantomData }
+        Map {
+            inner: self,
+            f: Rc::new(f),
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -169,7 +173,9 @@ pub struct Select<T> {
 /// so list the "simplest" variant first.
 pub fn select<T: Clone + Debug + 'static>(items: &[T]) -> Select<T> {
     assert!(!items.is_empty(), "select over an empty slate");
-    Select { items: Rc::new(items.to_vec()) }
+    Select {
+        items: Rc::new(items.to_vec()),
+    }
 }
 
 impl<T: Clone + Debug + 'static> Gen for Select<T> {
@@ -226,10 +232,9 @@ impl<A: Gen, B: Gen, C: Gen> Gen for (A, B, C) {
 
     fn tree(&self, rng: &mut Xoshiro256StarStar) -> Tree<Self::Value> {
         let ab = pair(self.0.tree(rng), self.1.tree(rng));
-        pair(ab, self.2.tree(rng))
-            .map(Rc::new(|((a, b), c): &((A::Value, B::Value), C::Value)| {
-                (a.clone(), b.clone(), c.clone())
-            }))
+        pair(ab, self.2.tree(rng)).map(Rc::new(|((a, b), c): &((A::Value, B::Value), C::Value)| {
+            (a.clone(), b.clone(), c.clone())
+        }))
     }
 }
 

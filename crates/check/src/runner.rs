@@ -261,7 +261,9 @@ impl Checker {
         P: Fn(&G::Value),
     {
         let base = env_u64("FSOI_CHECK_SEED").unwrap_or(self.seed);
-        let cases = env_u64("FSOI_CHECK_CASES").map(|c| c as u32).unwrap_or(self.cases);
+        let cases = env_u64("FSOI_CHECK_CASES")
+            .map(|c| c as u32)
+            .unwrap_or(self.cases);
 
         if let Some(seed) = env_u64("FSOI_CHECK_REPLAY") {
             return self.run_case(seed, gen, prop).map_or(Ok(()), Err);
@@ -297,7 +299,14 @@ impl Checker {
         let original = tree.value.clone();
         let (shrunk, steps, message) = self.shrink(tree, prop, message);
         let trace = counterexample_trace(prop, &shrunk);
-        Some(Failure { seed, original, shrunk, steps, message, trace })
+        Some(Failure {
+            seed,
+            original,
+            shrunk,
+            steps,
+            message,
+            trace,
+        })
     }
 
     /// Greedy descent: repeatedly move to the first child that still
@@ -327,20 +336,29 @@ impl Checker {
     }
 
     fn recorded_seeds(&self, name: &str) -> Vec<u64> {
-        let Some(path) = &self.regressions else { return Vec::new() };
-        let Ok(text) = fs::read_to_string(path) else { return Vec::new() };
+        let Some(path) = &self.regressions else {
+            return Vec::new();
+        };
+        let Ok(text) = fs::read_to_string(path) else {
+            return Vec::new();
+        };
         parse_regressions(&text, name)
     }
 
     fn record_failure<V: Debug>(&self, name: &str, f: &Failure<V>) {
-        let Some(path) = &self.regressions else { return };
+        let Some(path) = &self.regressions else {
+            return;
+        };
         if self.recorded_seeds(name).contains(&f.seed) {
             return;
         }
         // Best-effort: failure reporting must not depend on the file write.
         let _ = (|| -> std::io::Result<()> {
             let fresh = !path.exists();
-            let mut file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+            let mut file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
             if fresh {
                 writeln!(file, "{REGRESSION_HEADER}")?;
             }
@@ -465,6 +483,11 @@ mod tests {
         // duplicate prefix is stripped.
         let md = env!("CARGO_MANIFEST_DIR");
         let p = resolve_regression_path(md, "crates/check/src/runner.rs");
-        assert_eq!(p, Path::new(md).join("src/runner.rs").with_extension("regressions"));
+        assert_eq!(
+            p,
+            Path::new(md)
+                .join("src/runner.rs")
+                .with_extension("regressions")
+        );
     }
 }

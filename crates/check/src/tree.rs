@@ -18,14 +18,20 @@ pub struct Tree<T> {
 
 impl<T: Clone> Clone for Tree<T> {
     fn clone(&self) -> Self {
-        Tree { value: self.value.clone(), children: self.children.clone() }
+        Tree {
+            value: self.value.clone(),
+            children: self.children.clone(),
+        }
     }
 }
 
 impl<T> Tree<T> {
     /// A tree with no shrink candidates.
     pub fn leaf(value: T) -> Self {
-        Tree { value, children: None }
+        Tree {
+            value,
+            children: None,
+        }
     }
 
     /// A tree whose children are produced on demand by `f`.
@@ -33,7 +39,10 @@ impl<T> Tree<T> {
     /// Children should be ordered most-aggressive first (the runner walks
     /// them greedily, committing to the first one that still fails).
     pub fn with_children(value: T, f: impl Fn() -> Vec<Tree<T>> + 'static) -> Self {
-        Tree { value, children: Some(Rc::new(f)) }
+        Tree {
+            value,
+            children: Some(Rc::new(f)),
+        }
     }
 
     /// Materialises this node's shrink candidates.

@@ -16,10 +16,15 @@ fn shrink_converges_to_int_boundary() {
     // Planted bug: fails for every x >= 50. The unique minimal
     // counterexample is exactly the boundary.
     let f = plain(1)
-        .check_result("planted_int", &(0u64..1000), &|&x| assert!(x < 50, "x = {x}"))
+        .check_result("planted_int", &(0u64..1000), &|&x| {
+            assert!(x < 50, "x = {x}")
+        })
         .expect_err("property must fail");
     assert!(f.original >= 50);
-    assert_eq!(f.shrunk, 50, "greedy halving must land exactly on the boundary");
+    assert_eq!(
+        f.shrunk, 50,
+        "greedy halving must land exactly on the boundary"
+    );
     assert!(f.message.contains("x = 50"));
 }
 
@@ -28,7 +33,9 @@ fn shrink_converges_to_minimal_vec() {
     // Planted bug: fails whenever any element reaches 500. Minimal
     // counterexample: a single element holding exactly 500.
     let f = plain(2)
-        .check_result("planted_vec", &vec_of(0u64..1000, 0..20), &|v: &Vec<u64>| {
+        .check_result("planted_vec", &vec_of(0u64..1000, 0..20), &|v: &Vec<
+            u64,
+        >| {
             assert!(v.iter().all(|&x| x < 500))
         })
         .expect_err("property must fail");
@@ -85,8 +92,10 @@ fn distinct_test_names_get_distinct_streams() {
 
 #[test]
 fn regression_file_round_trip() {
-    let path = PathBuf::from(std::env::temp_dir())
-        .join(format!("fsoi_check_roundtrip_{}.regressions", std::process::id()));
+    let path = PathBuf::from(std::env::temp_dir()).join(format!(
+        "fsoi_check_roundtrip_{}.regressions",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&path);
 
     // 1. A failing run records its case seed.
@@ -128,8 +137,10 @@ fn regression_file_round_trip() {
 
 #[test]
 fn recording_failures_is_idempotent() {
-    let path = PathBuf::from(std::env::temp_dir())
-        .join(format!("fsoi_check_idem_{}.regressions", std::process::id()));
+    let path = PathBuf::from(std::env::temp_dir()).join(format!(
+        "fsoi_check_idem_{}.regressions",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&path);
     let failing = |&x: &u64| assert!(x < 1);
     for _ in 0..3 {
@@ -139,7 +150,10 @@ fn recording_failures_is_idempotent() {
             .check_result("idem_prop", &(0u64..1000), &failing);
     }
     let text = std::fs::read_to_string(&path).unwrap();
-    let lines = text.lines().filter(|l| l.trim_start().starts_with("cc ")).count();
+    let lines = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("cc "))
+        .count();
     assert_eq!(lines, 1, "duplicate seeds must not accumulate: {text}");
     let _ = std::fs::remove_file(&path);
 }
@@ -150,28 +164,52 @@ fn failure_carries_flight_recorder_tail() {
     if !trace::compiled() {
         return; // release without the `trace` feature: nothing to record
     }
-    let path = PathBuf::from(std::env::temp_dir())
-        .join(format!("fsoi_check_trace_{}.regressions", std::process::id()));
+    let path = PathBuf::from(std::env::temp_dir()).join(format!(
+        "fsoi_check_trace_{}.regressions",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&path);
 
     // The property leaves a trace event behind before failing, like an
     // instrumented network tick would.
     let failing = |&x: &u64| {
-        trace::emit(fsoi_sim::Cycle(x), TraceEvent::Mark { label: "case".into(), value: x });
+        trace::emit(
+            fsoi_sim::Cycle(x),
+            TraceEvent::Mark {
+                label: "case".into(),
+                value: x,
+            },
+        );
         assert!(x < 50, "x = {x}");
     };
     let f = Checker::with_regressions_file(&path)
         .seed(19)
         .check_result("trace_prop", &(0u64..1000), &failing)
         .expect_err("property must fail");
-    assert!(f.trace.contains("\"event\":\"mark\""), "tail recorded: {}", f.trace);
+    assert!(
+        f.trace.contains("\"event\":\"mark\""),
+        "tail recorded: {}",
+        f.trace
+    );
     // The tail belongs to the *shrunk* case (x = 50), not some probe.
-    assert!(f.trace.contains("\"cycle\":50"), "tail is the minimal case: {}", f.trace);
-    assert_eq!(f.trace.lines().count(), 1, "one probe, one event: {}", f.trace);
+    assert!(
+        f.trace.contains("\"cycle\":50"),
+        "tail is the minimal case: {}",
+        f.trace
+    );
+    assert_eq!(
+        f.trace.lines().count(),
+        1,
+        "one probe, one event: {}",
+        f.trace
+    );
 
     // The regression entry carries the tail as comment lines…
     let text = std::fs::read_to_string(&path).unwrap();
-    assert!(text.contains("#   trace: {\"cycle\":50"), "trace comment recorded: {text}");
+    assert!(
+        text.contains("#   trace: {\"cycle\":50"),
+        "trace comment recorded: {text}"
+    );
     // …which must not confuse the seed parser on the next run.
     let g = Checker::with_regressions_file(&path)
         .seed(0xFFFF) // only the file can supply the case
@@ -192,8 +230,14 @@ fn check_panics_with_replayable_report() {
         .downcast_ref::<String>()
         .cloned()
         .unwrap_or_else(|| "?".into());
-    assert!(msg.contains("[fsoi-check] property 'report_prop' failed"), "{msg}");
-    assert!(msg.contains("FSOI_CHECK_REPLAY=0x"), "report names the replay knob: {msg}");
+    assert!(
+        msg.contains("[fsoi-check] property 'report_prop' failed"),
+        "{msg}"
+    );
+    assert!(
+        msg.contains("FSOI_CHECK_REPLAY=0x"),
+        "report names the replay knob: {msg}"
+    );
     assert!(msg.contains("shrunk"), "{msg}");
 }
 

@@ -146,10 +146,9 @@ impl SystemConfig {
     pub fn build_network(&self) -> Box<dyn Interconnect> {
         let width = (self.nodes as f64).sqrt().round() as usize;
         match &self.network {
-            NetworkKind::Fsoi(cfg) => Box::new(FsoiAdapter::new(FsoiNetwork::new(
-                cfg.clone(),
-                self.seed,
-            ))),
+            NetworkKind::Fsoi(cfg) => {
+                Box::new(FsoiAdapter::new(FsoiNetwork::new(cfg.clone(), self.seed)))
+            }
             NetworkKind::Mesh(cfg) => Box::new(MeshAdapter::new(MeshNetwork::new(*cfg))),
             NetworkKind::MeshScaled(cfg, f) => {
                 Box::new(MeshAdapter::new(MeshNetwork::new(*cfg)).with_width_fraction(*f))

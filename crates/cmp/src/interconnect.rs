@@ -11,10 +11,10 @@ use fsoi_mesh::network::MeshNetwork;
 use fsoi_mesh::packet::MeshPacket;
 use fsoi_mesh::power::MeshPowerModel;
 use fsoi_net::network::FsoiNetwork;
-use fsoi_ring::network::{RingNetwork, RingPacket};
 use fsoi_net::packet::{Packet, PacketClass};
 use fsoi_net::power::FsoiPowerModel;
 use fsoi_net::topology::NodeId;
+use fsoi_ring::network::{RingNetwork, RingPacket};
 use fsoi_sim::Cycle;
 
 /// A packet as the CMP system sees it.
@@ -689,7 +689,8 @@ mod ring_tests {
     #[test]
     fn ring_adapter_delivers() {
         let mut net = RingAdapter::new(RingNetwork::new(RingConfig::nodes(64)));
-        net.inject(NetPacket::new(0, 40, PacketClass::Data, 5)).unwrap();
+        net.inject(NetPacket::new(0, 40, PacketClass::Data, 5))
+            .unwrap();
         for _ in 0..50 {
             net.tick();
         }

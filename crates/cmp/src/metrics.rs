@@ -45,8 +45,11 @@ impl DataPacketKind {
     }
 
     /// All kinds in dense-index order.
-    pub const ALL: [DataPacketKind; 3] =
-        [DataPacketKind::Memory, DataPacketKind::Reply, DataPacketKind::WriteBack];
+    pub const ALL: [DataPacketKind; 3] = [
+        DataPacketKind::Memory,
+        DataPacketKind::Reply,
+        DataPacketKind::WriteBack,
+    ];
 }
 
 /// The complete result of one application × network run.
@@ -129,27 +132,62 @@ impl RunReport {
         reg.gauge("cmp.latency.queuing", &run, self.attribution.queuing);
         reg.gauge("cmp.latency.scheduling", &run, self.attribution.scheduling);
         reg.gauge("cmp.latency.network", &run, self.attribution.network);
-        reg.gauge("cmp.latency.resolution", &run, self.attribution.collision_resolution);
+        reg.gauge(
+            "cmp.latency.resolution",
+            &run,
+            self.attribution.collision_resolution,
+        );
         reg.gauge("cmp.latency.total", &run, self.attribution.total());
         reg.histogram("cmp.reply_latency", &run, self.reply_latency.clone());
 
-        reg.gauge("cmp.tx_probability", &lane("meta"), self.meta_tx_probability);
-        reg.gauge("cmp.tx_probability", &lane("data"), self.data_tx_probability);
-        reg.gauge("cmp.collision_rate", &lane("meta"), self.meta_collision_rate);
-        reg.gauge("cmp.collision_rate", &lane("data"), self.data_collision_rate);
+        reg.gauge(
+            "cmp.tx_probability",
+            &lane("meta"),
+            self.meta_tx_probability,
+        );
+        reg.gauge(
+            "cmp.tx_probability",
+            &lane("data"),
+            self.data_tx_probability,
+        );
+        reg.gauge(
+            "cmp.collision_rate",
+            &lane("meta"),
+            self.meta_collision_rate,
+        );
+        reg.gauge(
+            "cmp.collision_rate",
+            &lane("data"),
+            self.data_collision_rate,
+        );
         reg.inc("cmp.packets_sent", &lane("meta"), self.packets_sent[0]);
         reg.inc("cmp.packets_sent", &lane("data"), self.packets_sent[1]);
 
         for kind in DataPacketKind::ALL {
-            let labels: [(&str, &str); 3] =
-                [("app", app), ("network", net), ("kind", kind.metric_label())];
-            reg.inc("cmp.data_delivered", &labels, self.data_by_kind[kind.index()]);
-            reg.inc("cmp.data_collided", &labels, self.collided_by_kind[kind.index()]);
+            let labels: [(&str, &str); 3] = [
+                ("app", app),
+                ("network", net),
+                ("kind", kind.metric_label()),
+            ];
+            reg.inc(
+                "cmp.data_delivered",
+                &labels,
+                self.data_by_kind[kind.index()],
+            );
+            reg.inc(
+                "cmp.data_collided",
+                &labels,
+                self.collided_by_kind[kind.index()],
+            );
         }
         reg.inc("cmp.data_recollided", &run, self.collided_by_kind[3]);
 
         reg.inc("cmp.acks_elided", &run, self.acks_elided);
-        reg.inc("cmp.subscription_packets_saved", &run, self.subscription_packets_saved);
+        reg.inc(
+            "cmp.subscription_packets_saved",
+            &run,
+            self.subscription_packets_saved,
+        );
         reg.gauge("cmp.l1_miss_rate", &run, self.l1_miss_rate);
         reg.inc("cmp.active_cycles", &run, self.active_cycles);
         reg.inc("cmp.stalled_cycles", &run, self.stalled_cycles);
@@ -159,7 +197,11 @@ impl RunReport {
         reg.gauge("cmp.energy.leakage_j", &run, self.energy.leakage_j);
         reg.gauge("cmp.energy.total_j", &run, self.energy.total_j());
 
-        reg.gauge("cmp.data_resolution_delay", &run, self.data_resolution_delay);
+        reg.gauge(
+            "cmp.data_resolution_delay",
+            &run,
+            self.data_resolution_delay,
+        );
         reg.gauge("cmp.hint_accuracy", &run, self.hint_accuracy);
         reg.gauge("cmp.hint_wrong_rate", &run, self.hint_wrong_rate);
         reg.inc("cmp.bit_error_drops", &run, self.bit_error_drops);
@@ -239,7 +281,11 @@ mod tests {
             l1_miss_rate: 0.01,
             active_cycles: 400,
             stalled_cycles: 100,
-            energy: ChipEnergy { network_j: 0.5, core_j: 1.5, leakage_j: 0.25 },
+            energy: ChipEnergy {
+                network_j: 0.5,
+                core_j: 1.5,
+                leakage_j: 0.25,
+            },
             data_resolution_delay: 9.0,
             hint_accuracy: 0.9,
             hint_wrong_rate: 0.1,
@@ -255,11 +301,17 @@ mod tests {
         assert_eq!(reg.counter("cmp.cycles", &run), 500);
         assert_eq!(reg.gauge_value("cmp.latency.total", &run), Some(10.0));
         assert_eq!(
-            reg.gauge_value("cmp.tx_probability", &[("app", "tsp"), ("network", "fsoi"), ("lane", "meta")]),
+            reg.gauge_value(
+                "cmp.tx_probability",
+                &[("app", "tsp"), ("network", "fsoi"), ("lane", "meta")]
+            ),
             Some(0.25)
         );
         assert_eq!(
-            reg.counter("cmp.data_delivered", &[("app", "tsp"), ("network", "fsoi"), ("kind", "writeback")]),
+            reg.counter(
+                "cmp.data_delivered",
+                &[("app", "tsp"), ("network", "fsoi"), ("kind", "writeback")]
+            ),
             5
         );
         assert_eq!(reg.counter("cmp.data_recollided", &run), 4);

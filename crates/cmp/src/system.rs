@@ -46,11 +46,19 @@ const CONFIRMATION_DELAY: u64 = 2;
 #[derive(Debug)]
 enum Pending {
     /// A coherence message arrives at its handler.
-    Deliver { from: usize, to: usize, msg: CoherenceMsg },
+    Deliver {
+        from: usize,
+        to: usize,
+        msg: CoherenceMsg,
+    },
     /// A subscription push wakes a core.
     Wake { core: usize },
     /// A deferred packet injection (request spacing / NACK retry).
-    Inject { from: usize, out: OutMsg, scheduling_delay: u64 },
+    Inject {
+        from: usize,
+        out: OutMsg,
+        scheduling_delay: u64,
+    },
     /// A confirmation-channel (non-packet) delivery released by ordering.
     DirectDeliver { from: usize, out: OutMsg },
     /// Release the per-line ordering slot (sender saw the confirmation).
@@ -243,8 +251,12 @@ impl CmpSystem {
             CoherenceMsg::MemAck { .. } => Some(DataPacketKind::Memory),
             CoherenceMsg::Data { .. } => Some(DataPacketKind::Reply),
             CoherenceMsg::WriteBack { .. } => Some(DataPacketKind::WriteBack),
-            CoherenceMsg::InvAck { with_data: true, .. }
-            | CoherenceMsg::DwgAck { with_data: true, .. } => Some(DataPacketKind::WriteBack),
+            CoherenceMsg::InvAck {
+                with_data: true, ..
+            }
+            | CoherenceMsg::DwgAck {
+                with_data: true, ..
+            } => Some(DataPacketKind::WriteBack),
             _ => None,
         }
     }
@@ -281,7 +293,11 @@ impl CmpSystem {
             let lat = self.processing_latency(&out.msg).max(1);
             self.pending.push(
                 self.now + lat,
-                Pending::Deliver { from, to: out.to, msg: out.msg },
+                Pending::Deliver {
+                    from,
+                    to: out.to,
+                    msg: out.msg,
+                },
             );
             return;
         }
@@ -315,7 +331,10 @@ impl CmpSystem {
         // §5.2 hint knowledge: once a reply-class data packet is launched,
         // its receiver "expects a data packet reply" from this sender (the
         // paper's receivers infer this from their outstanding requests).
-        if matches!(out.msg, CoherenceMsg::Data { .. } | CoherenceMsg::MemAck { .. }) {
+        if matches!(
+            out.msg,
+            CoherenceMsg::Data { .. } | CoherenceMsg::MemAck { .. }
+        ) {
             self.net.expect_data(out.to, from);
         }
         let tag = self.alloc_tag(from, out.msg);
@@ -364,7 +383,11 @@ impl CmpSystem {
             let lat = self.processing_latency(&msg).max(1);
             self.pending.push(
                 self.now + lat,
-                Pending::Deliver { from, to: d.packet.dst, msg },
+                Pending::Deliver {
+                    from,
+                    to: d.packet.dst,
+                    msg,
+                },
             );
         }
     }
@@ -377,13 +400,19 @@ impl CmpSystem {
                     let lat = self.processing_latency(&out.msg).max(1);
                     self.pending.push(
                         self.now + lat,
-                        Pending::Deliver { from, to: out.to, msg: out.msg },
+                        Pending::Deliver {
+                            from,
+                            to: out.to,
+                            msg: out.msg,
+                        },
                     );
                 }
                 Pending::Wake { core } => self.wake_core(core),
-                Pending::Inject { from, out, scheduling_delay } => {
-                    self.route(from, out, scheduling_delay, false)
-                }
+                Pending::Inject {
+                    from,
+                    out,
+                    scheduling_delay,
+                } => self.route(from, out, scheduling_delay, false),
                 Pending::ReleaseOrder { key } => {
                     if let Some(queue) = self.order_wait.get_mut(&key) {
                         if let Some((out, sd, direct)) = queue.pop_front() {
@@ -412,7 +441,10 @@ impl CmpSystem {
                         done,
                         Pending::Inject {
                             from: controller,
-                            out: OutMsg { to: home, msg: CoherenceMsg::MemAck { line } },
+                            out: OutMsg {
+                                to: home,
+                                msg: CoherenceMsg::MemAck { line },
+                            },
                             scheduling_delay: 0,
                         },
                     );
@@ -435,7 +467,8 @@ impl CmpSystem {
                     }
                     Err(e) => {
                         self.protocol_errors += 1;
-                        self.first_protocol_error.get_or_insert_with(|| e.to_string());
+                        self.first_protocol_error
+                            .get_or_insert_with(|| e.to_string());
                     }
                 }
             }
@@ -459,7 +492,8 @@ impl CmpSystem {
             Ok(r) => r,
             Err(e) => {
                 self.protocol_errors += 1;
-                self.first_protocol_error.get_or_insert_with(|| e.to_string());
+                self.first_protocol_error
+                    .get_or_insert_with(|| e.to_string());
                 return;
             }
         };
@@ -467,7 +501,13 @@ impl CmpSystem {
             let elidable = self.cfg.opt_confirmation_acks
                 && self.net.supports_confirmation_acks()
                 && is_inv
-                && matches!(out.msg, CoherenceMsg::InvAck { with_data: false, .. });
+                && matches!(
+                    out.msg,
+                    CoherenceMsg::InvAck {
+                        with_data: false,
+                        ..
+                    }
+                );
             if elidable {
                 // §5.1: the confirmation of the Inv delivery substitutes
                 // for the explicit acknowledgment packet. It still obeys
@@ -482,7 +522,11 @@ impl CmpSystem {
                 let delay = NACK_RETRY_BASE + self.rng.next_below(16);
                 self.pending.push(
                     self.now + delay,
-                    Pending::Inject { from: to, out, scheduling_delay: 0 },
+                    Pending::Inject {
+                        from: to,
+                        out,
+                        scheduling_delay: 0,
+                    },
                 );
             } else {
                 self.route(to, out, 0, false);
@@ -549,7 +593,11 @@ impl CmpSystem {
             if delay > 0 {
                 self.pending.push(
                     self.now + delay,
-                    Pending::Inject { from: i, out, scheduling_delay: delay },
+                    Pending::Inject {
+                        from: i,
+                        out,
+                        scheduling_delay: delay,
+                    },
                 );
             } else {
                 self.route(i, out, 0, false);
@@ -564,7 +612,10 @@ impl CmpSystem {
                 self.cores[i].next_at = self.now + self.cfg.l1_latency;
             }
             ReadIssue::Miss => {
-                self.cores[i].state = CoreState::WaitRead { line, issued_at: self.now };
+                self.cores[i].state = CoreState::WaitRead {
+                    line,
+                    issued_at: self.now,
+                };
             }
             ReadIssue::Stalled => {
                 self.cores[i].pending_op = Some(Op::Read(line));
@@ -639,8 +690,10 @@ impl CmpSystem {
         }
         if self.cfg.opt_subscriptions && self.net.supports_confirmation_acks() {
             for target in self.hub.push_update(line, i) {
-                self.pending
-                    .push(self.now + CONFIRMATION_DELAY, Pending::Wake { core: target });
+                self.pending.push(
+                    self.now + CONFIRMATION_DELAY,
+                    Pending::Wake { core: target },
+                );
             }
         }
         self.cores[i].next_at = self.now + 1;
@@ -666,8 +719,10 @@ impl CmpSystem {
             }
             if self.cfg.opt_subscriptions && self.net.supports_confirmation_acks() {
                 for target in self.hub.push_update(sense_line, i) {
-                    self.pending
-                        .push(self.now + CONFIRMATION_DELAY, Pending::Wake { core: target });
+                    self.pending.push(
+                        self.now + CONFIRMATION_DELAY,
+                        Pending::Wake { core: target },
+                    );
                 }
             }
             self.cores[i].state = CoreState::Ready;
@@ -702,7 +757,10 @@ impl CmpSystem {
                     }
                 }
             }
-            CoreState::SpinBarrier { episode, next_probe } if next_probe <= self.now => {
+            CoreState::SpinBarrier {
+                episode,
+                next_probe,
+            } if next_probe <= self.now => {
                 let line = AppProfile::barrier_sense_line(self.cfg.line_bytes);
                 match self.issue_read(i, line) {
                     ReadIssue::Hit => self.check_barrier_release(i, episode),
@@ -798,8 +856,7 @@ impl CmpSystem {
             })
             .collect();
         assert_eq!(
-            self.protocol_errors,
-            0,
+            self.protocol_errors, 0,
             "protocol errors observed; first: {:?}",
             self.first_protocol_error
         );
@@ -823,8 +880,16 @@ impl CmpSystem {
             stalled_cycles: stalled,
             energy,
             data_resolution_delay: self.net.data_resolution_delay(),
-            hint_accuracy: if issued == 0 { 0.0 } else { correct as f64 / issued as f64 },
-            hint_wrong_rate: if issued == 0 { 0.0 } else { wrong as f64 / issued as f64 },
+            hint_accuracy: if issued == 0 {
+                0.0
+            } else {
+                correct as f64 / issued as f64
+            },
+            hint_wrong_rate: if issued == 0 {
+                0.0
+            } else {
+                wrong as f64 / issued as f64
+            },
             bit_error_drops: self.net.bit_error_drops(),
         }
     }
@@ -880,8 +945,14 @@ mod tests {
         let (jsonl_a, table_a) = snapshot();
         let (jsonl_b, table_b) = snapshot();
         assert!(!jsonl_a.is_empty());
-        assert_eq!(jsonl_a, jsonl_b, "same-seed JSONL snapshots must be byte-identical");
-        assert_eq!(table_a, table_b, "same-seed table snapshots must be byte-identical");
+        assert_eq!(
+            jsonl_a, jsonl_b,
+            "same-seed JSONL snapshots must be byte-identical"
+        );
+        assert_eq!(
+            table_a, table_b,
+            "same-seed table snapshots must be byte-identical"
+        );
     }
 
     #[test]
@@ -904,8 +975,14 @@ mod tests {
         let (ev_b, jsonl_b, table_b) = snapshot();
         assert!(ev_a > 0, "the tiny L2 must force eviction scans");
         assert_eq!(ev_a, ev_b, "same-seed eviction counts must match");
-        assert_eq!(jsonl_a, jsonl_b, "same-seed JSONL exports must be byte-identical");
-        assert_eq!(table_a, table_b, "same-seed table exports must be byte-identical");
+        assert_eq!(
+            jsonl_a, jsonl_b,
+            "same-seed JSONL exports must be byte-identical"
+        );
+        assert_eq!(
+            table_a, table_b,
+            "same-seed table exports must be byte-identical"
+        );
     }
 
     #[test]
@@ -998,7 +1075,9 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed| {
             let (cfg, app) = small_cfg(NetworkKind::fsoi(16));
-            CmpSystem::new(cfg.with_seed(seed), app).run(2_000_000).cycles
+            CmpSystem::new(cfg.with_seed(seed), app)
+                .run(2_000_000)
+                .cycles
         };
         assert_eq!(run(1), run(1));
     }

@@ -107,37 +107,69 @@ impl AppProfile {
         }
         vec![
             // N-body: tree walks (cold pointer chasing), cell locks.
-            p("ba", 2.5, 0.75, 0.044, 0.035, 0.0110, 700, 320, 3000, 16, 120, 0),
+            p(
+                "ba", 2.5, 0.75, 0.044, 0.035, 0.0110, 700, 320, 3000, 16, 120, 0,
+            ),
             // Sparse factorization: irregular panels, task-queue locks.
-            p("ch", 2.5, 0.70, 0.055, 0.028, 0.0083, 800, 256, 3500, 8, 90, 0),
+            p(
+                "ch", 2.5, 0.70, 0.055, 0.028, 0.0083, 800, 256, 3500, 8, 90, 0,
+            ),
             // Fast multipole: phases with barriers + list locks.
-            p("fmm", 2.5, 0.72, 0.044, 0.028, 0.0066, 700, 256, 3000, 8, 150, 450),
+            p(
+                "fmm", 2.5, 0.72, 0.044, 0.028, 0.0066, 700, 256, 3000, 8, 150, 450,
+            ),
             // FFT: staged all-to-all transpose, heavy streaming.
-            p("fft", 2.0, 0.60, 0.138, 0.021, 0.0110, 1100, 128, 4500, 0, 0, 350),
+            p(
+                "fft", 2.0, 0.60, 0.138, 0.021, 0.0110, 1100, 128, 4500, 0, 0, 350,
+            ),
             // Dense LU: blocked streaming, barrier-separated.
-            p("lu", 2.0, 0.65, 0.110, 0.028, 0.0066, 1000, 128, 3500, 0, 0, 300),
+            p(
+                "lu", 2.0, 0.65, 0.110, 0.028, 0.0066, 1000, 128, 3500, 0, 0, 300,
+            ),
             // Ocean: huge grids — the most streaming-intensive.
-            p("oc", 1.5, 0.62, 0.220, 0.028, 0.0138, 1200, 128, 5000, 0, 0, 250),
+            p(
+                "oc", 1.5, 0.62, 0.220, 0.028, 0.0138, 1200, 128, 5000, 0, 0, 250,
+            ),
             // Radiosity: task stealing, irregular, lock heavy.
-            p("ro", 2.2, 0.72, 0.033, 0.049, 0.0083, 600, 384, 2500, 24, 80, 0),
+            p(
+                "ro", 2.2, 0.72, 0.033, 0.049, 0.0083, 600, 384, 2500, 24, 80, 0,
+            ),
             // Radix: permutation writes — cold-dominated, high miss.
-            p("rx", 1.8, 0.45, 0.099, 0.021, 0.0330, 1100, 128, 20_000, 0, 0, 300),
+            p(
+                "rx", 1.8, 0.45, 0.099, 0.021, 0.0330, 1100, 128, 20_000, 0, 0, 300,
+            ),
             // Raytrace: read-mostly BVH with work-queue locks.
-            p("ray", 2.2, 0.85, 0.044, 0.028, 0.0165, 900, 256, 4500, 12, 110, 0),
+            p(
+                "ray", 2.2, 0.85, 0.044, 0.028, 0.0165, 900, 256, 4500, 12, 110, 0,
+            ),
             // Water-spatial: small boxes, the lightest traffic.
-            p("ws", 4.0, 0.70, 0.022, 0.021, 0.0028, 500, 128, 1200, 8, 140, 500),
+            p(
+                "ws", 4.0, 0.70, 0.022, 0.021, 0.0028, 500, 128, 1200, 8, 140, 500,
+            ),
             // em3d: bipartite graph relaxation — remote-read dominated.
-            p("em", 1.2, 0.80, 0.121, 0.035, 0.0275, 1100, 256, 19_000, 0, 0, 400),
+            p(
+                "em", 1.2, 0.80, 0.121, 0.035, 0.0275, 1100, 256, 19_000, 0, 0, 400,
+            ),
             // ilink: genetic linkage, moderate everything.
-            p("ilink", 2.5, 0.70, 0.055, 0.028, 0.0066, 800, 256, 3000, 8, 130, 0),
+            p(
+                "ilink", 2.5, 0.70, 0.055, 0.028, 0.0066, 800, 256, 3000, 8, 130, 0,
+            ),
             // Jacobi: stencil sweeps, very regular.
-            p("ja", 3.0, 0.65, 0.165, 0.014, 0.0044, 1200, 64, 2000, 0, 0, 280),
+            p(
+                "ja", 3.0, 0.65, 0.165, 0.014, 0.0044, 1200, 64, 2000, 0, 0, 280,
+            ),
             // mp3d: particle push — notorious write sharing + high miss.
-            p("mp", 1.2, 0.50, 0.066, 0.070, 0.0248, 1000, 512, 16_000, 4, 200, 300),
+            p(
+                "mp", 1.2, 0.50, 0.066, 0.070, 0.0248, 1000, 512, 16_000, 4, 200, 300,
+            ),
             // Shallow: weather grids, streaming with barriers.
-            p("sh", 2.0, 0.63, 0.154, 0.021, 0.0066, 1100, 128, 3000, 0, 0, 260),
+            p(
+                "sh", 2.0, 0.63, 0.154, 0.021, 0.0066, 1100, 128, 3000, 0, 0, 260,
+            ),
             // TSP branch-and-bound: tiny footprint, bound-variable lock.
-            p("tsp", 4.5, 0.78, 0.017, 0.028, 0.0022, 400, 128, 800, 2, 200, 0),
+            p(
+                "tsp", 4.5, 0.78, 0.017, 0.028, 0.0022, 400, 128, 800, 2, 200, 0,
+            ),
         ]
     }
 
@@ -543,6 +575,9 @@ mod tests {
         let l1 = AppProfile::lock_line(1, 32);
         assert_ne!(l0, l1);
         assert!(l0.0 >= SYNC_BASE);
-        assert_ne!(AppProfile::barrier_line(32), AppProfile::barrier_sense_line(32));
+        assert_ne!(
+            AppProfile::barrier_line(32),
+            AppProfile::barrier_sense_line(32)
+        );
     }
 }

@@ -128,7 +128,10 @@ impl<T: Clone> CacheArray<T> {
     pub fn insert(&mut self, line: LineAddr, payload: T) -> AllocOutcome<T> {
         let (set, tag) = self.index(line);
         assert!(
-            !self.entries[set].iter().flatten().any(|(t, _, _)| *t == tag),
+            !self.entries[set]
+                .iter()
+                .flatten()
+                .any(|(t, _, _)| *t == tag),
             "line already present: {line}"
         );
         self.tick += 1;
@@ -145,7 +148,7 @@ impl<T: Clone> CacheArray<T> {
             .min_by_key(|(_, e)| e.as_ref().map(|(_, _, lru)| *lru))
             .map(|(i, _)| i)
             .expect("set is non-empty"); // lint: allow(P1) ways-per-set is asserted >= 1 at construction
-        // lint: allow(P1) the all-ways-full check above guarantees the victim way is occupied
+                                         // lint: allow(P1) the all-ways-full check above guarantees the victim way is occupied
         let (vt, vp, _) = self.entries[set][victim_way].take().expect("full set");
         self.entries[set][victim_way] = Some((tag, payload, tick));
         AllocOutcome::Evicted {
@@ -173,7 +176,10 @@ impl<T: Clone> CacheArray<T> {
     ) -> Result<AllocOutcome<T>, T> {
         let (set, tag) = self.index(line);
         assert!(
-            !self.entries[set].iter().flatten().any(|(t, _, _)| *t == tag),
+            !self.entries[set]
+                .iter()
+                .flatten()
+                .any(|(t, _, _)| *t == tag),
             "line already present: {line}"
         );
         self.tick += 1;
@@ -216,11 +222,14 @@ impl<T: Clone> CacheArray<T> {
 
     /// Iterates all resident lines.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
-        self.entries.iter().enumerate().flat_map(move |(set, ways)| {
-            ways.iter()
-                .flatten()
-                .map(move |(tag, p, _)| (self.line_of(set, *tag), p))
-        })
+        self.entries
+            .iter()
+            .enumerate()
+            .flat_map(move |(set, ways)| {
+                ways.iter()
+                    .flatten()
+                    .map(move |(tag, p, _)| (self.line_of(set, *tag), p))
+            })
     }
 
     /// Number of resident lines.

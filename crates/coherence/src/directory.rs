@@ -14,9 +14,7 @@
 //! When the deferred queue is full the directory NACKs with `Retry`,
 //! which probabilistically avoids fetch deadlock (§4.3.1, footnote 3).
 
-use crate::protocol::{
-    CoherenceMsg, DirState, Grant, LineAddr, OutMsg, ProtocolError, ReqType,
-};
+use crate::protocol::{CoherenceMsg, DirState, Grant, LineAddr, OutMsg, ProtocolError, ReqType};
 use fsoi_sim::det::DetMap;
 use fsoi_sim::trace::{self, TraceEvent};
 use fsoi_sim::Cycle;
@@ -137,7 +135,9 @@ impl Directory {
 
     /// The current sharers of a line.
     pub fn sharers_of(&self, line: LineAddr) -> Vec<usize> {
-        self.entries.get(&line).map_or(Vec::new(), |e| e.sharer_list())
+        self.entries
+            .get(&line)
+            .map_or(Vec::new(), |e| e.sharer_list())
     }
 
     /// The owner of a line in `DM`, if any.
@@ -163,7 +163,8 @@ impl Directory {
             return false;
         }
         self.tick += 1;
-        self.entries.insert(line, DirEntry::new(DirState::DV, self.tick));
+        self.entries
+            .insert(line, DirEntry::new(DirState::DV, self.tick));
         true
     }
 
@@ -297,7 +298,10 @@ impl Directory {
                         self.stats.data_replies += 1;
                         out.push(OutMsg {
                             to: from,
-                            msg: CoherenceMsg::Data { grant: Grant::Shared, line },
+                            msg: CoherenceMsg::Data {
+                                grant: Grant::Shared,
+                                line,
+                            },
                         });
                     }
                     ReqType::Ex | ReqType::Upg => {
@@ -329,7 +333,10 @@ impl Directory {
                                 self.stats.data_replies += 1;
                                 out.push(OutMsg {
                                     to: from,
-                                    msg: CoherenceMsg::Data { grant: Grant::Modified, line },
+                                    msg: CoherenceMsg::Data {
+                                        grant: Grant::Modified,
+                                        line,
+                                    },
                                 });
                             }
                         } else {
@@ -465,7 +472,10 @@ impl Directory {
                     self.stats.data_replies += 1;
                     out.push(OutMsg {
                         to,
-                        msg: CoherenceMsg::Data { grant: Grant::Modified, line },
+                        msg: CoherenceMsg::Data {
+                            grant: Grant::Modified,
+                            line,
+                        },
                     });
                 }
             }
@@ -496,7 +506,10 @@ impl Directory {
                 self.stats.data_replies += 1;
                 out.push(OutMsg {
                     to,
-                    msg: CoherenceMsg::Data { grant: Grant::Modified, line },
+                    msg: CoherenceMsg::Data {
+                        grant: Grant::Modified,
+                        line,
+                    },
                 });
             }
             _ => return Err(self.error(line, "InvAck")),
@@ -527,7 +540,10 @@ impl Directory {
                 self.stats.data_replies += 1;
                 out.push(OutMsg {
                     to: req,
-                    msg: CoherenceMsg::Data { grant: Grant::Shared, line },
+                    msg: CoherenceMsg::Data {
+                        grant: Grant::Shared,
+                        line,
+                    },
                 });
             }
             DirState::DMDSA => {
@@ -539,7 +555,10 @@ impl Directory {
                 self.stats.data_replies += 1;
                 out.push(OutMsg {
                     to,
-                    msg: CoherenceMsg::Data { grant: Grant::Exclusive, line },
+                    msg: CoherenceMsg::Data {
+                        grant: Grant::Exclusive,
+                        line,
+                    },
                 });
             }
             _ => return Err(self.error(line, "DwgAck")),
@@ -622,7 +641,9 @@ impl Directory {
                     self.entries.remove(&line);
                 }
             }
-            let Some((from, kind)) = next else { return Ok(()) };
+            let Some((from, kind)) = next else {
+                return Ok(());
+            };
             // Re-dispatch; a deferred Upg against a line the requester no
             // longer shares is reinterpreted inside `handle_request`.
             let stash = match self.entries.get_mut(&line) {
@@ -721,7 +742,10 @@ mod tests {
     /// Brings `line` to DV (resident, no sharers) via a fetch + writeback.
     fn to_dv(d: &mut Directory, line: LineAddr) {
         let out = d.handle(1, req(ReqType::Ex, line)).unwrap();
-        assert!(matches!(out[0].msg, CoherenceMsg::MemReq { write: false, .. }));
+        assert!(matches!(
+            out[0].msg,
+            CoherenceMsg::MemReq { write: false, .. }
+        ));
         d.handle(99, CoherenceMsg::MemAck { line }).unwrap();
         assert_eq!(d.state_of(line), DirState::DM);
         d.handle(1, CoherenceMsg::WriteBack { line }).unwrap();
@@ -741,9 +765,12 @@ mod tests {
         let dirs: Vec<(String, String)> = records
             .iter()
             .filter_map(|r| match &r.event {
-                TraceEvent::Dir { node: 0, line, from, to } if *line == L.0 => {
-                    Some((from.clone(), to.clone()))
-                }
+                TraceEvent::Dir {
+                    node: 0,
+                    line,
+                    from,
+                    to,
+                } if *line == L.0 => Some((from.clone(), to.clone())),
                 _ => None,
             })
             .collect();
@@ -769,7 +796,10 @@ mod tests {
             out[0],
             OutMsg {
                 to: 3,
-                msg: CoherenceMsg::Data { grant: Grant::Exclusive, line: L }
+                msg: CoherenceMsg::Data {
+                    grant: Grant::Exclusive,
+                    line: L
+                }
             }
         );
         assert_eq!(d.state_of(L), DirState::DM);
@@ -784,7 +814,10 @@ mod tests {
         let out = d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
         assert!(matches!(
             out[0].msg,
-            CoherenceMsg::Data { grant: Grant::Modified, .. }
+            CoherenceMsg::Data {
+                grant: Grant::Modified,
+                ..
+            }
         ));
         assert_eq!(d.owner_of(L), Some(5));
     }
@@ -796,7 +829,10 @@ mod tests {
         let out = d.handle(7, req(ReqType::Sh, L)).unwrap();
         assert!(matches!(
             out[0].msg,
-            CoherenceMsg::Data { grant: Grant::Exclusive, .. }
+            CoherenceMsg::Data {
+                grant: Grant::Exclusive,
+                ..
+            }
         ));
         assert_eq!(d.state_of(L), DirState::DM);
         assert_eq!(d.owner_of(L), Some(7));
@@ -809,16 +845,31 @@ mod tests {
         d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
         // Node 2 reads: owner 1 must downgrade.
         let out = d.handle(2, req(ReqType::Sh, L)).unwrap();
-        assert_eq!(out, vec![OutMsg { to: 1, msg: CoherenceMsg::Dwg { line: L } }]);
+        assert_eq!(
+            out,
+            vec![OutMsg {
+                to: 1,
+                msg: CoherenceMsg::Dwg { line: L }
+            }]
+        );
         assert_eq!(d.state_of(L), DirState::DMDSD);
         let out = d
-            .handle(1, CoherenceMsg::DwgAck { line: L, with_data: true })
+            .handle(
+                1,
+                CoherenceMsg::DwgAck {
+                    line: L,
+                    with_data: true,
+                },
+            )
             .unwrap();
         assert_eq!(
             out[0],
             OutMsg {
                 to: 2,
-                msg: CoherenceMsg::Data { grant: Grant::Shared, line: L }
+                msg: CoherenceMsg::Data {
+                    grant: Grant::Shared,
+                    line: L
+                }
             }
         );
         assert_eq!(d.state_of(L), DirState::DS);
@@ -833,14 +884,29 @@ mod tests {
         d.handle(1, req(ReqType::Ex, L)).unwrap();
         d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
         let out = d.handle(2, req(ReqType::Ex, L)).unwrap();
-        assert_eq!(out, vec![OutMsg { to: 1, msg: CoherenceMsg::Inv { line: L } }]);
+        assert_eq!(
+            out,
+            vec![OutMsg {
+                to: 1,
+                msg: CoherenceMsg::Inv { line: L }
+            }]
+        );
         assert_eq!(d.state_of(L), DirState::DMDMD);
         let out = d
-            .handle(1, CoherenceMsg::InvAck { line: L, with_data: true })
+            .handle(
+                1,
+                CoherenceMsg::InvAck {
+                    line: L,
+                    with_data: true,
+                },
+            )
             .unwrap();
         assert!(matches!(
             out[0].msg,
-            CoherenceMsg::Data { grant: Grant::Modified, .. }
+            CoherenceMsg::Data {
+                grant: Grant::Modified,
+                ..
+            }
         ));
         assert_eq!(d.owner_of(L), Some(2));
     }
@@ -853,8 +919,14 @@ mod tests {
         d.handle(1, req(ReqType::Ex, L)).unwrap();
         d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
         d.handle(2, req(ReqType::Sh, L)).unwrap();
-        d.handle(1, CoherenceMsg::DwgAck { line: L, with_data: true })
-            .unwrap();
+        d.handle(
+            1,
+            CoherenceMsg::DwgAck {
+                line: L,
+                with_data: true,
+            },
+        )
+        .unwrap();
         d.handle(3, req(ReqType::Sh, L)).unwrap();
         assert_eq!(d.sharers_of(L).len(), 3);
         // Sharer 2 upgrades: invalidate 1 and 3, then ExcAck.
@@ -864,13 +936,31 @@ mod tests {
         assert!(inv_targets.contains(&1) && inv_targets.contains(&3));
         assert_eq!(d.state_of(L), DirState::DSDMA);
         assert!(d
-            .handle(1, CoherenceMsg::InvAck { line: L, with_data: false })
+            .handle(
+                1,
+                CoherenceMsg::InvAck {
+                    line: L,
+                    with_data: false
+                }
+            )
             .unwrap()
             .is_empty());
         let out = d
-            .handle(3, CoherenceMsg::InvAck { line: L, with_data: false })
+            .handle(
+                3,
+                CoherenceMsg::InvAck {
+                    line: L,
+                    with_data: false,
+                },
+            )
             .unwrap();
-        assert_eq!(out, vec![OutMsg { to: 2, msg: CoherenceMsg::ExcAck { line: L } }]);
+        assert_eq!(
+            out,
+            vec![OutMsg {
+                to: 2,
+                msg: CoherenceMsg::ExcAck { line: L }
+            }]
+        );
         assert_eq!(d.owner_of(L), Some(2));
     }
 
@@ -880,22 +970,43 @@ mod tests {
         d.handle(1, req(ReqType::Ex, L)).unwrap();
         d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
         d.handle(2, req(ReqType::Sh, L)).unwrap();
-        d.handle(1, CoherenceMsg::DwgAck { line: L, with_data: true })
-            .unwrap();
+        d.handle(
+            1,
+            CoherenceMsg::DwgAck {
+                line: L,
+                with_data: true,
+            },
+        )
+        .unwrap();
         // Node 4 (not a sharer) wants exclusive: invalidate {1, 2}.
         let out = d.handle(4, req(ReqType::Ex, L)).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(d.state_of(L), DirState::DSDMDA);
-        d.handle(1, CoherenceMsg::InvAck { line: L, with_data: false })
-            .unwrap();
+        d.handle(
+            1,
+            CoherenceMsg::InvAck {
+                line: L,
+                with_data: false,
+            },
+        )
+        .unwrap();
         let out = d
-            .handle(2, CoherenceMsg::InvAck { line: L, with_data: false })
+            .handle(
+                2,
+                CoherenceMsg::InvAck {
+                    line: L,
+                    with_data: false,
+                },
+            )
             .unwrap();
         assert_eq!(
             out[0],
             OutMsg {
                 to: 4,
-                msg: CoherenceMsg::Data { grant: Grant::Modified, line: L }
+                msg: CoherenceMsg::Data {
+                    grant: Grant::Modified,
+                    line: L
+                }
             }
         );
         assert_eq!(d.owner_of(L), Some(4));
@@ -912,8 +1023,20 @@ mod tests {
         // replays: node 2's read downgrades node 1.
         let out = d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
         assert_eq!(out.len(), 2);
-        assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Exclusive, .. }));
-        assert_eq!(out[1], OutMsg { to: 1, msg: CoherenceMsg::Dwg { line: L } });
+        assert!(matches!(
+            out[0].msg,
+            CoherenceMsg::Data {
+                grant: Grant::Exclusive,
+                ..
+            }
+        ));
+        assert_eq!(
+            out[1],
+            OutMsg {
+                to: 1,
+                msg: CoherenceMsg::Dwg { line: L }
+            }
+        );
         assert_eq!(d.state_of(L), DirState::DMDSD);
     }
 
@@ -925,7 +1048,13 @@ mod tests {
         d.handle(2, req(ReqType::Sh, L)).unwrap();
         d.handle(3, req(ReqType::Sh, L)).unwrap();
         let out = d.handle(4, req(ReqType::Sh, L)).unwrap();
-        assert_eq!(out, vec![OutMsg { to: 4, msg: CoherenceMsg::Retry { line: L } }]);
+        assert_eq!(
+            out,
+            vec![OutMsg {
+                to: 4,
+                msg: CoherenceMsg::Retry { line: L }
+            }]
+        );
         assert_eq!(d.stats().nacks, 1);
     }
 
@@ -950,13 +1079,22 @@ mod tests {
         d.handle(1, CoherenceMsg::WriteBack { line: L }).unwrap();
         assert_eq!(d.state_of(L), DirState::DMDSA);
         let out = d
-            .handle(1, CoherenceMsg::DwgAck { line: L, with_data: false })
+            .handle(
+                1,
+                CoherenceMsg::DwgAck {
+                    line: L,
+                    with_data: false,
+                },
+            )
             .unwrap();
         assert_eq!(
             out[0],
             OutMsg {
                 to: 2,
-                msg: CoherenceMsg::Data { grant: Grant::Exclusive, line: L }
+                msg: CoherenceMsg::Data {
+                    grant: Grant::Exclusive,
+                    line: L
+                }
             }
         );
         assert_eq!(d.owner_of(L), Some(2));
@@ -972,11 +1110,20 @@ mod tests {
         d.handle(1, CoherenceMsg::WriteBack { line: L }).unwrap();
         assert_eq!(d.state_of(L), DirState::DMDMA);
         let out = d
-            .handle(1, CoherenceMsg::InvAck { line: L, with_data: false })
+            .handle(
+                1,
+                CoherenceMsg::InvAck {
+                    line: L,
+                    with_data: false,
+                },
+            )
             .unwrap();
         assert!(matches!(
             out[0].msg,
-            CoherenceMsg::Data { grant: Grant::Modified, .. }
+            CoherenceMsg::Data {
+                grant: Grant::Modified,
+                ..
+            }
         ));
     }
 
@@ -986,8 +1133,14 @@ mod tests {
         d.handle(1, req(ReqType::Ex, L)).unwrap();
         d.handle(99, CoherenceMsg::MemAck { line: L }).unwrap();
         d.handle(2, req(ReqType::Sh, L)).unwrap();
-        d.handle(1, CoherenceMsg::DwgAck { line: L, with_data: true })
-            .unwrap();
+        d.handle(
+            1,
+            CoherenceMsg::DwgAck {
+                line: L,
+                with_data: true,
+            },
+        )
+        .unwrap();
         // Node 5 never held the line but sends Upg (race artifact).
         let out = d.handle(5, req(ReqType::Upg, L)).unwrap();
         assert_eq!(out.len(), 2, "treated as Ex: invalidate both sharers");
@@ -1025,9 +1178,18 @@ mod tests {
         let victim = lines[0];
         assert_eq!(d.state_of(victim), DirState::DMDID);
         let out = d
-            .handle(1, CoherenceMsg::InvAck { line: victim, with_data: true })
+            .handle(
+                1,
+                CoherenceMsg::InvAck {
+                    line: victim,
+                    with_data: true,
+                },
+            )
             .unwrap();
-        assert!(matches!(out[0].msg, CoherenceMsg::MemReq { write: true, .. }));
+        assert!(matches!(
+            out[0].msg,
+            CoherenceMsg::MemReq { write: true, .. }
+        ));
         assert_eq!(d.state_of(victim), DirState::DI);
     }
 
@@ -1038,14 +1200,26 @@ mod tests {
         assert!(d.handle(1, CoherenceMsg::WriteBack { line: L }).is_err());
         // InvAck in DI.
         assert!(d
-            .handle(1, CoherenceMsg::InvAck { line: L, with_data: false })
+            .handle(
+                1,
+                CoherenceMsg::InvAck {
+                    line: L,
+                    with_data: false
+                }
+            )
             .is_err());
         // MemAck in DV.
         to_dv(&mut d, L);
         assert!(d.handle(99, CoherenceMsg::MemAck { line: L }).is_err());
         // DwgAck in DV.
         assert!(d
-            .handle(1, CoherenceMsg::DwgAck { line: L, with_data: false })
+            .handle(
+                1,
+                CoherenceMsg::DwgAck {
+                    line: L,
+                    with_data: false
+                }
+            )
             .is_err());
     }
 
@@ -1059,7 +1233,10 @@ mod tests {
         let out = d.handle(1, req(ReqType::Sh, L)).unwrap();
         assert!(matches!(
             out[0].msg,
-            CoherenceMsg::Data { grant: Grant::Exclusive, .. }
+            CoherenceMsg::Data {
+                grant: Grant::Exclusive,
+                ..
+            }
         ));
         assert_eq!(d.owner_of(L), Some(1));
     }
@@ -1082,7 +1259,13 @@ mod tests {
         // Owner's data comes back; line evicts; deferred request replays
         // as a cold miss.
         let out = d
-            .handle(1, CoherenceMsg::InvAck { line: victim, with_data: true })
+            .handle(
+                1,
+                CoherenceMsg::InvAck {
+                    line: victim,
+                    with_data: true,
+                },
+            )
             .unwrap();
         assert!(out
             .iter()

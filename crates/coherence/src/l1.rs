@@ -8,9 +8,7 @@
 //! upgrade-vs-invalidation race that turns `S.Mᴬ` into `I.Mᴰ`.
 
 use crate::cache::{AllocOutcome, CacheArray};
-use crate::protocol::{
-    CoherenceMsg, Grant, L1State, LineAddr, OutMsg, ProtocolError, ReqType,
-};
+use crate::protocol::{CoherenceMsg, Grant, L1State, LineAddr, OutMsg, ProtocolError, ReqType};
 use fsoi_sim::det::DetMap;
 
 /// What happened on a processor access.
@@ -179,7 +177,12 @@ impl L1Controller {
                     return Access::stall();
                 }
                 self.stats.read_misses += 1;
-                self.mshrs.insert(line, Mshr { state: L1State::ISD });
+                self.mshrs.insert(
+                    line,
+                    Mshr {
+                        state: L1State::ISD,
+                    },
+                );
                 Access::miss(vec![self.send_req(ReqType::Sh, line)])
             }
             // Transient (Table 2's `z`): the core must wait.
@@ -207,7 +210,12 @@ impl L1Controller {
                     return Access::stall();
                 }
                 self.stats.write_misses += 1;
-                self.mshrs.insert(line, Mshr { state: L1State::SMA });
+                self.mshrs.insert(
+                    line,
+                    Mshr {
+                        state: L1State::SMA,
+                    },
+                );
                 Access::miss(vec![self.send_req(ReqType::Upg, line)])
             }
             L1State::I => {
@@ -215,7 +223,12 @@ impl L1Controller {
                     return Access::stall();
                 }
                 self.stats.write_misses += 1;
-                self.mshrs.insert(line, Mshr { state: L1State::IMD });
+                self.mshrs.insert(
+                    line,
+                    Mshr {
+                        state: L1State::IMD,
+                    },
+                );
                 Access::miss(vec![self.send_req(ReqType::Ex, line)])
             }
             _ => Access::stall(),
@@ -260,7 +273,10 @@ impl L1Controller {
             .insert_evicting_where(line, state, |victim, _| !mshrs.contains_key(&victim));
         match outcome {
             Ok(AllocOutcome::Inserted) => {}
-            Ok(AllocOutcome::Evicted { line: victim, payload }) => {
+            Ok(AllocOutcome::Evicted {
+                line: victim,
+                payload,
+            }) => {
                 if payload == L1State::M {
                     self.stats.writebacks += 1;
                     out.push(OutMsg {
@@ -355,7 +371,12 @@ impl L1Controller {
                         // flight becomes a full write miss ("InvAck/I.MD").
                         self.stats.upgrade_races += 1;
                         self.array.remove(line);
-                        self.mshrs.insert(line, Mshr { state: L1State::IMD });
+                        self.mshrs.insert(
+                            line,
+                            Mshr {
+                                state: L1State::IMD,
+                            },
+                        );
                     }
                 }
                 reaction.out.push(OutMsg {
@@ -421,7 +442,10 @@ mod tests {
         assert_eq!(a.out[0].to, c.home_of(line));
         assert_eq!(
             a.out[0].msg,
-            CoherenceMsg::Req { kind: ReqType::Sh, line }
+            CoherenceMsg::Req {
+                kind: ReqType::Sh,
+                line
+            }
         );
         assert_eq!(c.state_of(line), L1State::ISD);
         assert_eq!(c.stats().read_misses, 1);
@@ -457,7 +481,10 @@ mod tests {
         let a = c.write(line);
         assert_eq!(
             a.out[0].msg,
-            CoherenceMsg::Req { kind: ReqType::Ex, line }
+            CoherenceMsg::Req {
+                kind: ReqType::Ex,
+                line
+            }
         );
         assert_eq!(c.state_of(line), L1State::IMD);
         c.handle(data(line, Grant::Modified)).unwrap();
@@ -474,7 +501,10 @@ mod tests {
         assert!(!a.hit);
         assert_eq!(
             a.out[0].msg,
-            CoherenceMsg::Req { kind: ReqType::Upg, line }
+            CoherenceMsg::Req {
+                kind: ReqType::Upg,
+                line
+            }
         );
         assert_eq!(c.state_of(line), L1State::SMA);
         let r = c.handle(CoherenceMsg::ExcAck { line }).unwrap();
@@ -494,7 +524,10 @@ mod tests {
         let r = c.handle(CoherenceMsg::Inv { line }).unwrap();
         assert_eq!(
             r.out[0].msg,
-            CoherenceMsg::InvAck { line, with_data: false }
+            CoherenceMsg::InvAck {
+                line,
+                with_data: false
+            }
         );
         assert_eq!(c.state_of(line), L1State::IMD);
         assert_eq!(c.stats().upgrade_races, 1);
@@ -512,7 +545,10 @@ mod tests {
         let r = c.handle(CoherenceMsg::Inv { line }).unwrap();
         assert_eq!(
             r.out[0].msg,
-            CoherenceMsg::InvAck { line, with_data: true }
+            CoherenceMsg::InvAck {
+                line,
+                with_data: true
+            }
         );
         assert_eq!(c.state_of(line), L1State::I);
     }
@@ -526,7 +562,10 @@ mod tests {
         let r = c.handle(CoherenceMsg::Dwg { line }).unwrap();
         assert_eq!(
             r.out[0].msg,
-            CoherenceMsg::DwgAck { line, with_data: true }
+            CoherenceMsg::DwgAck {
+                line,
+                with_data: true
+            }
         );
         assert_eq!(c.state_of(line), L1State::S);
         assert_eq!(c.stats().downgrades, 1);
@@ -541,7 +580,10 @@ mod tests {
         let r = c.handle(CoherenceMsg::Dwg { line }).unwrap();
         assert_eq!(
             r.out[0].msg,
-            CoherenceMsg::DwgAck { line, with_data: false }
+            CoherenceMsg::DwgAck {
+                line,
+                with_data: false
+            }
         );
         assert_eq!(c.state_of(line), L1State::S);
     }
@@ -592,7 +634,10 @@ mod tests {
         let r = c.handle(CoherenceMsg::Retry { line }).unwrap();
         assert_eq!(
             r.out[0].msg,
-            CoherenceMsg::Req { kind: ReqType::Sh, line }
+            CoherenceMsg::Req {
+                kind: ReqType::Sh,
+                line
+            }
         );
         assert_eq!(c.stats().retries, 1);
         // Write-miss retry resends Ex; upgrade retry resends Upg.
@@ -601,7 +646,10 @@ mod tests {
         let r = c.handle(CoherenceMsg::Retry { line: wline }).unwrap();
         assert_eq!(
             r.out[0].msg,
-            CoherenceMsg::Req { kind: ReqType::Ex, line: wline }
+            CoherenceMsg::Req {
+                kind: ReqType::Ex,
+                line: wline
+            }
         );
     }
 

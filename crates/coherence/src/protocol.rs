@@ -15,7 +15,10 @@ impl fmt::Display for LineAddr {
 impl LineAddr {
     /// The line containing byte address `addr` for `line_bytes`-byte lines.
     pub fn of(addr: u64, line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineAddr(addr & !(line_bytes - 1))
     }
 }
@@ -99,7 +102,10 @@ pub enum DirState {
 impl DirState {
     /// Is this a stable state?
     pub fn is_stable(self) -> bool {
-        matches!(self, DirState::DI | DirState::DV | DirState::DS | DirState::DM)
+        matches!(
+            self,
+            DirState::DI | DirState::DV | DirState::DS | DirState::DM
+        )
     }
 }
 
@@ -223,7 +229,9 @@ impl CoherenceMsg {
     /// lane; everything else is a meta packet).
     pub fn carries_data(&self) -> bool {
         match *self {
-            CoherenceMsg::Data { .. } | CoherenceMsg::WriteBack { .. } | CoherenceMsg::MemAck { .. } => true,
+            CoherenceMsg::Data { .. }
+            | CoherenceMsg::WriteBack { .. }
+            | CoherenceMsg::MemAck { .. } => true,
             CoherenceMsg::InvAck { with_data, .. } | CoherenceMsg::DwgAck { with_data, .. } => {
                 with_data
             }
@@ -305,16 +313,35 @@ mod tests {
     #[test]
     fn message_lines_and_classes() {
         let line = LineAddr(0x80);
-        let req = CoherenceMsg::Req { kind: ReqType::Sh, line };
+        let req = CoherenceMsg::Req {
+            kind: ReqType::Sh,
+            line,
+        };
         assert_eq!(req.line(), line);
         assert!(!req.carries_data());
-        assert!(CoherenceMsg::Data { grant: Grant::Shared, line }.carries_data());
+        assert!(CoherenceMsg::Data {
+            grant: Grant::Shared,
+            line
+        }
+        .carries_data());
         assert!(CoherenceMsg::WriteBack { line }.carries_data());
         assert!(CoherenceMsg::MemAck { line }.carries_data());
         assert!(!CoherenceMsg::Inv { line }.carries_data());
-        assert!(!CoherenceMsg::InvAck { line, with_data: false }.carries_data());
-        assert!(CoherenceMsg::InvAck { line, with_data: true }.carries_data());
-        assert!(CoherenceMsg::DwgAck { line, with_data: true }.carries_data());
+        assert!(!CoherenceMsg::InvAck {
+            line,
+            with_data: false
+        }
+        .carries_data());
+        assert!(CoherenceMsg::InvAck {
+            line,
+            with_data: true
+        }
+        .carries_data());
+        assert!(CoherenceMsg::DwgAck {
+            line,
+            with_data: true
+        }
+        .carries_data());
         assert!(!CoherenceMsg::Retry { line }.carries_data());
         assert!(!CoherenceMsg::MemReq { line, write: false }.carries_data());
         assert!(!CoherenceMsg::ExcAck { line }.carries_data());

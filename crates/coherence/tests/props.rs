@@ -24,7 +24,10 @@ fn cache_array_agrees_with_model() {
                 if !resident && write {
                     match cache.insert(line, i as u64) {
                         AllocOutcome::Inserted => {}
-                        AllocOutcome::Evicted { line: victim, payload } => {
+                        AllocOutcome::Evicted {
+                            line: victim,
+                            payload,
+                        } => {
                             let expect = model.remove(&victim);
                             assert_eq!(expect, Some(payload), "evicted payload mismatch");
                         }
@@ -47,8 +50,7 @@ fn filtered_insert_respects_pins() {
         |(pins, inserts)| {
             // Single set, 4 ways: heavy conflict pressure.
             let mut cache: CacheArray<u64> = CacheArray::new(4 * 32, 4, 32);
-            let pinned: Vec<LineAddr> =
-                pins.iter().map(|&p| LineAddr(p as u64 * 32 * 8)).collect();
+            let pinned: Vec<LineAddr> = pins.iter().map(|&p| LineAddr(p as u64 * 32 * 8)).collect();
             for &ins in inserts {
                 let line = LineAddr(ins * 32 * 8 + 0x10000 * 32);
                 if cache.peek(line).is_some() {
@@ -63,16 +65,18 @@ fn filtered_insert_respects_pins() {
                     let _ = cache.insert_evicting_where(*p, 99, |_, _| true);
                 }
             }
-            let resident_pins: Vec<LineAddr> =
-                pinned.iter().copied().filter(|p| cache.peek(*p).is_some()).collect();
+            let resident_pins: Vec<LineAddr> = pinned
+                .iter()
+                .copied()
+                .filter(|p| cache.peek(*p).is_some())
+                .collect();
             for k in 0..32u64 {
                 let line = LineAddr((0x500 + k) * 32); // arbitrary
                 if cache.peek(line).is_some() {
                     continue;
                 }
-                let _ = cache.insert_evicting_where(line, k, |victim, _| {
-                    !resident_pins.contains(&victim)
-                });
+                let _ = cache
+                    .insert_evicting_where(line, k, |victim, _| !resident_pins.contains(&victim));
             }
             for p in &resident_pins {
                 assert!(cache.peek(*p).is_some(), "pinned {p} was evicted");

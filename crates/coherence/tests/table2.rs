@@ -9,9 +9,7 @@
 use fsoi_check::{checker, vec_of};
 use fsoi_coherence::directory::Directory;
 use fsoi_coherence::l1::L1Controller;
-use fsoi_coherence::protocol::{
-    CoherenceMsg, DirState, Grant, L1State, LineAddr, ReqType,
-};
+use fsoi_coherence::protocol::{CoherenceMsg, DirState, Grant, L1State, LineAddr, ReqType};
 
 const L: LineAddr = LineAddr(0x400);
 const MEM: usize = 99;
@@ -31,15 +29,27 @@ fn l1_in(state: L1State) -> L1Controller {
         L1State::I => {}
         L1State::S => {
             c.read(L);
-            c.handle(CoherenceMsg::Data { grant: Grant::Shared, line: L }).unwrap();
+            c.handle(CoherenceMsg::Data {
+                grant: Grant::Shared,
+                line: L,
+            })
+            .unwrap();
         }
         L1State::E => {
             c.read(L);
-            c.handle(CoherenceMsg::Data { grant: Grant::Exclusive, line: L }).unwrap();
+            c.handle(CoherenceMsg::Data {
+                grant: Grant::Exclusive,
+                line: L,
+            })
+            .unwrap();
         }
         L1State::M => {
             c.write(L);
-            c.handle(CoherenceMsg::Data { grant: Grant::Modified, line: L }).unwrap();
+            c.handle(CoherenceMsg::Data {
+                grant: Grant::Modified,
+                line: L,
+            })
+            .unwrap();
         }
         L1State::ISD => {
             c.read(L);
@@ -49,7 +59,11 @@ fn l1_in(state: L1State) -> L1Controller {
         }
         L1State::SMA => {
             c.read(L);
-            c.handle(CoherenceMsg::Data { grant: Grant::Shared, line: L }).unwrap();
+            c.handle(CoherenceMsg::Data {
+                grant: Grant::Shared,
+                line: L,
+            })
+            .unwrap();
             c.write(L);
         }
     }
@@ -63,29 +77,58 @@ fn l1_row_i() {
     // Dwg → DwgAck/I.
     let mut c = l1_in(L1State::I);
     let a = c.read(L);
-    assert!(matches!(a.out[0].msg, CoherenceMsg::Req { kind: ReqType::Sh, .. }));
+    assert!(matches!(
+        a.out[0].msg,
+        CoherenceMsg::Req {
+            kind: ReqType::Sh,
+            ..
+        }
+    ));
     assert_eq!(c.state_of(L), L1State::ISD);
 
     let mut c = l1_in(L1State::I);
     let a = c.write(L);
-    assert!(matches!(a.out[0].msg, CoherenceMsg::Req { kind: ReqType::Ex, .. }));
+    assert!(matches!(
+        a.out[0].msg,
+        CoherenceMsg::Req {
+            kind: ReqType::Ex,
+            ..
+        }
+    ));
     assert_eq!(c.state_of(L), L1State::IMD);
 
     let mut c = l1_in(L1State::I);
     let r = c.handle(CoherenceMsg::Inv { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::InvAck { with_data: false, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::InvAck {
+            with_data: false,
+            ..
+        }
+    ));
     assert_eq!(c.state_of(L), L1State::I);
 
     let mut c = l1_in(L1State::I);
     let r = c.handle(CoherenceMsg::Dwg { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::DwgAck { with_data: false, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::DwgAck {
+            with_data: false,
+            ..
+        }
+    ));
     assert_eq!(c.state_of(L), L1State::I);
 
     // Data/ExcAck in I: error cells.
     assert!(l1_in(L1State::I)
-        .handle(CoherenceMsg::Data { grant: Grant::Shared, line: L })
+        .handle(CoherenceMsg::Data {
+            grant: Grant::Shared,
+            line: L
+        })
         .is_err());
-    assert!(l1_in(L1State::I).handle(CoherenceMsg::ExcAck { line: L }).is_err());
+    assert!(l1_in(L1State::I)
+        .handle(CoherenceMsg::ExcAck { line: L })
+        .is_err());
 }
 
 #[test]
@@ -98,7 +141,13 @@ fn l1_row_s() {
 
     let mut c = l1_in(L1State::S);
     let a = c.write(L);
-    assert!(matches!(a.out[0].msg, CoherenceMsg::Req { kind: ReqType::Upg, .. }));
+    assert!(matches!(
+        a.out[0].msg,
+        CoherenceMsg::Req {
+            kind: ReqType::Upg,
+            ..
+        }
+    ));
     assert_eq!(c.state_of(L), L1State::SMA);
 
     let mut c = l1_in(L1State::S);
@@ -107,10 +156,18 @@ fn l1_row_s() {
 
     let mut c = l1_in(L1State::S);
     let r = c.handle(CoherenceMsg::Inv { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::InvAck { with_data: false, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::InvAck {
+            with_data: false,
+            ..
+        }
+    ));
     assert_eq!(c.state_of(L), L1State::I);
 
-    assert!(l1_in(L1State::S).handle(CoherenceMsg::Dwg { line: L }).is_err());
+    assert!(l1_in(L1State::S)
+        .handle(CoherenceMsg::Dwg { line: L })
+        .is_err());
 }
 
 #[test]
@@ -132,11 +189,23 @@ fn l1_row_e() {
 
     let mut c = l1_in(L1State::E);
     let r = c.handle(CoherenceMsg::Inv { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::InvAck { with_data: false, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::InvAck {
+            with_data: false,
+            ..
+        }
+    ));
 
     let mut c = l1_in(L1State::E);
     let r = c.handle(CoherenceMsg::Dwg { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::DwgAck { with_data: false, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::DwgAck {
+            with_data: false,
+            ..
+        }
+    ));
     assert_eq!(c.state_of(L), L1State::S);
 }
 
@@ -154,12 +223,24 @@ fn l1_row_m() {
 
     let mut c = l1_in(L1State::M);
     let r = c.handle(CoherenceMsg::Inv { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::InvAck { with_data: true, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::InvAck {
+            with_data: true,
+            ..
+        }
+    ));
     assert_eq!(c.state_of(L), L1State::I);
 
     let mut c = l1_in(L1State::M);
     let r = c.handle(CoherenceMsg::Dwg { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::DwgAck { with_data: true, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::DwgAck {
+            with_data: true,
+            ..
+        }
+    ));
     assert_eq!(c.state_of(L), L1State::S);
 }
 
@@ -171,12 +252,21 @@ fn l1_row_isd() {
     assert!(c.read(L).stalled && c.write(L).stalled, "z cells");
 
     let mut c = l1_in(L1State::ISD);
-    let r = c.handle(CoherenceMsg::Data { grant: Grant::Shared, line: L }).unwrap();
+    let r = c
+        .handle(CoherenceMsg::Data {
+            grant: Grant::Shared,
+            line: L,
+        })
+        .unwrap();
     assert_eq!(r.completed, Some(L));
     assert_eq!(c.state_of(L), L1State::S);
 
     let mut c = l1_in(L1State::ISD);
-    c.handle(CoherenceMsg::Data { grant: Grant::Exclusive, line: L }).unwrap();
+    c.handle(CoherenceMsg::Data {
+        grant: Grant::Exclusive,
+        line: L,
+    })
+    .unwrap();
     assert_eq!(c.state_of(L), L1State::E, "or E");
 
     let mut c = l1_in(L1State::ISD);
@@ -191,7 +281,13 @@ fn l1_row_isd() {
 
     let mut c = l1_in(L1State::ISD);
     let r = c.handle(CoherenceMsg::Retry { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::Req { kind: ReqType::Sh, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::Req {
+            kind: ReqType::Sh,
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -202,7 +298,12 @@ fn l1_row_imd() {
     assert!(c.read(L).stalled && c.write(L).stalled);
 
     let mut c = l1_in(L1State::IMD);
-    let r = c.handle(CoherenceMsg::Data { grant: Grant::Modified, line: L }).unwrap();
+    let r = c
+        .handle(CoherenceMsg::Data {
+            grant: Grant::Modified,
+            line: L,
+        })
+        .unwrap();
     assert_eq!(r.completed, Some(L));
     assert_eq!(c.state_of(L), L1State::M);
 
@@ -216,7 +317,13 @@ fn l1_row_imd() {
 
     let mut c = l1_in(L1State::IMD);
     let r = c.handle(CoherenceMsg::Retry { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::Req { kind: ReqType::Ex, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::Req {
+            kind: ReqType::Ex,
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -227,7 +334,10 @@ fn l1_row_sma() {
     assert!(c.read(L).stalled && c.write(L).stalled);
 
     assert!(l1_in(L1State::SMA)
-        .handle(CoherenceMsg::Data { grant: Grant::Modified, line: L })
+        .handle(CoherenceMsg::Data {
+            grant: Grant::Modified,
+            line: L
+        })
         .is_err());
 
     let mut c = l1_in(L1State::SMA);
@@ -237,14 +347,28 @@ fn l1_row_sma() {
 
     let mut c = l1_in(L1State::SMA);
     let r = c.handle(CoherenceMsg::Inv { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::InvAck { with_data: false, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::InvAck {
+            with_data: false,
+            ..
+        }
+    ));
     assert_eq!(c.state_of(L), L1State::IMD, "the upgrade race");
 
-    assert!(l1_in(L1State::SMA).handle(CoherenceMsg::Dwg { line: L }).is_err());
+    assert!(l1_in(L1State::SMA)
+        .handle(CoherenceMsg::Dwg { line: L })
+        .is_err());
 
     let mut c = l1_in(L1State::SMA);
     let r = c.handle(CoherenceMsg::Retry { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::Req { kind: ReqType::Upg, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::Req {
+            kind: ReqType::Upg,
+            ..
+        }
+    ));
 }
 
 // -------------------------------------------------------------- Directory
@@ -273,7 +397,14 @@ fn dir_in(state: DirState) -> Directory {
             d.handle(1, req(ReqType::Ex)).unwrap();
             d.handle(MEM, CoherenceMsg::MemAck { line: L }).unwrap();
             d.handle(2, req(ReqType::Sh)).unwrap();
-            d.handle(1, CoherenceMsg::DwgAck { line: L, with_data: true }).unwrap();
+            d.handle(
+                1,
+                CoherenceMsg::DwgAck {
+                    line: L,
+                    with_data: true,
+                },
+            )
+            .unwrap();
         }
         DirState::DMDSD => {
             let mut base = dir_in(DirState::DM);
@@ -324,41 +455,104 @@ fn dir_row_di() {
     // DI: Req(Sh) → Req(Mem)/DI.DSD ; Req(Ex)/Req(Upg) → Req(Mem)/DI.DMD ;
     // WriteBack/InvAck/DwgAck/MemAck → error.
     let mut d = dir_in(DirState::DI);
-    let out = d.handle(1, CoherenceMsg::Req { kind: ReqType::Sh, line: L }).unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::MemReq { write: false, .. }));
+    let out = d
+        .handle(
+            1,
+            CoherenceMsg::Req {
+                kind: ReqType::Sh,
+                line: L,
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::MemReq { write: false, .. }
+    ));
     assert_eq!(d.state_of(L), DirState::DIDSD);
 
     for kind in [ReqType::Ex, ReqType::Upg] {
         let mut d = dir_in(DirState::DI);
         d.handle(1, CoherenceMsg::Req { kind, line: L }).unwrap();
-        assert_eq!(d.state_of(L), DirState::DIDMD, "{kind:?} reinterprets to Ex");
+        assert_eq!(
+            d.state_of(L),
+            DirState::DIDMD,
+            "{kind:?} reinterprets to Ex"
+        );
     }
 
-    assert!(dir_in(DirState::DI).handle(1, CoherenceMsg::WriteBack { line: L }).is_err());
     assert!(dir_in(DirState::DI)
-        .handle(1, CoherenceMsg::InvAck { line: L, with_data: false })
+        .handle(1, CoherenceMsg::WriteBack { line: L })
         .is_err());
     assert!(dir_in(DirState::DI)
-        .handle(1, CoherenceMsg::DwgAck { line: L, with_data: false })
+        .handle(
+            1,
+            CoherenceMsg::InvAck {
+                line: L,
+                with_data: false
+            }
+        )
         .is_err());
-    assert!(dir_in(DirState::DI).handle(MEM, CoherenceMsg::MemAck { line: L }).is_err());
+    assert!(dir_in(DirState::DI)
+        .handle(
+            1,
+            CoherenceMsg::DwgAck {
+                line: L,
+                with_data: false
+            }
+        )
+        .is_err());
+    assert!(dir_in(DirState::DI)
+        .handle(MEM, CoherenceMsg::MemAck { line: L })
+        .is_err());
 }
 
 #[test]
 fn dir_row_dv() {
     // DV: Req(Sh) → Data(E)/DM ; Req(Ex) → Data(M)/DM.
     let mut d = dir_in(DirState::DV);
-    let out = d.handle(7, CoherenceMsg::Req { kind: ReqType::Sh, line: L }).unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Exclusive, .. }));
+    let out = d
+        .handle(
+            7,
+            CoherenceMsg::Req {
+                kind: ReqType::Sh,
+                line: L,
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::Data {
+            grant: Grant::Exclusive,
+            ..
+        }
+    ));
     assert_eq!(d.state_of(L), DirState::DM);
     assert_eq!(d.owner_of(L), Some(7));
 
     let mut d = dir_in(DirState::DV);
-    let out = d.handle(7, CoherenceMsg::Req { kind: ReqType::Ex, line: L }).unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Modified, .. }));
+    let out = d
+        .handle(
+            7,
+            CoherenceMsg::Req {
+                kind: ReqType::Ex,
+                line: L,
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::Data {
+            grant: Grant::Modified,
+            ..
+        }
+    ));
 
-    assert!(dir_in(DirState::DV).handle(1, CoherenceMsg::WriteBack { line: L }).is_err());
-    assert!(dir_in(DirState::DV).handle(MEM, CoherenceMsg::MemAck { line: L }).is_err());
+    assert!(dir_in(DirState::DV)
+        .handle(1, CoherenceMsg::WriteBack { line: L })
+        .is_err());
+    assert!(dir_in(DirState::DV)
+        .handle(MEM, CoherenceMsg::MemAck { line: L })
+        .is_err());
 }
 
 #[test]
@@ -366,19 +560,51 @@ fn dir_row_ds() {
     // DS: Req(Sh) → Data(S)/DS ; Req(Ex) → Inv/DS.DMᴰᴬ ;
     // Req(Upg from sharer) → Inv/DS.DMᴬ.
     let mut d = dir_in(DirState::DS);
-    let out = d.handle(5, CoherenceMsg::Req { kind: ReqType::Sh, line: L }).unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Shared, .. }));
+    let out = d
+        .handle(
+            5,
+            CoherenceMsg::Req {
+                kind: ReqType::Sh,
+                line: L,
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::Data {
+            grant: Grant::Shared,
+            ..
+        }
+    ));
     assert_eq!(d.state_of(L), DirState::DS);
     assert!(d.sharers_of(L).contains(&5));
 
     let mut d = dir_in(DirState::DS);
-    let out = d.handle(9, CoherenceMsg::Req { kind: ReqType::Ex, line: L }).unwrap();
-    assert!(out.iter().all(|m| matches!(m.msg, CoherenceMsg::Inv { .. })));
+    let out = d
+        .handle(
+            9,
+            CoherenceMsg::Req {
+                kind: ReqType::Ex,
+                line: L,
+            },
+        )
+        .unwrap();
+    assert!(out
+        .iter()
+        .all(|m| matches!(m.msg, CoherenceMsg::Inv { .. })));
     assert_eq!(out.len(), 2, "both sharers invalidated");
     assert_eq!(d.state_of(L), DirState::DSDMDA);
 
     let mut d = dir_in(DirState::DS);
-    let out = d.handle(2, CoherenceMsg::Req { kind: ReqType::Upg, line: L }).unwrap();
+    let out = d
+        .handle(
+            2,
+            CoherenceMsg::Req {
+                kind: ReqType::Upg,
+                line: L,
+            },
+        )
+        .unwrap();
     assert_eq!(out.len(), 1, "only the other sharer invalidated");
     assert_eq!(d.state_of(L), DirState::DSDMA);
 }
@@ -387,18 +613,37 @@ fn dir_row_ds() {
 fn dir_row_dm() {
     // DM: Req(Sh) → Dwg/DM.DSᴰ ; Req(Ex) → Inv/DM.DMᴰ ; WriteBack → save/DV.
     let mut d = dir_in(DirState::DM);
-    let out = d.handle(2, CoherenceMsg::Req { kind: ReqType::Sh, line: L }).unwrap();
+    let out = d
+        .handle(
+            2,
+            CoherenceMsg::Req {
+                kind: ReqType::Sh,
+                line: L,
+            },
+        )
+        .unwrap();
     assert_eq!(out[0].to, 1, "downgrade goes to the owner");
     assert!(matches!(out[0].msg, CoherenceMsg::Dwg { .. }));
     assert_eq!(d.state_of(L), DirState::DMDSD);
 
     let mut d = dir_in(DirState::DM);
-    let out = d.handle(2, CoherenceMsg::Req { kind: ReqType::Ex, line: L }).unwrap();
+    let out = d
+        .handle(
+            2,
+            CoherenceMsg::Req {
+                kind: ReqType::Ex,
+                line: L,
+            },
+        )
+        .unwrap();
     assert!(matches!(out[0].msg, CoherenceMsg::Inv { .. }));
     assert_eq!(d.state_of(L), DirState::DMDMD);
 
     let mut d = dir_in(DirState::DM);
-    assert!(d.handle(1, CoherenceMsg::WriteBack { line: L }).unwrap().is_empty());
+    assert!(d
+        .handle(1, CoherenceMsg::WriteBack { line: L })
+        .unwrap()
+        .is_empty());
     assert_eq!(d.state_of(L), DirState::DV);
 }
 
@@ -406,16 +651,38 @@ fn dir_row_dm() {
 fn dir_rows_didsd_didmd() {
     // DI.DSᴰ / DI.DMᴰ: Req* → z ; MemAck → repl & fwd/DM.
     let mut d = dir_in(DirState::DIDSD);
-    let out = d.handle(5, CoherenceMsg::Req { kind: ReqType::Sh, line: L }).unwrap();
+    let out = d
+        .handle(
+            5,
+            CoherenceMsg::Req {
+                kind: ReqType::Sh,
+                line: L,
+            },
+        )
+        .unwrap();
     assert!(out.is_empty(), "z: deferred");
     let out = d.handle(MEM, CoherenceMsg::MemAck { line: L }).unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Exclusive, .. }));
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::Data {
+            grant: Grant::Exclusive,
+            ..
+        }
+    ));
     // The deferred Req(Sh) then replays against DM (downgrade).
-    assert!(out.iter().any(|m| matches!(m.msg, CoherenceMsg::Dwg { .. })));
+    assert!(out
+        .iter()
+        .any(|m| matches!(m.msg, CoherenceMsg::Dwg { .. })));
 
     let mut d = dir_in(DirState::DIDMD);
     let out = d.handle(MEM, CoherenceMsg::MemAck { line: L }).unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Modified, .. }));
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::Data {
+            grant: Grant::Modified,
+            ..
+        }
+    ));
     assert_eq!(d.state_of(L), DirState::DM);
 
     assert!(dir_in(DirState::DIDSD)
@@ -427,14 +694,45 @@ fn dir_rows_didsd_didmd() {
 fn dir_rows_dsdmda_dsdma() {
     // DS.DMᴰᴬ: last InvAck → Data(M)/DM. DS.DMᴬ: last InvAck → ExcAck/DM.
     let mut d = dir_in(DirState::DSDMDA);
-    assert!(d.handle(1, CoherenceMsg::InvAck { line: L, with_data: false }).unwrap().is_empty());
-    let out = d.handle(2, CoherenceMsg::InvAck { line: L, with_data: false }).unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Modified, .. }));
+    assert!(d
+        .handle(
+            1,
+            CoherenceMsg::InvAck {
+                line: L,
+                with_data: false
+            }
+        )
+        .unwrap()
+        .is_empty());
+    let out = d
+        .handle(
+            2,
+            CoherenceMsg::InvAck {
+                line: L,
+                with_data: false,
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::Data {
+            grant: Grant::Modified,
+            ..
+        }
+    ));
     assert_eq!(d.state_of(L), DirState::DM);
     assert_eq!(d.owner_of(L), Some(4));
 
     let mut d = dir_in(DirState::DSDMA);
-    let out = d.handle(1, CoherenceMsg::InvAck { line: L, with_data: false }).unwrap();
+    let out = d
+        .handle(
+            1,
+            CoherenceMsg::InvAck {
+                line: L,
+                with_data: false,
+            },
+        )
+        .unwrap();
     assert!(matches!(out[0].msg, CoherenceMsg::ExcAck { .. }));
     assert_eq!(d.owner_of(L), Some(2));
 
@@ -449,22 +747,56 @@ fn dir_rows_dmdsd_dmdsa() {
     // DM.DSᴰ: DwgAck → save & fwd (Data(S), both share) ;
     // WriteBack → save/DM.DSᴬ, then DwgAck → Data(E)/DM.
     let mut d = dir_in(DirState::DMDSD);
-    let out = d.handle(1, CoherenceMsg::DwgAck { line: L, with_data: true }).unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Shared, .. }));
+    let out = d
+        .handle(
+            1,
+            CoherenceMsg::DwgAck {
+                line: L,
+                with_data: true,
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::Data {
+            grant: Grant::Shared,
+            ..
+        }
+    ));
     assert_eq!(d.state_of(L), DirState::DS);
     let mut sharers = d.sharers_of(L);
     sharers.sort_unstable();
     assert_eq!(sharers, vec![1, 2]);
 
     let mut d = dir_in(DirState::DMDSA);
-    let out = d.handle(1, CoherenceMsg::DwgAck { line: L, with_data: false }).unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Exclusive, .. }));
+    let out = d
+        .handle(
+            1,
+            CoherenceMsg::DwgAck {
+                line: L,
+                with_data: false,
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::Data {
+            grant: Grant::Exclusive,
+            ..
+        }
+    ));
     assert_eq!(d.state_of(L), DirState::DM);
     assert_eq!(d.owner_of(L), Some(2));
 
     // InvAck in DM.DSᴰ: error.
     assert!(dir_in(DirState::DMDSD)
-        .handle(1, CoherenceMsg::InvAck { line: L, with_data: false })
+        .handle(
+            1,
+            CoherenceMsg::InvAck {
+                line: L,
+                with_data: false
+            }
+        )
         .is_err());
 }
 
@@ -473,18 +805,52 @@ fn dir_rows_dmdmd_dmdma() {
     // DM.DMᴰ: InvAck → save & fwd/DM ; WriteBack → save/DM.DMᴬ, then
     // InvAck → Data(M)/DM.
     let mut d = dir_in(DirState::DMDMD);
-    let out = d.handle(1, CoherenceMsg::InvAck { line: L, with_data: true }).unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Modified, .. }));
+    let out = d
+        .handle(
+            1,
+            CoherenceMsg::InvAck {
+                line: L,
+                with_data: true,
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::Data {
+            grant: Grant::Modified,
+            ..
+        }
+    ));
     assert_eq!(d.owner_of(L), Some(2));
 
     let mut d = dir_in(DirState::DMDMA);
-    let out = d.handle(1, CoherenceMsg::InvAck { line: L, with_data: false }).unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::Data { grant: Grant::Modified, .. }));
+    let out = d
+        .handle(
+            1,
+            CoherenceMsg::InvAck {
+                line: L,
+                with_data: false,
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::Data {
+            grant: Grant::Modified,
+            ..
+        }
+    ));
     assert_eq!(d.state_of(L), DirState::DM);
 
     // DwgAck in DM.DMᴰ: error.
     assert!(dir_in(DirState::DMDMD)
-        .handle(1, CoherenceMsg::DwgAck { line: L, with_data: false })
+        .handle(
+            1,
+            CoherenceMsg::DwgAck {
+                line: L,
+                with_data: false
+            }
+        )
         .is_err());
 }
 
@@ -497,19 +863,36 @@ fn dir_rows_repl_eviction_paths() {
     let mut d = Directory::new(0, MEM, 4);
     let lines: Vec<LineAddr> = (0..5u64).map(|i| LineAddr(0x1000 + i * 32)).collect();
     for &line in &lines {
-        d.handle(1, CoherenceMsg::Req { kind: ReqType::Ex, line }).unwrap();
+        d.handle(
+            1,
+            CoherenceMsg::Req {
+                kind: ReqType::Ex,
+                line,
+            },
+        )
+        .unwrap();
         d.handle(MEM, CoherenceMsg::MemAck { line }).unwrap();
     }
     let victim = lines[0];
     assert_eq!(d.state_of(victim), DirState::DMDID, "DM Repl → DM.DIᴰ");
     // Crossing writeback: DM.DIᴰ + WriteBack → save/DS.DIᴬ.
-    d.handle(1, CoherenceMsg::WriteBack { line: victim }).unwrap();
+    d.handle(1, CoherenceMsg::WriteBack { line: victim })
+        .unwrap();
     assert_eq!(d.state_of(victim), DirState::DSDIA);
     // The ex-owner's InvAck completes the eviction.
     let out = d
-        .handle(1, CoherenceMsg::InvAck { line: victim, with_data: false })
+        .handle(
+            1,
+            CoherenceMsg::InvAck {
+                line: victim,
+                with_data: false,
+            },
+        )
         .unwrap();
-    assert!(matches!(out[0].msg, CoherenceMsg::MemReq { write: true, .. }));
+    assert!(matches!(
+        out[0].msg,
+        CoherenceMsg::MemReq { write: true, .. }
+    ));
     assert_eq!(d.state_of(victim), DirState::DI);
 }
 
@@ -518,18 +901,46 @@ fn dir_deferred_upg_reinterprets_as_ex() {
     // The "(Req(Ex))" annotation: a deferred Upg whose requester is no
     // longer a sharer replays as Ex.
     let mut d = dir_in(DirState::DSDMDA); // node 4 taking exclusive from {1,2}
-    // Node 2 (being invalidated) has an Upg in flight: deferred.
+                                          // Node 2 (being invalidated) has an Upg in flight: deferred.
     assert!(d
-        .handle(2, CoherenceMsg::Req { kind: ReqType::Upg, line: L })
+        .handle(
+            2,
+            CoherenceMsg::Req {
+                kind: ReqType::Upg,
+                line: L
+            }
+        )
         .unwrap()
         .is_empty());
     // Acks complete node 4's transfer; node 2's stale Upg replays as a
     // full exclusive request: an Inv goes to the new owner 4.
-    d.handle(1, CoherenceMsg::InvAck { line: L, with_data: false }).unwrap();
-    let out = d.handle(2, CoherenceMsg::InvAck { line: L, with_data: false }).unwrap();
-    assert!(out.iter().any(|m| matches!(m.msg, CoherenceMsg::Data { grant: Grant::Modified, .. })));
+    d.handle(
+        1,
+        CoherenceMsg::InvAck {
+            line: L,
+            with_data: false,
+        },
+    )
+    .unwrap();
+    let out = d
+        .handle(
+            2,
+            CoherenceMsg::InvAck {
+                line: L,
+                with_data: false,
+            },
+        )
+        .unwrap();
+    assert!(out.iter().any(|m| matches!(
+        m.msg,
+        CoherenceMsg::Data {
+            grant: Grant::Modified,
+            ..
+        }
+    )));
     assert!(
-        out.iter().any(|m| m.to == 4 && matches!(m.msg, CoherenceMsg::Inv { .. })),
+        out.iter()
+            .any(|m| m.to == 4 && matches!(m.msg, CoherenceMsg::Inv { .. })),
         "stale Upg reinterpreted as Ex: {out:?}"
     );
     assert_eq!(d.state_of(L), DirState::DMDMD);
@@ -547,7 +958,10 @@ fn dir_deferred_upg_reinterprets_as_ex() {
 fn l1_sma_pins_line_against_eviction() {
     let mut c = l1_in(L1State::SMA);
     let out = c.evict(L);
-    assert!(out.is_empty(), "eviction under a pending upgrade is a no-op");
+    assert!(
+        out.is_empty(),
+        "eviction under a pending upgrade is a no-op"
+    );
     assert_eq!(c.state_of(L), L1State::SMA, "the MSHR pins the line");
     assert_eq!(c.outstanding(), 1);
 
@@ -565,10 +979,21 @@ fn l1_sma_evict_then_inv_falls_back_to_imd() {
     let mut c = l1_in(L1State::SMA);
     assert!(c.evict(L).is_empty());
     let r = c.handle(CoherenceMsg::Inv { line: L }).unwrap();
-    assert!(matches!(r.out[0].msg, CoherenceMsg::InvAck { with_data: false, .. }));
+    assert!(matches!(
+        r.out[0].msg,
+        CoherenceMsg::InvAck {
+            with_data: false,
+            ..
+        }
+    ));
     assert_eq!(c.state_of(L), L1State::IMD, "the upgrade race");
 
-    let r = c.handle(CoherenceMsg::Data { grant: Grant::Modified, line: L }).unwrap();
+    let r = c
+        .handle(CoherenceMsg::Data {
+            grant: Grant::Modified,
+            line: L,
+        })
+        .unwrap();
     assert_eq!(r.completed, Some(L));
     assert_eq!(c.state_of(L), L1State::M);
     assert_eq!(c.outstanding(), 0);
@@ -607,23 +1032,35 @@ fn l1_never_errors_under_legal_stimuli() {
                 };
                 // Answer the request the L1 just emitted, optionally
                 // letting an Inv race in front of the response.
-                if let Some(CoherenceMsg::Req { kind: req_kind, line }) =
-                    req.first().map(|o| o.msg.clone())
+                if let Some(CoherenceMsg::Req {
+                    kind: req_kind,
+                    line,
+                }) = req.first().map(|o| o.msg.clone())
                 {
                     if race_inv {
                         c.handle(CoherenceMsg::Inv { line }).unwrap();
                     }
                     let response = match req_kind {
                         ReqType::Sh => CoherenceMsg::Data {
-                            grant: if exclusive { Grant::Exclusive } else { Grant::Shared },
+                            grant: if exclusive {
+                                Grant::Exclusive
+                            } else {
+                                Grant::Shared
+                            },
                             line,
                         },
-                        ReqType::Ex => CoherenceMsg::Data { grant: Grant::Modified, line },
+                        ReqType::Ex => CoherenceMsg::Data {
+                            grant: Grant::Modified,
+                            line,
+                        },
                         ReqType::Upg => {
                             if race_inv {
                                 // The directory reinterpreted the stale
                                 // Upg as Ex and answers with data.
-                                CoherenceMsg::Data { grant: Grant::Modified, line }
+                                CoherenceMsg::Data {
+                                    grant: Grant::Modified,
+                                    line,
+                                }
                             } else {
                                 CoherenceMsg::ExcAck { line }
                             }
@@ -666,18 +1103,27 @@ fn directory_never_errors_under_legal_streams() {
                 let li = li as usize % 2;
                 let line = lines[li];
                 match (states[node][li], kind) {
-                    (L1State::I, 0) => wire.push_back((node, CoherenceMsg::Req {
-                        kind: ReqType::Sh,
-                        line,
-                    })),
-                    (L1State::I, 1) => wire.push_back((node, CoherenceMsg::Req {
-                        kind: ReqType::Ex,
-                        line,
-                    })),
-                    (L1State::S, 1) => wire.push_back((node, CoherenceMsg::Req {
-                        kind: ReqType::Upg,
-                        line,
-                    })),
+                    (L1State::I, 0) => wire.push_back((
+                        node,
+                        CoherenceMsg::Req {
+                            kind: ReqType::Sh,
+                            line,
+                        },
+                    )),
+                    (L1State::I, 1) => wire.push_back((
+                        node,
+                        CoherenceMsg::Req {
+                            kind: ReqType::Ex,
+                            line,
+                        },
+                    )),
+                    (L1State::S, 1) => wire.push_back((
+                        node,
+                        CoherenceMsg::Req {
+                            kind: ReqType::Upg,
+                            line,
+                        },
+                    )),
                     (L1State::S, 2) | (L1State::E, 2) => states[node][li] = L1State::I,
                     (L1State::E, 1) => states[node][li] = L1State::M,
                     (L1State::M, 2) => {
@@ -713,20 +1159,26 @@ fn directory_never_errors_under_legal_streams() {
                             CoherenceMsg::Inv { .. } => {
                                 let dirty = *st == L1State::M;
                                 *st = L1State::I;
-                                wire.push_back((o.to, CoherenceMsg::InvAck {
-                                    line,
-                                    with_data: dirty,
-                                }));
+                                wire.push_back((
+                                    o.to,
+                                    CoherenceMsg::InvAck {
+                                        line,
+                                        with_data: dirty,
+                                    },
+                                ));
                             }
                             CoherenceMsg::Dwg { .. } => {
                                 let dirty = *st == L1State::M;
                                 if matches!(*st, L1State::E | L1State::M) {
                                     *st = L1State::S;
                                 }
-                                wire.push_back((o.to, CoherenceMsg::DwgAck {
-                                    line,
-                                    with_data: dirty,
-                                }));
+                                wire.push_back((
+                                    o.to,
+                                    CoherenceMsg::DwgAck {
+                                        line,
+                                        with_data: dirty,
+                                    },
+                                ));
                             }
                             CoherenceMsg::Data { grant, .. } => {
                                 *st = match grant {
@@ -744,7 +1196,10 @@ fn directory_never_errors_under_legal_streams() {
                 for (li, &line) in lines.iter().enumerate() {
                     let ds = d.state_of(line);
                     assert!(
-                        matches!(ds, DirState::DI | DirState::DV | DirState::DM | DirState::DS),
+                        matches!(
+                            ds,
+                            DirState::DI | DirState::DV | DirState::DM | DirState::DS
+                        ),
                         "{line}: directory not quiescent: {ds:?}"
                     );
                     for node in 1..=3usize {

@@ -31,8 +31,14 @@ impl BandwidthAllocationModel {
     /// Panics if any constant is negative or all are zero.
     pub fn new(c1: f64, c2: f64, c3: f64, c4: f64) -> Self {
         let c = [c1, c2, c3, c4];
-        assert!(c.iter().all(|&x| x >= 0.0), "constants must be non-negative");
-        assert!(c.iter().any(|&x| x > 0.0), "at least one constant must be positive");
+        assert!(
+            c.iter().all(|&x| x >= 0.0),
+            "constants must be non-negative"
+        );
+        assert!(
+            c.iter().any(|&x| x > 0.0),
+            "at least one constant must be positive"
+        );
         BandwidthAllocationModel { c }
     }
 
@@ -92,8 +98,7 @@ impl BandwidthAllocationModel {
     pub fn integer_split(&self, total_vcsels: usize) -> (usize, usize) {
         assert!(total_vcsels >= 2, "need at least one VCSEL per lane");
         let bm = self.optimal_bm();
-        let meta = ((total_vcsels as f64 * bm).round() as usize)
-            .clamp(1, total_vcsels - 1);
+        let meta = ((total_vcsels as f64 * bm).round() as usize).clamp(1, total_vcsels - 1);
         (meta, total_vcsels - meta)
     }
 }

@@ -38,8 +38,8 @@ pub fn node_collision_probability(p: f64, nodes: usize, receivers: usize) -> f64
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     let senders = nodes - 1;
     let q = p / senders as f64; // P(a specific sender targets this node)
-    // Exact per-receiver group sizes: sender rank r ∈ 0..N−1 is wired to
-    // receiver r % R, so group rx holds ceil/floor((N−1)/R) senders.
+                                // Exact per-receiver group sizes: sender rank r ∈ 0..N−1 is wired to
+                                // receiver r % R, so group rx holds ceil/floor((N−1)/R) senders.
     let mut no_collision = 1.0;
     for rx in 0..receivers {
         let n_rx = senders / receivers + usize::from(rx < senders % receivers);
@@ -263,7 +263,11 @@ mod tests {
         // receiver a single sender and collisions become impossible.
         assert!(probs.windows(2).all(|w| w[1] <= w[0] + 1e-15), "{probs:?}");
         assert!(probs[0] > 0.0, "one shared receiver does collide");
-        assert_eq!(&probs[1..], &[0.0, 0.0, 0.0], "singleton receivers never collide");
+        assert_eq!(
+            &probs[1..],
+            &[0.0, 0.0, 0.0],
+            "singleton receivers never collide"
+        );
         // Monotone in p at the shrink's R = 1.
         assert!(node_collision_probability(p + 0.05, 3, 1) > probs[0]);
         // At R = 1 the closed form reduces to q² (both of the two senders

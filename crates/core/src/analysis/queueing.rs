@@ -128,8 +128,7 @@ mod tests {
             let measured = net.stats().queuing[0].mean();
             let coll = net.stats().collision_rate(0);
             let resolution = net.stats().resolution_when_collided[0].mean() / slot as f64;
-            let model = source_queuing_cycles(p, slot, coll, resolution)
-                .expect("below saturation");
+            let model = source_queuing_cycles(p, slot, coll, resolution).expect("below saturation");
             // Arrivals in this test are slot-aligned, so no alignment
             // constant: compare the pure queuing components with a
             // one-cycle absolute allowance.

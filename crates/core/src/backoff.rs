@@ -245,7 +245,10 @@ mod tests {
         let mut a = Xoshiro256StarStar::new(9);
         let mut b = Xoshiro256StarStar::new(9);
         for retry in 1..=8 {
-            assert_eq!(p.draw_delay_slots(retry, &mut a), p.draw(retry, &mut b).delay_slots);
+            assert_eq!(
+                p.draw_delay_slots(retry, &mut a),
+                p.draw(retry, &mut b).delay_slots
+            );
         }
     }
 }

@@ -109,7 +109,10 @@ impl FsoiConfig {
     ///
     /// Panics unless `ber` is in `[0, 0.1]`.
     pub fn with_bit_error_rate(mut self, ber: f64) -> Self {
-        assert!((0.0..=0.1).contains(&ber), "BER must be a small probability");
+        assert!(
+            (0.0..=0.1).contains(&ber),
+            "BER must be a small probability"
+        );
         self.bit_error_rate = ber;
         self
     }

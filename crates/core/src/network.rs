@@ -32,6 +32,7 @@ use crate::packet::{HeaderCode, Packet, PacketClass};
 use crate::phase_array::PhaseArraySteering;
 use crate::spacing::ReplySlotReservations;
 use crate::topology::{receiver_index, NodeId};
+use fsoi_sim::det::{DetMap, DetSet};
 use fsoi_sim::event::EventQueue;
 use fsoi_sim::metrics::Registry;
 use fsoi_sim::queue::BoundedQueue;
@@ -39,7 +40,6 @@ use fsoi_sim::rng::Xoshiro256StarStar;
 use fsoi_sim::stats::Summary;
 use fsoi_sim::trace::{self, TraceEvent};
 use fsoi_sim::Cycle;
-use fsoi_sim::det::{DetMap, DetSet};
 
 /// Label values for the two lanes, indexed like every `[meta, data]` pair.
 const LANE_NAMES: [&str; 2] = ["meta", "data"];
@@ -415,9 +415,9 @@ impl FsoiNetwork {
 
                 let setup = match self.cfg.array {
                     TransmitterArray::Dedicated => 0,
-                    TransmitterArray::PhaseArray { setup_cycles } => self.nodes[node_idx]
-                        .steering[lane]
-                        .aim(packet.dst, setup_cycles),
+                    TransmitterArray::PhaseArray { setup_cycles } => {
+                        self.nodes[node_idx].steering[lane].aim(packet.dst, setup_cycles)
+                    }
                 };
                 let ser = self.ser_cycles[lane];
                 let finish = self.now + ser + setup;
@@ -431,12 +431,14 @@ impl FsoiNetwork {
                     packet.src,
                     packet.dst,
                     self.cfg.nodes,
-                    self.cfg.lanes.spec(if lane == 0 {
-                        PacketClass::Meta
-                    } else {
-                        PacketClass::Data
-                    })
-                    .receivers,
+                    self.cfg
+                        .lanes
+                        .spec(if lane == 0 {
+                            PacketClass::Meta
+                        } else {
+                            PacketClass::Data
+                        })
+                        .receivers,
                 );
                 let key = GroupKey {
                     dst: packet.dst,
@@ -454,8 +456,7 @@ impl FsoiNetwork {
                 });
                 // All packets of a slot resolve at the same deterministic
                 // cycle: slot end plus the worst-case phase-array setup.
-                let resolve_at =
-                    Cycle((key.slot_id + 1) * slot + self.cfg.phase_array_setup());
+                let resolve_at = Cycle((key.slot_id + 1) * slot + self.cfg.phase_array_setup());
                 self.groups.entry(key).or_default().push(packet);
                 self.resolutions.push(resolve_at, key);
             }
@@ -473,11 +474,7 @@ impl FsoiNetwork {
                 // sender retries — the same machinery as a collision
                 // (§4.3.1: "errors and collisions [are] handled by the
                 // same mechanism").
-                let bits = self
-                    .cfg
-                    .lanes
-                    .spec(group[0].class)
-                    .packet_bits;
+                let bits = self.cfg.lanes.spec(group[0].class).packet_bits;
                 let p_err = self.cfg.packet_error_probability(bits);
                 if p_err > 0.0 && self.rng.bernoulli(p_err) {
                     self.stats.bit_error_drops[key.lane] += 1;
@@ -494,8 +491,10 @@ impl FsoiNetwork {
     fn deliver(&mut self, packet: Packet, at: Cycle) {
         let lane = packet.class.lane();
         self.stats.delivered[lane] += 1;
-        // lint: allow(P1) deliver() is only reached via transmit, which stamps first_tx_at
-        let first_tx = packet.first_tx_at.expect("delivered packets were transmitted");
+        let first_tx = packet
+            .first_tx_at
+            // lint: allow(P1) deliver() is only reached via transmit, which stamps first_tx_at
+            .expect("delivered packets were transmitted");
         // The final transmission started one serialization period (plus
         // any phase-array setup, folded into `at`) before resolution.
         let final_tx_start = Cycle(
@@ -514,8 +513,7 @@ impl FsoiNetwork {
         self.stats.network[lane].record(breakdown.network as f64);
         self.stats.resolution[lane].record(breakdown.collision_resolution as f64);
         if packet.retries > 0 {
-            self.stats.resolution_when_collided[lane]
-                .record(breakdown.collision_resolution as f64);
+            self.stats.resolution_when_collided[lane].record(breakdown.collision_resolution as f64);
         }
         self.stats.retries[lane].record(packet.retries as f64);
         trace::emit_with(at, || TraceEvent::Deliver {
@@ -534,7 +532,9 @@ impl FsoiNetwork {
             Confirmation {
                 from: packet.dst,
                 to: packet.src,
-                kind: ConfirmationKind::Receipt { packet_id: packet.id },
+                kind: ConfirmationKind::Receipt {
+                    packet_id: packet.id,
+                },
             },
         );
         self.delivered.push(Delivered {
@@ -773,9 +773,7 @@ mod tests {
         assert!(net.stats().collision_events[0] >= 1);
         assert!(net.stats().collided_packets[0] >= 2);
         assert!(out.iter().all(|d| d.packet.retries >= 1));
-        assert!(out
-            .iter()
-            .any(|d| d.breakdown.collision_resolution > 0));
+        assert!(out.iter().any(|d| d.breakdown.collision_resolution > 0));
     }
 
     #[test]
@@ -896,10 +894,7 @@ mod tests {
         // packet needed no retarget, so its tx wasn't lengthened — but
         // resolution timing is uniform per slot.
         let retargets: u64 = 1; // only the first aims anew
-        assert_eq!(
-            net.nodes[0].steering[0].retargets(),
-            retargets
-        );
+        assert_eq!(net.nodes[0].steering[0].retargets(), retargets);
     }
 
     #[test]
@@ -1081,8 +1076,13 @@ mod tests {
         for i in 0..40u64 {
             // Disjoint pairs: no collisions possible, only bit errors.
             let src = (i % 8) as usize;
-            net.inject(Packet::new(NodeId(src), NodeId(src + 8), PacketClass::Data, i))
-                .unwrap_or_else(|_| panic!("queue full at {i}"));
+            net.inject(Packet::new(
+                NodeId(src),
+                NodeId(src + 8),
+                PacketClass::Data,
+                i,
+            ))
+            .unwrap_or_else(|_| panic!("queue full at {i}"));
             for _ in 0..10 {
                 net.tick();
             }
@@ -1090,7 +1090,10 @@ mod tests {
         let out = run_until_idle(&mut net, 20_000);
         let total = out.len() + net.drain_delivered().len();
         assert_eq!(net.stats().collision_events, [0, 0], "no collisions here");
-        assert!(net.stats().bit_error_drops[1] > 0, "errors must have struck");
+        assert!(
+            net.stats().bit_error_drops[1] > 0,
+            "errors must have struck"
+        );
         assert_eq!(net.stats().delivered[1], 40, "all packets recovered");
         let _ = total;
     }
@@ -1101,7 +1104,12 @@ mod tests {
         let mut net = net16(22);
         for i in 0..500u64 {
             let src = (i % 8) as usize;
-            let _ = net.inject(Packet::new(NodeId(src), NodeId(src + 8), PacketClass::Meta, i));
+            let _ = net.inject(Packet::new(
+                NodeId(src),
+                NodeId(src + 8),
+                PacketClass::Meta,
+                i,
+            ));
             net.tick();
             net.tick();
             net.drain_delivered();

@@ -130,17 +130,14 @@ impl HeaderCode {
 
     /// Superposes the headers of all `senders`.
     pub fn superpose_all(senders: &[NodeId], nodes: usize) -> HeaderCode {
-        senders
-            .iter()
-            .map(|&s| HeaderCode::encode(s, nodes))
-            .fold(
-                HeaderCode {
-                    pid: 0,
-                    pid_complement: 0,
-                    width: Self::id_width(nodes),
-                },
-                HeaderCode::superpose,
-            )
+        senders.iter().map(|&s| HeaderCode::encode(s, nodes)).fold(
+            HeaderCode {
+                pid: 0,
+                pid_complement: 0,
+                width: Self::id_width(nodes),
+            },
+            HeaderCode::superpose,
+        )
     }
 
     /// True if this header shows evidence of a collision: some bit position
@@ -190,8 +187,7 @@ mod tests {
 
     #[test]
     fn packet_construction() {
-        let p = Packet::new(NodeId(1), NodeId(2), PacketClass::Data, 99)
-            .with_scheduling_delay(3);
+        let p = Packet::new(NodeId(1), NodeId(2), PacketClass::Data, 99).with_scheduling_delay(3);
         assert_eq!(p.src, NodeId(1));
         assert_eq!(p.dst, NodeId(2));
         assert_eq!(p.tag, 99);
@@ -230,8 +226,8 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let h = HeaderCode::encode(NodeId(a), n)
-                    .superpose(HeaderCode::encode(NodeId(b), n));
+                let h =
+                    HeaderCode::encode(NodeId(a), n).superpose(HeaderCode::encode(NodeId(b), n));
                 assert!(h.is_collided(), "{a} + {b} must be detected");
                 assert_eq!(h.decode(), None);
             }

@@ -160,8 +160,13 @@ mod tests {
         let lanes = Lanes::paper_default();
         let mut net = FsoiNetwork::new(FsoiConfig::nodes(16), 1);
         for src in 0..8 {
-            net.inject(Packet::new(NodeId(src), NodeId(src + 8), PacketClass::Data, 0))
-                .unwrap();
+            net.inject(Packet::new(
+                NodeId(src),
+                NodeId(src + 8),
+                PacketClass::Data,
+                0,
+            ))
+            .unwrap();
         }
         net.run(20);
         let cycles = net.now().as_u64();

@@ -119,12 +119,7 @@ pub struct SkewCompensation {
 /// # Panics
 ///
 /// Panics if `bit_time_ps` is not positive.
-pub fn compensation(
-    plan: &Floorplan,
-    a: NodeId,
-    b: NodeId,
-    bit_time_ps: f64,
-) -> SkewCompensation {
+pub fn compensation(plan: &Floorplan, a: NodeId, b: NodeId, bit_time_ps: f64) -> SkewCompensation {
     assert!(bit_time_ps > 0.0, "bit time must be positive");
     let slack = plan.max_flight_time_ps() - plan.flight_time_ps(a, b);
     let bits = (slack / bit_time_ps).floor();

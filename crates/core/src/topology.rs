@@ -52,12 +52,7 @@ pub fn receiver_index(src: NodeId, dst: NodeId, nodes: usize, receivers: usize) 
 }
 
 /// The set of senders sharing receiver `rx` at `dst`.
-pub fn senders_for_receiver(
-    dst: NodeId,
-    rx: usize,
-    nodes: usize,
-    receivers: usize,
-) -> Vec<NodeId> {
+pub fn senders_for_receiver(dst: NodeId, rx: usize, nodes: usize, receivers: usize) -> Vec<NodeId> {
     (0..nodes)
         .map(NodeId)
         .filter(|&s| s != dst && receiver_index(s, dst, nodes, receivers) == rx)

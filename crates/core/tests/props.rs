@@ -119,7 +119,11 @@ fn reservations_never_collide() {
                 assert!(r.slot_start.as_u64().is_multiple_of(slot));
                 assert!(r.request_delay.is_multiple_of(slot));
                 assert!(r.slot_start.as_u64() + slot > a, "grant not in the past");
-                assert!(taken.insert(r.slot_start), "double booking at {:?}", r.slot_start);
+                assert!(
+                    taken.insert(r.slot_start),
+                    "double booking at {:?}",
+                    r.slot_start
+                );
             }
         },
     );
@@ -148,7 +152,11 @@ fn delivered_packets_have_complete_trace_lifecycles() {
 
     checker!().check(
         "delivered_packets_have_complete_trace_lifecycles",
-        (2usize..17, 0u64..u64::MAX, vec_of((0u64..64, 0u64..64, 0u64..2), 1..24)),
+        (
+            2usize..17,
+            0u64..u64::MAX,
+            vec_of((0u64..64, 0u64..64, 0u64..2), 1..24),
+        ),
         |&(nodes, seed, ref traffic)| {
             let (records, delivered) = trace::capture(|| {
                 let mut net = FsoiNetwork::new(FsoiConfig::nodes(nodes), seed);
@@ -159,7 +167,11 @@ fn delivered_packets_have_complete_trace_lifecycles() {
                     } else {
                         d as usize % nodes
                     };
-                    let class = if class_bit == 0 { PacketClass::Meta } else { PacketClass::Data };
+                    let class = if class_bit == 0 {
+                        PacketClass::Meta
+                    } else {
+                        PacketClass::Data
+                    };
                     let _ = net.inject(Packet::new(NodeId(src), NodeId(dst), class, s));
                 }
                 for _ in 0..64 {
@@ -175,13 +187,21 @@ fn delivered_packets_have_complete_trace_lifecycles() {
             let mut lives: BTreeMap<u64, Life> = BTreeMap::new();
             for r in &records {
                 match &r.event {
-                    TraceEvent::Inject { packet, .. } => lives.entry(*packet).or_default().injects += 1,
-                    TraceEvent::Deliver { packet, .. } => lives.entry(*packet).or_default().delivers += 1,
-                    TraceEvent::TxStart { packet, .. } => lives.entry(*packet).or_default().tx_starts += 1,
+                    TraceEvent::Inject { packet, .. } => {
+                        lives.entry(*packet).or_default().injects += 1
+                    }
+                    TraceEvent::Deliver { packet, .. } => {
+                        lives.entry(*packet).or_default().delivers += 1
+                    }
+                    TraceEvent::TxStart { packet, .. } => {
+                        lives.entry(*packet).or_default().tx_starts += 1
+                    }
                     TraceEvent::Collide { packet, .. } | TraceEvent::BitError { packet, .. } => {
                         lives.entry(*packet).or_default().failures += 1
                     }
-                    TraceEvent::Backoff { packet, .. } => lives.entry(*packet).or_default().backoffs += 1,
+                    TraceEvent::Backoff { packet, .. } => {
+                        lives.entry(*packet).or_default().backoffs += 1
+                    }
                     _ => {}
                 }
             }
@@ -189,11 +209,17 @@ fn delivered_packets_have_complete_trace_lifecycles() {
             // Nothing is ever dropped: with the network drained, every
             // accepted injection must have been delivered.
             let total_injects: u32 = lives.values().map(|l| l.injects).sum();
-            assert_eq!(delivered.len() as u32, total_injects, "drained network delivers everything");
+            assert_eq!(
+                delivered.len() as u32,
+                total_injects,
+                "drained network delivers everything"
+            );
 
             for d in &delivered {
                 let id = d.packet.id;
-                let l = lives.get(&id).unwrap_or_else(|| panic!("packet {id} left no trace"));
+                let l = lives
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("packet {id} left no trace"));
                 assert_eq!(l.injects, 1, "packet {id}: exactly one inject");
                 assert_eq!(l.delivers, 1, "packet {id}: exactly one deliver");
                 assert_eq!(
@@ -208,7 +234,10 @@ fn delivered_packets_have_complete_trace_lifecycles() {
                 );
                 // Hint winners retransmit without backing off, so backoffs
                 // can undershoot failures but never exceed them.
-                assert!(l.backoffs <= l.failures, "packet {id}: at most one backoff per failure");
+                assert!(
+                    l.backoffs <= l.failures,
+                    "packet {id}: at most one backoff per failure"
+                );
             }
         },
     );

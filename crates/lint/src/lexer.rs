@@ -286,7 +286,9 @@ fn scan_char(b: &[u8], i: usize) -> (usize, u32) {
 
 /// True when the `'` at `i` starts a lifetime rather than a char literal.
 fn is_lifetime(b: &[u8], i: usize) -> bool {
-    let Some(&first) = b.get(i + 1) else { return false };
+    let Some(&first) = b.get(i + 1) else {
+        return false;
+    };
     if first == b'\\' || first == b'\'' {
         return false; // '\n' or ''' — char-ish
     }
@@ -350,8 +352,12 @@ mod tests {
         let t = kinds("// HashMap here\nlet x = 1; /* HashSet\n there */");
         assert_eq!(t[0].0, TokKind::Comment);
         assert!(t[0].1.contains("HashMap"));
-        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && s == "HashMap"));
-        assert!(t.iter().any(|(k, s)| *k == TokKind::Comment && s.contains("HashSet")));
+        assert!(!t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Ident && s == "HashMap"));
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Comment && s.contains("HashSet")));
     }
 
     #[test]
@@ -366,14 +372,18 @@ mod tests {
     #[test]
     fn strings_swallow_code() {
         let t = kinds(r#"let s = "HashMap::new()";"#);
-        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && s == "HashMap"));
+        assert!(!t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Ident && s == "HashMap"));
         assert!(t.iter().any(|(k, _)| *k == TokKind::Str));
     }
 
     #[test]
     fn raw_strings_with_fences() {
         let t = kinds(r###"let s = r#"say "HashMap" loud"#; x"###);
-        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && s == "HashMap"));
+        assert!(!t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Ident && s == "HashMap"));
         assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "x"));
     }
 

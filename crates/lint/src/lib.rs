@@ -52,7 +52,10 @@ pub fn run_check(root: &Path) -> Result<Report, String> {
     let mut files = Vec::new();
     collect_rs_files(&crates_dir, &mut files)?;
     files.sort();
-    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
     for f in &files {
         let rel = f
             .strip_prefix(root)
@@ -70,9 +73,7 @@ pub fn run_check(root: &Path) -> Result<Report, String> {
 /// in sorted order for deterministic reports.
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     let rd = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    let mut entries: Vec<PathBuf> = rd
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
+    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
     entries.sort();
     for path in entries {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");

@@ -40,8 +40,8 @@ fn main() -> ExitCode {
         }
         Some("check") => {
             // Default root: the workspace this binary was built from.
-            let root = root
-                .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+            let root =
+                root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
             match fsoi_lint::run_check(&root) {
                 Ok(report) => {
                     let rendered = if format == "jsonl" {

@@ -133,7 +133,10 @@ mod tests {
     use crate::rules::FileFindings;
 
     fn sample() -> Report {
-        let mut r = Report { files_scanned: 3, ..Report::default() };
+        let mut r = Report {
+            files_scanned: 3,
+            ..Report::default()
+        };
         r.absorb(FileFindings {
             violations: vec![Violation {
                 path: "crates/core/src/x.rs".into(),
@@ -172,10 +175,16 @@ mod tests {
 
     #[test]
     fn clean_report_is_clean() {
-        let mut r = Report { files_scanned: 1, ..Report::default() };
+        let mut r = Report {
+            files_scanned: 1,
+            ..Report::default()
+        };
         r.finish();
         assert!(r.is_clean());
-        assert!(!r.to_table().contains("location"), "no violation table when clean");
+        assert!(
+            !r.to_table().contains("location"),
+            "no violation table when clean"
+        );
     }
 
     #[test]

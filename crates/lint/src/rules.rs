@@ -50,17 +50,40 @@ pub const ALLOWED_ENV_KNOBS: &[&str] = &[
 
 /// Identifiers that are wall-clock / OS-entropy sources (D2).
 const D2_BANNED_IDENTS: &[(&str, &str)] = &[
-    ("Instant", "wall-clock time; simulated time is fsoi_sim::Cycle"),
-    ("SystemTime", "wall-clock time; simulated time is fsoi_sim::Cycle"),
-    ("thread_rng", "OS-entropy RNG; use the seeded fsoi_sim::rng generators"),
-    ("from_entropy", "OS-entropy seeding; derive seeds from the run seed"),
-    ("OsRng", "OS-entropy RNG; use the seeded fsoi_sim::rng generators"),
+    (
+        "Instant",
+        "wall-clock time; simulated time is fsoi_sim::Cycle",
+    ),
+    (
+        "SystemTime",
+        "wall-clock time; simulated time is fsoi_sim::Cycle",
+    ),
+    (
+        "thread_rng",
+        "OS-entropy RNG; use the seeded fsoi_sim::rng generators",
+    ),
+    (
+        "from_entropy",
+        "OS-entropy seeding; derive seeds from the run seed",
+    ),
+    (
+        "OsRng",
+        "OS-entropy RNG; use the seeded fsoi_sim::rng generators",
+    ),
 ];
 
 /// `std::env` functions that read process state. `var`/`var_os` with a
 /// documented knob literal are fine; everything else needs an allow.
 const D2_ENV_READS: &[&str] = &[
-    "var", "var_os", "vars", "vars_os", "args", "args_os", "temp_dir", "current_dir", "home_dir",
+    "var",
+    "var_os",
+    "vars",
+    "vars_os",
+    "args",
+    "args_os",
+    "temp_dir",
+    "current_dir",
+    "home_dir",
 ];
 
 /// The rule identifiers, in report order.
@@ -172,7 +195,12 @@ pub fn lint_source(rel: &str, src: &str) -> FileFindings {
             .iter()
             .any(|a| a.rules.iter().any(|r| r == rule) && (a.lines.0 == line || a.lines.1 == line));
         if !allowed {
-            out.violations.push(Violation { path: rel.to_string(), line, rule, msg });
+            out.violations.push(Violation {
+                path: rel.to_string(),
+                line,
+                rule,
+                msg,
+            });
         }
     };
 
@@ -180,7 +208,11 @@ pub fn lint_source(rel: &str, src: &str) -> FileFindings {
         let next = |off: usize| code.get(k + off).map(|&(_, t)| t);
         // D1: raw default-hasher collections in sim code.
         if sim_scope && t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
-            let det = if t.text == "HashMap" { "DetMap" } else { "DetSet" };
+            let det = if t.text == "HashMap" {
+                "DetMap"
+            } else {
+                "DetSet"
+            };
             push(
                 "D1",
                 t.line,
@@ -247,8 +279,8 @@ pub fn lint_source(rel: &str, src: &str) -> FileFindings {
         if p1_scope {
             if t.is_punct(".")
                 && next(1).is_some_and(|a| {
-                    (a.is_ident("unwrap") || a.is_ident("expect"))
-                        && a.line == t.line // a float like `x.` never precedes these
+                    (a.is_ident("unwrap") || a.is_ident("expect")) && a.line == t.line
+                    // a float like `x.` never precedes these
                 })
                 && next(2).is_some_and(|a| a.is_punct("("))
             {
@@ -276,7 +308,9 @@ pub fn lint_source(rel: &str, src: &str) -> FileFindings {
 /// through the end of the item's `{…}` block or terminating `;`).
 fn cfg_test_spans(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
     let mut spans = Vec::new();
-    let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].kind != TokKind::Comment).collect();
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
     let at = |ci: usize| -> Option<&Tok> { code.get(ci).map(|&i| &toks[i]) };
     let mut ci = 0usize;
     while ci < code.len() {
@@ -303,13 +337,11 @@ fn cfg_test_spans(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
             j += 1;
         }
         let attr_end = j; // index of `]`
-        // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` suppress the
-        // item; `#[cfg(not(test))]` and `#[cfg_attr(test, …)]` do not.
+                          // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` suppress the
+                          // item; `#[cfg(not(test))]` and `#[cfg_attr(test, …)]` do not.
         let is_test_attr = match attr_idents.first() {
             Some(&"test") => true,
-            Some(&"cfg") => {
-                attr_idents.contains(&"test") && !attr_idents.contains(&"not")
-            }
+            Some(&"cfg") => attr_idents.contains(&"test") && !attr_idents.contains(&"not"),
             _ => false,
         };
         if !is_test_attr {
@@ -353,7 +385,10 @@ fn cfg_test_spans(toks: &[Tok]) -> Vec<std::ops::Range<usize>> {
             end += 1;
         }
         let start_tok = code[ci];
-        let end_tok = code.get(end).copied().unwrap_or(toks.len().saturating_sub(1));
+        let end_tok = code
+            .get(end)
+            .copied()
+            .unwrap_or(toks.len().saturating_sub(1));
         spans.push(start_tok..end_tok + 1);
         ci = end + 1;
     }
@@ -369,14 +404,19 @@ fn collect_allows(toks: &[Tok], rel: &str) -> (Vec<Allow>, Vec<Violation>) {
         if t.kind != TokKind::Comment {
             continue;
         }
-        let Some(pos) = t.text.find("lint:") else { continue };
+        let Some(pos) = t.text.find("lint:") else {
+            continue;
+        };
         let rest = t.text[pos + "lint:".len()..].trim_start();
         let Some(rest) = rest.strip_prefix("allow") else {
             bad.push(Violation {
                 path: rel.to_string(),
                 line: t.line,
                 rule: "A1",
-                msg: format!("unrecognized lint directive {:?}; only `lint: allow(RULE) reason` exists", t.text.trim()),
+                msg: format!(
+                    "unrecognized lint directive {:?}; only `lint: allow(RULE) reason` exists",
+                    t.text.trim()
+                ),
             });
             continue;
         };
@@ -391,8 +431,10 @@ fn collect_allows(toks: &[Tok], rel: &str) -> (Vec<Allow>, Vec<Violation>) {
             continue;
         };
         let rules: Vec<String> = inside.split(',').map(|r| r.trim().to_string()).collect();
-        let unknown: Vec<&String> =
-            rules.iter().filter(|r| !RULES.contains(&r.as_str())).collect();
+        let unknown: Vec<&String> = rules
+            .iter()
+            .filter(|r| !RULES.contains(&r.as_str()))
+            .collect();
         if rules.is_empty() || !unknown.is_empty() {
             bad.push(Violation {
                 path: rel.to_string(),
@@ -408,7 +450,8 @@ fn collect_allows(toks: &[Tok], rel: &str) -> (Vec<Allow>, Vec<Violation>) {
                 path: rel.to_string(),
                 line: t.line,
                 rule: "A1",
-                msg: "allow without a reason; write `lint: allow(RULE) <why this site is sound>`".to_string(),
+                msg: "allow without a reason; write `lint: allow(RULE) <why this site is sound>`"
+                    .to_string(),
             });
             continue;
         }
@@ -438,19 +481,30 @@ mod tests {
 
     #[test]
     fn d1_flags_hash_collections_in_sim_crates_only() {
-        let src = "use std::collections::HashMap;\nfn f() { let s: HashSet<u8> = HashSet::new(); }\n";
+        let src =
+            "use std::collections::HashMap;\nfn f() { let s: HashSet<u8> = HashSet::new(); }\n";
         let v = lint_as("crates/core/src/network.rs", src);
         assert!(v.iter().filter(|v| v.rule == "D1").count() >= 3);
-        assert!(lint_as("crates/lint/src/engine.rs", src).is_empty(), "tool crates are out of scope");
-        assert!(lint_as("crates/core/tests/props.rs", src).is_empty(), "test code is exempt");
+        assert!(
+            lint_as("crates/lint/src/engine.rs", src).is_empty(),
+            "tool crates are out of scope"
+        );
+        assert!(
+            lint_as("crates/core/tests/props.rs", src).is_empty(),
+            "test code is exempt"
+        );
     }
 
     #[test]
     fn d2_flags_clocks_and_undocumented_env() {
         let src = "fn f() { let t = Instant::now(); let v = std::env::var(\"FSOI_SECRET\"); }\n";
         let v = lint_as("crates/sim/src/x.rs", src);
-        assert!(v.iter().any(|v| v.rule == "D2" && v.msg.contains("Instant")));
-        assert!(v.iter().any(|v| v.rule == "D2" && v.msg.contains("FSOI_SECRET")));
+        assert!(v
+            .iter()
+            .any(|v| v.rule == "D2" && v.msg.contains("Instant")));
+        assert!(v
+            .iter()
+            .any(|v| v.rule == "D2" && v.msg.contains("FSOI_SECRET")));
     }
 
     #[test]
@@ -471,7 +525,8 @@ mod tests {
     fn p1_flags_panics_unless_allowed() {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert_eq!(lint_as("crates/optics/src/x.rs", src).len(), 1);
-        let annotated = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // lint: allow(P1) checked by caller\n}\n";
+        let annotated =
+            "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // lint: allow(P1) checked by caller\n}\n";
         assert!(lint_as("crates/optics/src/x.rs", annotated).is_empty());
         let preceding = "fn f(x: Option<u8>) -> u8 {\n    // lint: allow(P1) checked by caller\n    x.unwrap()\n}\n";
         assert!(lint_as("crates/optics/src/x.rs", preceding).is_empty());
@@ -484,8 +539,14 @@ mod tests {
         assert!(v.iter().any(|v| v.rule == "A1"));
         let unreasoned = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(P1)\n";
         let v = lint_as("crates/sim/src/x.rs", unreasoned);
-        assert!(v.iter().any(|v| v.rule == "A1"), "missing reason is malformed");
-        assert!(v.iter().any(|v| v.rule == "P1"), "a malformed allow suppresses nothing");
+        assert!(
+            v.iter().any(|v| v.rule == "A1"),
+            "missing reason is malformed"
+        );
+        assert!(
+            v.iter().any(|v| v.rule == "P1"),
+            "a malformed allow suppresses nothing"
+        );
     }
 
     #[test]
@@ -508,7 +569,8 @@ mod tests {
 
     #[test]
     fn allows_are_counted() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(P1) invariant: x is Some\n";
+        let src =
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(P1) invariant: x is Some\n";
         let f = lint_source("crates/sim/src/x.rs", src);
         assert!(f.violations.is_empty());
         assert_eq!(f.allows, vec![("P1".to_string(), 1)]);

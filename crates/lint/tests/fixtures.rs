@@ -7,7 +7,9 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn fixture_root(which: &str) -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(which)
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(which)
 }
 
 #[test]
@@ -23,7 +25,10 @@ fn violating_tree_fires_every_rule() {
     }
     // The tests/ file uses every banned idiom but is path-exempt.
     assert!(
-        report.violations.iter().all(|v| v.path.ends_with("src/bad.rs")),
+        report
+            .violations
+            .iter()
+            .all(|v| v.path.ends_with("src/bad.rs")),
         "exempt tests/ file must contribute nothing:\n{}",
         report.to_table()
     );
@@ -33,21 +38,30 @@ fn violating_tree_fires_every_rule() {
 fn violating_tree_reports_each_expected_site() {
     let report = run_check(&fixture_root("violating")).expect("scan succeeds");
     let has = |rule: &str, needle: &str| {
-        report.violations.iter().any(|v| v.rule == rule && v.msg.contains(needle))
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == rule && v.msg.contains(needle))
     };
     assert!(has("D1", "`HashMap`"), "HashMap import");
     assert!(has("D1", "`HashSet`"), "HashSet construction");
     assert!(has("D2", "`Instant`"), "wall clock");
     assert!(has("D2", "undocumented knob"), "FSOI_UNDOCUMENTED read");
     assert!(has("D2", "non-literal"), "env::var(knob_name())");
-    assert!(has("T1", "trace::emit_with"), "eager emission points at the fix");
+    assert!(
+        has("T1", "trace::emit_with"),
+        "eager emission points at the fix"
+    );
     assert!(has("P1", "`.unwrap()`"), "unannotated unwrap");
     assert!(has("P1", "`panic!`"), "unannotated panic");
     assert!(has("A1", "unknown rule"), "allow(Q9)");
     assert!(has("A1", "without a reason"), "reasonless allow(P1)");
     // A malformed allow does not suppress the violation it sits on.
     assert!(
-        report.violations.iter().any(|v| v.rule == "P1" && v.msg.contains("`.expect()`")),
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "P1" && v.msg.contains("`.expect()`")),
         "expect under allow(Q9) still fires:\n{}",
         report.to_table()
     );
@@ -56,7 +70,11 @@ fn violating_tree_reports_each_expected_site() {
 #[test]
 fn clean_tree_is_clean_and_counts_allows() {
     let report = run_check(&fixture_root("clean")).expect("scan succeeds");
-    assert!(report.is_clean(), "clean fixture has violations:\n{}", report.to_table());
+    assert!(
+        report.is_clean(),
+        "clean fixture has violations:\n{}",
+        report.to_table()
+    );
     assert_eq!(
         report.allows.get("P1").copied(),
         Some(2),
@@ -72,7 +90,11 @@ fn binary_exit_codes_match_the_gate_contract() {
     let clean = run(&["check", "--root", fixture_root("clean").to_str().unwrap()]);
     assert_eq!(clean.status.code(), Some(0), "clean tree: {clean:?}");
 
-    let bad = run(&["check", "--root", fixture_root("violating").to_str().unwrap()]);
+    let bad = run(&[
+        "check",
+        "--root",
+        fixture_root("violating").to_str().unwrap(),
+    ]);
     assert_eq!(bad.status.code(), Some(1), "violating tree: {bad:?}");
     let table = String::from_utf8_lossy(&bad.stdout);
     assert!(table.contains("rule"), "human table on stdout: {table}");
@@ -95,8 +117,16 @@ fn binary_exit_codes_match_the_gate_contract() {
     assert!(out.contains("\"rule\":\"D1\""));
 
     let usage = run(&["frobnicate"]);
-    assert_eq!(usage.status.code(), Some(2), "unknown args are usage errors");
+    assert_eq!(
+        usage.status.code(),
+        Some(2),
+        "unknown args are usage errors"
+    );
 
     let missing = run(&["check", "--root", "/nonexistent-fsoi-fixture"]);
-    assert_eq!(missing.status.code(), Some(2), "unscannable root is an error");
+    assert_eq!(
+        missing.status.code(),
+        Some(2),
+        "unscannable root is an error"
+    );
 }

@@ -28,7 +28,10 @@ impl MeshConfig {
     /// Panics if `n` is not a perfect square of at least 4.
     pub fn nodes(n: usize) -> Self {
         let side = (n as f64).sqrt().round() as usize;
-        assert!(side >= 2 && side * side == n, "mesh size must be a square, got {n}");
+        assert!(
+            side >= 2 && side * side == n,
+            "mesh size must be a square, got {n}"
+        );
         MeshConfig {
             width: side,
             height: side,

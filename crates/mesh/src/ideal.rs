@@ -127,7 +127,10 @@ impl IdealNetwork {
 mod tests {
     use super::*;
 
-    fn run_until_idle(net: &mut IdealNetwork, max: u64) -> Vec<super::super::network::MeshDelivered> {
+    fn run_until_idle(
+        net: &mut IdealNetwork,
+        max: u64,
+    ) -> Vec<super::super::network::MeshDelivered> {
         let mut out = Vec::new();
         for _ in 0..max {
             net.tick();

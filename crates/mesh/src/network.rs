@@ -84,7 +84,9 @@ impl MeshNetwork {
         let n = cfg.node_count();
         MeshNetwork {
             routers: (0..n).map(|i| Router::new(&cfg, i)).collect(),
-            inject_q: (0..n).map(|_| BoundedQueue::new(cfg.injection_queue)).collect(),
+            inject_q: (0..n)
+                .map(|_| BoundedQueue::new(cfg.injection_queue))
+                .collect(),
             injecting: (0..n).map(|_| None).collect(),
             links: EventQueue::new(),
             delivered: Vec::new(),
@@ -323,7 +325,10 @@ mod tests {
         let lat6 = out[0].latency();
         assert!(lat6 > lat1, "{lat6} > {lat1}");
         // Each extra hop costs router_cycles + link_cycles = 5.
-        assert_eq!(lat6 - lat1, 5 * (hop_distance(0, 15, 4) - hop_distance(0, 1, 4)) as u64);
+        assert_eq!(
+            lat6 - lat1,
+            5 * (hop_distance(0, 15, 4) - hop_distance(0, 1, 4)) as u64
+        );
     }
 
     #[test]
@@ -378,7 +383,10 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(out as u64 + net.stats().delivered - out as u64, net.stats().delivered);
+        assert_eq!(
+            out as u64 + net.stats().delivered - out as u64,
+            net.stats().delivered
+        );
         assert_eq!(net.stats().delivered, wanted);
         assert!(net.is_idle(), "network must drain");
     }

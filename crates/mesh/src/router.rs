@@ -144,7 +144,9 @@ impl Router {
         for port in 0..5 {
             for vc in 0..self.vcs {
                 let ch = &self.inputs[port][vc];
-                let Some(&(flit, _arr)) = ch.buf.front() else { continue };
+                let Some(&(flit, _arr)) = ch.buf.front() else {
+                    continue;
+                };
                 if ch.route.is_none() && flit.kind.is_head() {
                     let out = xy_route(self.node, flit.packet.dst, self.width);
                     self.inputs[port][vc].route = Some(out.index());
@@ -155,8 +157,12 @@ impl Router {
         for port in 0..5 {
             for vc in 0..self.vcs {
                 let ch = &self.inputs[port][vc];
-                let Some(&(flit, _)) = ch.buf.front() else { continue };
-                let (Some(out), None) = (ch.route, ch.out_vc) else { continue };
+                let Some(&(flit, _)) = ch.buf.front() else {
+                    continue;
+                };
+                let (Some(out), None) = (ch.route, ch.out_vc) else {
+                    continue;
+                };
                 if !flit.kind.is_head() {
                     continue;
                 }
@@ -198,8 +204,12 @@ impl Router {
                 continue;
             }
             let ch = &self.inputs[port][vc];
-            let Some(&(flit, arr)) = ch.buf.front() else { continue };
-            let (Some(out), Some(ovc)) = (ch.route, ch.out_vc) else { continue };
+            let Some(&(flit, arr)) = ch.buf.front() else {
+                continue;
+            };
+            let (Some(out), Some(ovc)) = (ch.route, ch.out_vc) else {
+                continue;
+            };
             if out_taken[out] {
                 continue;
             }

@@ -22,7 +22,13 @@ pub enum Port {
 
 impl Port {
     /// All ports, indexable by [`Port::index`].
-    pub const ALL: [Port; 5] = [Port::West, Port::East, Port::North, Port::South, Port::Local];
+    pub const ALL: [Port; 5] = [
+        Port::West,
+        Port::East,
+        Port::North,
+        Port::South,
+        Port::Local,
+    ];
 
     /// Dense index 0..5.
     pub fn index(self) -> usize {

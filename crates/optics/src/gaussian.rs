@@ -126,16 +126,12 @@ mod tests {
 
     #[test]
     fn rejects_nonpositive() {
-        assert!(GaussianBeam::new(
-            Length::from_meters(0.0),
-            Length::from_nanometers(980.0)
-        )
-        .is_err());
-        assert!(GaussianBeam::new(
-            Length::from_micrometers(45.0),
-            Length::from_meters(-1.0)
-        )
-        .is_err());
+        assert!(
+            GaussianBeam::new(Length::from_meters(0.0), Length::from_nanometers(980.0)).is_err()
+        );
+        assert!(
+            GaussianBeam::new(Length::from_micrometers(45.0), Length::from_meters(-1.0)).is_err()
+        );
     }
 
     #[test]
@@ -157,9 +153,8 @@ mod tests {
     fn radius_grows_monotonically() {
         let b = paper_beam();
         assert!(
-            (b.radius_at(Length::from_meters(0.0)).as_meters()
-                - b.waist_radius().as_meters())
-            .abs()
+            (b.radius_at(Length::from_meters(0.0)).as_meters() - b.waist_radius().as_meters())
+                .abs()
                 < 1e-12
         );
         let mut prev = 0.0;

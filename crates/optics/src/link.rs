@@ -278,20 +278,59 @@ impl LinkBudget {
     /// the paper's Table 1, for the experiment harness to print.
     pub fn table1_rows(&self) -> Vec<(String, String)> {
         vec![
-            ("Trans. distance".into(), format!("{:.0} cm", self.distance_m * 100.0)),
-            ("Optical path loss".into(), format!("{:.1} dB", self.path_loss_db)),
-            ("Link bandwidth".into(), format!("{:.1} GHz", self.link_bandwidth_ghz)),
-            ("Data rate".into(), format!("{:.0} Gbps", self.data_rate_gbps)),
-            ("Signal-to-noise ratio".into(), format!("{:.1} dB", self.snr_db)),
+            (
+                "Trans. distance".into(),
+                format!("{:.0} cm", self.distance_m * 100.0),
+            ),
+            (
+                "Optical path loss".into(),
+                format!("{:.1} dB", self.path_loss_db),
+            ),
+            (
+                "Link bandwidth".into(),
+                format!("{:.1} GHz", self.link_bandwidth_ghz),
+            ),
+            (
+                "Data rate".into(),
+                format!("{:.0} Gbps", self.data_rate_gbps),
+            ),
+            (
+                "Signal-to-noise ratio".into(),
+                format!("{:.1} dB", self.snr_db),
+            ),
             ("Q factor".into(), format!("{:.2}", self.q_factor)),
-            ("Bit-error-rate (BER)".into(), format!("{:.1e}", self.bit_error_rate)),
-            ("Cycle-to-cycle jitter".into(), format!("{:.1} ps", self.jitter_ps)),
-            ("Laser driver power".into(), format!("{:.1} mW", self.driver_power_mw)),
-            ("VCSEL power".into(), format!("{:.2} mW", self.vcsel_power_mw)),
-            ("Transmitter (standby)".into(), format!("{:.2} mW", self.tx_standby_mw)),
-            ("Receiver power".into(), format!("{:.1} mW", self.rx_power_mw)),
-            ("TX energy/bit".into(), format!("{:.3} pJ", self.tx_energy_per_bit_pj)),
-            ("RX energy/bit".into(), format!("{:.3} pJ", self.rx_energy_per_bit_pj)),
+            (
+                "Bit-error-rate (BER)".into(),
+                format!("{:.1e}", self.bit_error_rate),
+            ),
+            (
+                "Cycle-to-cycle jitter".into(),
+                format!("{:.1} ps", self.jitter_ps),
+            ),
+            (
+                "Laser driver power".into(),
+                format!("{:.1} mW", self.driver_power_mw),
+            ),
+            (
+                "VCSEL power".into(),
+                format!("{:.2} mW", self.vcsel_power_mw),
+            ),
+            (
+                "Transmitter (standby)".into(),
+                format!("{:.2} mW", self.tx_standby_mw),
+            ),
+            (
+                "Receiver power".into(),
+                format!("{:.1} mW", self.rx_power_mw),
+            ),
+            (
+                "TX energy/bit".into(),
+                format!("{:.3} pJ", self.tx_energy_per_bit_pj),
+            ),
+            (
+                "RX energy/bit".into(),
+                format!("{:.3} pJ", self.rx_energy_per_bit_pj),
+            ),
         ]
     }
 }
@@ -303,7 +342,11 @@ mod tests {
     #[test]
     fn table1_path_loss() {
         let b = OpticalLink::paper_default().budget();
-        assert!((b.path_loss_db - 2.6).abs() < 0.2, "loss = {}", b.path_loss_db);
+        assert!(
+            (b.path_loss_db - 2.6).abs() < 0.2,
+            "loss = {}",
+            b.path_loss_db
+        );
         assert!((b.distance_m - 0.02).abs() < 1e-12);
     }
 
@@ -323,7 +366,11 @@ mod tests {
     #[test]
     fn table1_powers() {
         let b = OpticalLink::paper_default().budget();
-        assert!((b.driver_power_mw - 6.3).abs() < 0.15, "driver = {}", b.driver_power_mw);
+        assert!(
+            (b.driver_power_mw - 6.3).abs() < 0.15,
+            "driver = {}",
+            b.driver_power_mw
+        );
         assert!((b.vcsel_power_mw - 0.96).abs() < 1e-6);
         assert!((b.tx_standby_mw - 0.43).abs() < 1e-6);
         assert!((b.rx_power_mw - 4.2).abs() < 1e-6);
@@ -332,7 +379,11 @@ mod tests {
     #[test]
     fn table1_jitter() {
         let b = OpticalLink::paper_default().budget();
-        assert!((b.jitter_ps - 1.7).abs() < 0.3, "jitter = {} ps", b.jitter_ps);
+        assert!(
+            (b.jitter_ps - 1.7).abs() < 0.3,
+            "jitter = {} ps",
+            b.jitter_ps
+        );
     }
 
     #[test]
@@ -367,7 +418,10 @@ mod tests {
         let needed_relaxed = noise::ber_to_q(1e-5);
         assert!(needed_strict - needed_relaxed > 2.0);
         let b = OpticalLink::paper_default().budget();
-        assert!(b.q_factor > needed_relaxed + 1.5, "large margin at relaxed BER");
+        assert!(
+            b.q_factor > needed_relaxed + 1.5,
+            "large margin at relaxed BER"
+        );
     }
 
     #[test]
@@ -383,7 +437,9 @@ mod tests {
         let link = OpticalLink::paper_default();
         let mut short_path = OpticalPath::new(Length::from_micrometers(95.0)).unwrap();
         short_path
-            .push(crate::path::PathElement::FreeSpace(Length::from_millimeters(5.0)))
+            .push(crate::path::PathElement::FreeSpace(
+                Length::from_millimeters(5.0),
+            ))
             .unwrap();
         let short = OpticalLink::new(
             Vcsel::paper_default(),

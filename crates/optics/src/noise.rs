@@ -34,16 +34,16 @@ pub fn combine_rms(contributions: &[Current]) -> Current {
 pub fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 1.0 / (1.0 + 0.5 * z);
-    let ans = t * (-z * z - 1.26551223
-        + t * (1.00002368
-            + t * (0.37409196
-                + t * (0.09678418
-                    + t * (-0.18628806
-                        + t * (0.27886807
-                            + t * (-1.13520398
-                                + t * (1.48851587
-                                    + t * (-0.82215223 + t * 0.17087277)))))))))
-    .exp();
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -140,7 +140,11 @@ mod tests {
     fn shot_noise_value() {
         // √(2 · 1.602e-19 · 50 µA · 36 GHz) ≈ 0.76 µA.
         let s = shot_noise_rms(Current::from_amps(50e-6), Frequency::from_ghz(36.0));
-        assert!((s.to_microamps() - 0.759).abs() < 0.01, "{}", s.to_microamps());
+        assert!(
+            (s.to_microamps() - 0.759).abs() < 0.01,
+            "{}",
+            s.to_microamps()
+        );
         // Negative currents clamp to zero variance.
         let z = shot_noise_rms(Current::from_amps(-1.0), Frequency::from_ghz(1.0));
         assert_eq!(z.as_amps(), 0.0);

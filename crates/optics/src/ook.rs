@@ -14,9 +14,7 @@ use crate::units::Power;
 /// Superposes the optical powers of simultaneously arriving beams
 /// (incoherent addition — the VCSELs are mutually incoherent sources).
 pub fn superpose_powers(beams: &[Power]) -> Power {
-    beams
-        .iter()
-        .fold(Power::from_watts(0.0), |acc, &p| acc + p)
+    beams.iter().fold(Power::from_watts(0.0), |acc, &p| acc + p)
 }
 
 /// The decision a threshold receiver makes on an incident power level.
@@ -55,7 +53,8 @@ pub fn or_equivalence_holds(
 ) -> bool {
     // A single one must clear the threshold; all-zeros from every sender
     // must stay below it.
-    let single_one = one_level.as_watts() + (n_senders.saturating_sub(1)) as f64 * zero_level.as_watts();
+    let single_one =
+        one_level.as_watts() + (n_senders.saturating_sub(1)) as f64 * zero_level.as_watts();
     let all_zero = n_senders as f64 * zero_level.as_watts();
     single_one >= threshold.as_watts() && all_zero < threshold.as_watts()
 }

@@ -68,13 +68,17 @@ impl OpticalPath {
     /// transmission lies outside `(0, 1]`.
     pub fn push(&mut self, element: PathElement) -> Result<&mut Self, OpticsError> {
         match element {
-            PathElement::Mirror { reflectivity } if !(0.0..=1.0).contains(&reflectivity) || reflectivity == 0.0 => {
+            PathElement::Mirror { reflectivity }
+                if !(0.0..=1.0).contains(&reflectivity) || reflectivity == 0.0 =>
+            {
                 return Err(OpticsError::OutOfUnitRange {
                     what: "mirror reflectivity",
                     value: reflectivity,
                 })
             }
-            PathElement::LensSurface { transmission } if !(0.0..=1.0).contains(&transmission) || transmission == 0.0 => {
+            PathElement::LensSurface { transmission }
+                if !(0.0..=1.0).contains(&transmission) || transmission == 0.0 =>
+            {
                 return Err(OpticsError::OutOfUnitRange {
                     what: "lens transmission",
                     value: transmission,
@@ -98,11 +102,15 @@ impl OpticalPath {
             .expect("aperture is positive");
         for element in [
             PathElement::SubstrateAbsorption(Loss::from_db(0.05)),
-            PathElement::LensSurface { transmission: 0.995 },
+            PathElement::LensSurface {
+                transmission: 0.995,
+            },
             PathElement::Mirror { reflectivity: 0.98 },
             PathElement::FreeSpace(Length::from_millimeters(20.0)),
             PathElement::Mirror { reflectivity: 0.98 },
-            PathElement::LensSurface { transmission: 0.995 },
+            PathElement::LensSurface {
+                transmission: 0.995,
+            },
             PathElement::SubstrateAbsorption(Loss::from_db(0.05)),
         ] {
             // lint: allow(P1) every element above is a fixed in-range paper constant

@@ -397,6 +397,9 @@ mod tests {
     fn photon_energy_980nm() {
         let e = photon_energy(Length::from_nanometers(980.0));
         let ev = e / ELEMENTARY_CHARGE;
-        assert!((ev - 1.265).abs() < 0.01, "980 nm photon is ~1.265 eV, got {ev}");
+        assert!(
+            (ev - 1.265).abs() < 0.01,
+            "980 nm photon is ~1.265 eV, got {ev}"
+        );
     }
 }

@@ -320,9 +320,7 @@ mod tests {
     #[test]
     fn builder_validation() {
         assert!(matches!(
-            Vcsel::builder()
-                .bias(Current::from_milliamps(0.1))
-                .build(),
+            Vcsel::builder().bias(Current::from_milliamps(0.1)).build(),
             Err(OpticsError::NonPositive { .. })
         ));
         assert!(Vcsel::builder().extinction_ratio(0.9).build().is_err());

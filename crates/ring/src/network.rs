@@ -194,7 +194,9 @@ impl RingNetwork {
                 // contending writer, passing it on is cheap; a cold token
                 // must circulate half the loop on average.
                 let acquisition = match ch.last_release {
-                    Some(rel) if self.now.saturating_sub(rel) < self.cfg.ring_circulation_cycles => {
+                    Some(rel)
+                        if self.now.saturating_sub(rel) < self.cfg.ring_circulation_cycles =>
+                    {
                         self.cfg.token_pass_cycles
                     }
                     _ => self.cfg.idle_token_wait(),
@@ -299,7 +301,8 @@ mod tests {
     fn different_destinations_run_concurrently() {
         let mut net = RingNetwork::new(RingConfig::nodes(64));
         for src in 0..8usize {
-            net.inject(RingPacket::meta(src, src + 8, src as u64)).unwrap();
+            net.inject(RingPacket::meta(src, src + 8, src as u64))
+                .unwrap();
         }
         let out = run_until_idle(&mut net, 100);
         assert_eq!(out.len(), 8);

@@ -106,7 +106,11 @@ fn latency_floor() {
                     break;
                 }
             }
-            let ser = if data { cfg.data_serialization } else { cfg.meta_serialization };
+            let ser = if data {
+                cfg.data_serialization
+            } else {
+                cfg.meta_serialization
+            };
             let floor = cfg.idle_token_wait() + ser + cfg.ring_circulation_cycles / 2;
             assert_eq!(out[0].latency(), floor);
         },

@@ -55,7 +55,9 @@ impl<K: Ord, V> Default for DetMap<K, V> {
 impl<K: Ord, V> DetMap<K, V> {
     /// Creates an empty map.
     pub fn new() -> Self {
-        DetMap { inner: BTreeMap::new() }
+        DetMap {
+            inner: BTreeMap::new(),
+        }
     }
 
     /// Inserts `value` at `key`, returning the previous value if any.
@@ -160,7 +162,9 @@ impl<K: Ord, V> IntoIterator for DetMap<K, V> {
 
 impl<K: Ord, V> FromIterator<(K, V)> for DetMap<K, V> {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        DetMap { inner: BTreeMap::from_iter(iter) }
+        DetMap {
+            inner: BTreeMap::from_iter(iter),
+        }
     }
 }
 
@@ -179,7 +183,9 @@ impl<T: Ord> Default for DetSet<T> {
 impl<T: Ord> DetSet<T> {
     /// Creates an empty set.
     pub fn new() -> Self {
-        DetSet { inner: BTreeSet::new() }
+        DetSet {
+            inner: BTreeSet::new(),
+        }
     }
 
     /// Inserts `value`; returns true if it was not already present.
@@ -246,7 +252,9 @@ impl<T: Ord> IntoIterator for DetSet<T> {
 
 impl<T: Ord> FromIterator<T> for DetSet<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        DetSet { inner: BTreeSet::from_iter(iter) }
+        DetSet {
+            inner: BTreeSet::from_iter(iter),
+        }
     }
 }
 

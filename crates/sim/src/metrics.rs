@@ -95,7 +95,8 @@ impl Registry {
         s.push('{');
         for (i, (k, v)) in sorted.iter().enumerate() {
             debug_assert!(
-                !k.contains(['{', '}', '=', ',', '"', '\n']) && !v.contains(['{', '}', ',', '"', '\n']),
+                !k.contains(['{', '}', '=', ',', '"', '\n'])
+                    && !v.contains(['{', '}', ',', '"', '\n']),
                 "label {k}={v} contains reserved characters"
             );
             if i > 0 {
@@ -142,7 +143,8 @@ impl Registry {
 
     /// Sets the gauge to `value` (overwriting).
     pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
-        self.entries.insert(Self::key(name, labels), Metric::Gauge(value));
+        self.entries
+            .insert(Self::key(name, labels), Metric::Gauge(value));
     }
 
     /// Records one observation into the summary, creating it when absent.
@@ -171,7 +173,8 @@ impl Registry {
 
     /// Stores a histogram snapshot under the key (overwriting).
     pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: Histogram) {
-        self.entries.insert(Self::key(name, labels), Metric::Histogram(h));
+        self.entries
+            .insert(Self::key(name, labels), Metric::Histogram(h));
     }
 
     /// Reads a counter's value (0 when absent or of another type).
@@ -297,11 +300,22 @@ impl Registry {
                 (key.clone(), metric.type_name(), value)
             })
             .collect();
-        let key_w = rows.iter().map(|(k, _, _)| k.len()).max().unwrap_or(6).max(6);
+        let key_w = rows
+            .iter()
+            .map(|(k, _, _)| k.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
         let type_w = 9;
         let mut out = String::new();
         let _ = writeln!(out, "{:<key_w$}  {:<type_w$}  value", "metric", "type");
-        let _ = writeln!(out, "{}  {}  {}", "-".repeat(key_w), "-".repeat(type_w), "-".repeat(5));
+        let _ = writeln!(
+            out,
+            "{}  {}  {}",
+            "-".repeat(key_w),
+            "-".repeat(type_w),
+            "-".repeat(5)
+        );
         for (k, t, v) in rows {
             let _ = writeln!(out, "{k:<key_w$}  {t:<type_w$}  {v}");
         }

@@ -271,12 +271,23 @@ impl TraceRecord {
 
     /// Appends the JSON line for this record to `out`.
     pub fn write_jsonl(&self, out: &mut String) {
-        let _ = write!(out, "{{\"cycle\":{},\"event\":\"{}\"", self.cycle, self.event.name());
+        let _ = write!(
+            out,
+            "{{\"cycle\":{},\"event\":\"{}\"",
+            self.cycle,
+            self.event.name()
+        );
         let num = |out: &mut String, k: &str, v: u64| {
             let _ = write!(out, ",\"{k}\":{v}");
         };
         match &self.event {
-            TraceEvent::Inject { packet, src, dst, lane, tag } => {
+            TraceEvent::Inject {
+                packet,
+                src,
+                dst,
+                lane,
+                tag,
+            } => {
                 num(out, "packet", *packet);
                 num(out, "src", *src);
                 num(out, "dst", *dst);
@@ -288,7 +299,14 @@ impl TraceRecord {
                 num(out, "dst", *dst);
                 num(out, "lane", *lane);
             }
-            TraceEvent::TxStart { packet, src, dst, lane, attempt, slot } => {
+            TraceEvent::TxStart {
+                packet,
+                src,
+                dst,
+                lane,
+                attempt,
+                slot,
+            } => {
                 num(out, "packet", *packet);
                 num(out, "src", *src);
                 num(out, "dst", *dst);
@@ -296,7 +314,14 @@ impl TraceRecord {
                 num(out, "attempt", *attempt);
                 num(out, "slot", *slot);
             }
-            TraceEvent::Collide { packet, src, dst, lane, rx, group } => {
+            TraceEvent::Collide {
+                packet,
+                src,
+                dst,
+                lane,
+                rx,
+                group,
+            } => {
                 num(out, "packet", *packet);
                 num(out, "src", *src);
                 num(out, "dst", *dst);
@@ -304,13 +329,24 @@ impl TraceRecord {
                 num(out, "rx", *rx);
                 num(out, "group", *group);
             }
-            TraceEvent::BitError { packet, src, dst, lane } => {
+            TraceEvent::BitError {
+                packet,
+                src,
+                dst,
+                lane,
+            } => {
                 num(out, "packet", *packet);
                 num(out, "src", *src);
                 num(out, "dst", *dst);
                 num(out, "lane", *lane);
             }
-            TraceEvent::Backoff { packet, lane, retry, delay_slots, ready } => {
+            TraceEvent::Backoff {
+                packet,
+                lane,
+                retry,
+                delay_slots,
+                ready,
+            } => {
                 num(out, "packet", *packet);
                 num(out, "lane", *lane);
                 num(out, "retry", *retry);
@@ -348,7 +384,12 @@ impl TraceRecord {
                 out.push_str(",\"kind\":");
                 push_json_str(out, kind);
             }
-            TraceEvent::Dir { node, line, from, to } => {
+            TraceEvent::Dir {
+                node,
+                line,
+                from,
+                to,
+            } => {
                 num(out, "node", *node);
                 num(out, "line", *line);
                 out.push_str(",\"from\":");
@@ -393,7 +434,11 @@ impl TraceRecord {
                 lane: u("lane")?,
                 tag: u("tag")?,
             },
-            "reject" => TraceEvent::Reject { src: u("src")?, dst: u("dst")?, lane: u("lane")? },
+            "reject" => TraceEvent::Reject {
+                src: u("src")?,
+                dst: u("dst")?,
+                lane: u("lane")?,
+            },
             "tx_start" => TraceEvent::TxStart {
                 packet: u("packet")?,
                 src: u("src")?,
@@ -423,7 +468,10 @@ impl TraceRecord {
                 delay_slots: u("delay_slots")?,
                 ready: u("ready")?,
             },
-            "hint" => TraceEvent::Hint { dst: u("dst")?, winner: u("winner")? },
+            "hint" => TraceEvent::Hint {
+                dst: u("dst")?,
+                winner: u("winner")?,
+            },
             "deliver" => TraceEvent::Deliver {
                 packet: u("packet")?,
                 src: u("src")?,
@@ -435,14 +483,21 @@ impl TraceRecord {
                 resolution: u("resolution")?,
                 retries: u("retries")?,
             },
-            "confirm" => TraceEvent::Confirm { src: u("src")?, dst: u("dst")?, kind: s("kind")? },
+            "confirm" => TraceEvent::Confirm {
+                src: u("src")?,
+                dst: u("dst")?,
+                kind: s("kind")?,
+            },
             "dir" => TraceEvent::Dir {
                 node: u("node")?,
                 line: u("line")?,
                 from: s("from")?,
                 to: s("to")?,
             },
-            "mark" => TraceEvent::Mark { label: s("label")?, value: u("value")? },
+            "mark" => TraceEvent::Mark {
+                label: s("label")?,
+                value: u("value")?,
+            },
             _ => return None,
         };
         Some(TraceRecord { cycle, event })
@@ -554,7 +609,12 @@ pub struct FlightRecorder {
 impl FlightRecorder {
     /// Creates a recorder keeping the last `cap` records (minimum 1).
     pub fn with_capacity(cap: usize) -> Self {
-        FlightRecorder { cap: cap.max(1), buf: Vec::new(), head: 0, total: 0 }
+        FlightRecorder {
+            cap: cap.max(1),
+            buf: Vec::new(),
+            head: 0,
+            total: 0,
+        }
     }
 
     /// Creates a recorder sized by `FSOI_TRACE_BUF` (default
@@ -674,7 +734,12 @@ pub fn set_enabled(enabled: bool) {
 #[inline]
 pub fn emit(cycle: Cycle, event: TraceEvent) {
     if on() {
-        RECORDER.with(|r| r.borrow_mut().record(TraceRecord { cycle: cycle.as_u64(), event }));
+        RECORDER.with(|r| {
+            r.borrow_mut().record(TraceRecord {
+                cycle: cycle.as_u64(),
+                event,
+            })
+        });
     }
 }
 
@@ -684,7 +749,12 @@ pub fn emit(cycle: Cycle, event: TraceEvent) {
 #[inline]
 pub fn emit_with(cycle: Cycle, f: impl FnOnce() -> TraceEvent) {
     if on() {
-        RECORDER.with(|r| r.borrow_mut().record(TraceRecord { cycle: cycle.as_u64(), event: f() }));
+        RECORDER.with(|r| {
+            r.borrow_mut().record(TraceRecord {
+                cycle: cycle.as_u64(),
+                event: f(),
+            })
+        });
     }
 }
 
@@ -793,7 +863,10 @@ fn dump_for_panic() {
             path.display()
         ),
         Err(e) => {
-            eprintln!("flight recorder: cannot write {} ({e}); last {kept} events:", path.display());
+            eprintln!(
+                "flight recorder: cannot write {} ({e}); last {kept} events:",
+                path.display()
+            );
             eprint!("{dump}");
         }
     }
@@ -822,25 +895,59 @@ mod tests {
         vec![
             TraceRecord {
                 cycle: 3,
-                event: TraceEvent::Inject { packet: 7, src: 0, dst: 5, lane: 0, tag: 9 },
+                event: TraceEvent::Inject {
+                    packet: 7,
+                    src: 0,
+                    dst: 5,
+                    lane: 0,
+                    tag: 9,
+                },
             },
             TraceRecord {
                 cycle: 4,
-                event: TraceEvent::TxStart { packet: 7, src: 0, dst: 5, lane: 0, attempt: 0, slot: 2 },
+                event: TraceEvent::TxStart {
+                    packet: 7,
+                    src: 0,
+                    dst: 5,
+                    lane: 0,
+                    attempt: 0,
+                    slot: 2,
+                },
             },
             TraceRecord {
                 cycle: 6,
-                event: TraceEvent::Collide { packet: 7, src: 0, dst: 5, lane: 0, rx: 1, group: 2 },
+                event: TraceEvent::Collide {
+                    packet: 7,
+                    src: 0,
+                    dst: 5,
+                    lane: 0,
+                    rx: 1,
+                    group: 2,
+                },
             },
             TraceRecord {
                 cycle: 6,
-                event: TraceEvent::Backoff { packet: 7, lane: 0, retry: 1, delay_slots: 2, ready: 10 },
+                event: TraceEvent::Backoff {
+                    packet: 7,
+                    lane: 0,
+                    retry: 1,
+                    delay_slots: 2,
+                    ready: 10,
+                },
             },
             TraceRecord {
                 cycle: 8,
-                event: TraceEvent::BitError { packet: 7, src: 0, dst: 5, lane: 0 },
+                event: TraceEvent::BitError {
+                    packet: 7,
+                    src: 0,
+                    dst: 5,
+                    lane: 0,
+                },
             },
-            TraceRecord { cycle: 9, event: TraceEvent::Hint { dst: 5, winner: 0 } },
+            TraceRecord {
+                cycle: 9,
+                event: TraceEvent::Hint { dst: 5, winner: 0 },
+            },
             TraceRecord {
                 cycle: 14,
                 event: TraceEvent::Deliver {
@@ -857,14 +964,36 @@ mod tests {
             },
             TraceRecord {
                 cycle: 14,
-                event: TraceEvent::Confirm { src: 5, dst: 0, kind: "receipt".into() },
+                event: TraceEvent::Confirm {
+                    src: 5,
+                    dst: 0,
+                    kind: "receipt".into(),
+                },
             },
             TraceRecord {
                 cycle: 15,
-                event: TraceEvent::Dir { node: 2, line: 64, from: "DS".into(), to: "DM".into() },
+                event: TraceEvent::Dir {
+                    node: 2,
+                    line: 64,
+                    from: "DS".into(),
+                    to: "DM".into(),
+                },
             },
-            TraceRecord { cycle: 16, event: TraceEvent::Reject { src: 1, dst: 5, lane: 1 } },
-            TraceRecord { cycle: 17, event: TraceEvent::Mark { label: "drain".into(), value: 3 } },
+            TraceRecord {
+                cycle: 16,
+                event: TraceEvent::Reject {
+                    src: 1,
+                    dst: 5,
+                    lane: 1,
+                },
+            },
+            TraceRecord {
+                cycle: 17,
+                event: TraceEvent::Mark {
+                    label: "drain".into(),
+                    value: 3,
+                },
+            },
         ]
     }
 
@@ -872,8 +1001,8 @@ mod tests {
     fn jsonl_round_trips_every_variant() {
         for r in sample_records() {
             let line = r.to_jsonl();
-            let back = TraceRecord::parse_jsonl(&line)
-                .unwrap_or_else(|| panic!("unparseable: {line}"));
+            let back =
+                TraceRecord::parse_jsonl(&line).unwrap_or_else(|| panic!("unparseable: {line}"));
             assert_eq!(back, r, "round-trip mismatch for {line}");
         }
     }
@@ -900,7 +1029,10 @@ mod tests {
     fn string_escaping_round_trips() {
         let r = TraceRecord {
             cycle: 1,
-            event: TraceEvent::Mark { label: "a \"b\"\\\n\tc\u{1}".into(), value: 0 },
+            event: TraceEvent::Mark {
+                label: "a \"b\"\\\n\tc\u{1}".into(),
+                value: 0,
+            },
         };
         let line = r.to_jsonl();
         assert_eq!(TraceRecord::parse_jsonl(&line).unwrap(), r);
@@ -910,7 +1042,10 @@ mod tests {
     fn ring_keeps_last_n_in_order() {
         let mut fr = FlightRecorder::with_capacity(4);
         for i in 0..10u64 {
-            fr.record(TraceRecord { cycle: i, event: TraceEvent::Hint { dst: i, winner: 0 } });
+            fr.record(TraceRecord {
+                cycle: i,
+                event: TraceEvent::Hint { dst: i, winner: 0 },
+            });
         }
         assert_eq!(fr.len(), 4);
         assert_eq!(fr.total_recorded(), 10);
@@ -934,8 +1069,12 @@ mod tests {
             assert_eq!(records.len(), 1);
             assert_eq!(records[0].cycle, 5);
             // The captured event did not leak into the ambient recorder.
-            assert!(!snapshot().iter().any(|r| r.cycle == 5
-                && matches!(r.event, TraceEvent::Hint { dst: 1, winner: 2 })));
+            assert!(
+                !snapshot()
+                    .iter()
+                    .any(|r| r.cycle == 5
+                        && matches!(r.event, TraceEvent::Hint { dst: 1, winner: 2 }))
+            );
         } else {
             assert!(records.is_empty());
         }

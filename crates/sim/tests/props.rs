@@ -115,15 +115,19 @@ fn summary_merge_associates() {
 /// Uniform draws respect their bounds and cover residues.
 #[test]
 fn rng_bounds() {
-    checker!().check("rng_bounds", (0u64..u64::MAX, 1u64..1000), |(seed, bound)| {
-        let (seed, bound) = (*seed, *bound);
-        let mut r = Xoshiro256StarStar::new(seed);
-        for _ in 0..200 {
-            assert!(r.next_below(bound) < bound);
-            let v = r.range_inclusive(10, 10 + bound);
-            assert!((10..=10 + bound).contains(&v));
-        }
-    });
+    checker!().check(
+        "rng_bounds",
+        (0u64..u64::MAX, 1u64..1000),
+        |(seed, bound)| {
+            let (seed, bound) = (*seed, *bound);
+            let mut r = Xoshiro256StarStar::new(seed);
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+                let v = r.range_inclusive(10, 10 + bound);
+                assert!((10..=10 + bound).contains(&v));
+            }
+        },
+    );
 }
 
 /// Slot rounding lands on a boundary at or after the input.

@@ -48,7 +48,10 @@ fn main() {
         ("W=2.7 B=1.1 (paper optimum)", BackoffPolicy::PAPER_OPTIMUM),
         ("W=2.7 B=2.0 (binary)       ", BackoffPolicy::BINARY),
         ("W=8.0 B=1.1 (window too big)", BackoffPolicy::new(8.0, 1.1)),
-        ("W=1.0 B=1.1 (window too small)", BackoffPolicy::new(1.0, 1.1)),
+        (
+            "W=1.0 B=1.1 (window too small)",
+            BackoffPolicy::new(1.0, 1.1),
+        ),
     ] {
         let d = resolution_delay(policy, 0.01, 2, 2, 40_000, 3);
         println!("  {label} : {d:.2} cycles");

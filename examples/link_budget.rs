@@ -30,7 +30,10 @@ fn main() {
     // aperture clips it.
     let beam = link.beam();
     let w = beam.radius_at(Length::from_millimeters(20.0));
-    println!("\nbeam radius after 2 cm      : {:.1} µm", w.to_micrometers());
+    println!(
+        "\nbeam radius after 2 cm      : {:.1} µm",
+        w.to_micrometers()
+    );
     println!(
         "surface (mirror/lens) loss  : {:.2} dB",
         link.path().surface_loss().db()
@@ -57,11 +60,20 @@ fn main() {
     println!("\ndistance sweep (BER at each flight length)");
     for mm in [5.0, 10.0, 20.0, 30.0, 40.0, 60.0] {
         let mut path = OpticalPath::new(Length::from_micrometers(95.0)).expect("valid aperture");
-        path.push(PathElement::LensSurface { transmission: 0.995 }).unwrap();
-        path.push(PathElement::Mirror { reflectivity: 0.98 }).unwrap();
-        path.push(PathElement::FreeSpace(Length::from_millimeters(mm))).unwrap();
-        path.push(PathElement::Mirror { reflectivity: 0.98 }).unwrap();
-        path.push(PathElement::LensSurface { transmission: 0.995 }).unwrap();
+        path.push(PathElement::LensSurface {
+            transmission: 0.995,
+        })
+        .unwrap();
+        path.push(PathElement::Mirror { reflectivity: 0.98 })
+            .unwrap();
+        path.push(PathElement::FreeSpace(Length::from_millimeters(mm)))
+            .unwrap();
+        path.push(PathElement::Mirror { reflectivity: 0.98 })
+            .unwrap();
+        path.push(PathElement::LensSurface {
+            transmission: 0.995,
+        })
+        .unwrap();
         let link = OpticalLink::new(
             Vcsel::paper_default(),
             Photodetector::paper_default(),
@@ -79,7 +91,11 @@ fn main() {
             b.path_loss_db,
             b.q_factor,
             b.bit_error_rate,
-            if closes { "closes at 1e-5" } else { "DOES NOT CLOSE" }
+            if closes {
+                "closes at 1e-5"
+            } else {
+                "DOES NOT CLOSE"
+            }
         );
     }
 

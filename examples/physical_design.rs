@@ -23,7 +23,10 @@ fn main() {
         "  longest flight (diagonal)   : {:.1} ps",
         plan.max_flight_time_ps()
     );
-    println!("  chip-wide skew              : {:.1} ps", plan.max_skew_ps());
+    println!(
+        "  chip-wide skew              : {:.1} ps",
+        plan.max_skew_ps()
+    );
     println!(
         "  worst-case padding          : {} optical bits (paper: ~3 communication cycles)",
         max_padding_bits(&plan, 25.0)
@@ -41,7 +44,10 @@ fn main() {
         "  loop capacity               : {:.0} W",
         cooling.cooling_capacity().as_watts()
     );
-    for (label, watts) in [("FSOI system (121 W)", 121.0), ("mesh baseline (156 W)", 156.0)] {
+    for (label, watts) in [
+        ("FSOI system (121 W)", 121.0),
+        ("mesh baseline (156 W)", 156.0),
+    ] {
         let t = cooling.junction_temperature_c(Power::from_watts(watts));
         let margin = cooling.check(Power::from_watts(watts)).expect("fits");
         println!("  {label:<27}: junction {t:.0} °C, margin {margin:.0} W");
@@ -56,7 +62,10 @@ fn main() {
 
     // --- §7.1: the Corona-style comparison ------------------------------
     println!("\nFSOI vs Corona-style WDM token-ring crossbar (64 nodes, three apps)");
-    println!("  {:<6} {:>10} {:>10} {:>8}", "app", "fsoi cyc", "ring cyc", "ratio");
+    println!(
+        "  {:<6} {:>10} {:>10} {:>8}",
+        "app", "fsoi cyc", "ring cyc", "ratio"
+    );
     let mut ratios = Vec::new();
     for name in ["ba", "fft", "mp"] {
         let mut app = AppProfile::by_name(name).expect("known app");
@@ -71,6 +80,9 @@ fn main() {
         ratios.push(ratio);
         println!("  {name:<6} {fsoi:>10} {ring:>10} {ratio:>8.3}");
     }
-    let mean = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+    let mean = ratios
+        .iter()
+        .product::<f64>()
+        .powf(1.0 / ratios.len() as f64);
     println!("  geomean {mean:.2}  (paper: \"1.06 times faster than a corona-style design\")");
 }

@@ -59,8 +59,17 @@ fn main() {
 
     let s = net.stats();
     println!("\nnetwork statistics");
-    println!("  transmissions (meta/data) : {} / {}", s.transmissions[0], s.transmissions[1]);
-    println!("  collision events          : {}", s.collision_events[0] + s.collision_events[1]);
-    println!("  retransmissions           : {}", s.retransmissions[0] + s.retransmissions[1]);
+    println!(
+        "  transmissions (meta/data) : {} / {}",
+        s.transmissions[0], s.transmissions[1]
+    );
+    println!(
+        "  collision events          : {}",
+        s.collision_events[0] + s.collision_events[1]
+    );
+    println!(
+        "  retransmissions           : {}",
+        s.retransmissions[0] + s.retransmissions[1]
+    );
     println!("  confirmations beamed      : {}", net.confirmations_sent());
 }

@@ -21,22 +21,57 @@ fn lane_name(lane: u64) -> &'static str {
 /// timeline heading already carries it).
 fn describe(event: &TraceEvent) -> String {
     match event {
-        TraceEvent::Inject { src, dst, lane, tag, .. } => {
-            format!("inject    {} -> {} ({}, tag {tag})", src, dst, lane_name(*lane))
+        TraceEvent::Inject {
+            src,
+            dst,
+            lane,
+            tag,
+            ..
+        } => {
+            format!(
+                "inject    {} -> {} ({}, tag {tag})",
+                src,
+                dst,
+                lane_name(*lane)
+            )
         }
         TraceEvent::Reject { src, dst, lane } => {
-            format!("reject    {} -> {} ({}): source queue full", src, dst, lane_name(*lane))
+            format!(
+                "reject    {} -> {} ({}): source queue full",
+                src,
+                dst,
+                lane_name(*lane)
+            )
         }
-        TraceEvent::TxStart { attempt, slot, lane, .. } => {
-            format!("tx_start  attempt {attempt}, {} slot {slot}", lane_name(*lane))
+        TraceEvent::TxStart {
+            attempt,
+            slot,
+            lane,
+            ..
+        } => {
+            format!(
+                "tx_start  attempt {attempt}, {} slot {slot}",
+                lane_name(*lane)
+            )
         }
-        TraceEvent::Collide { rx, group, lane, .. } => {
-            format!("collide   at rx {rx} ({}), {group} packets in group", lane_name(*lane))
+        TraceEvent::Collide {
+            rx, group, lane, ..
+        } => {
+            format!(
+                "collide   at rx {rx} ({}), {group} packets in group",
+                lane_name(*lane)
+            )
         }
         TraceEvent::BitError { lane, .. } => {
             format!("bit_error dropped in flight ({})", lane_name(*lane))
         }
-        TraceEvent::Backoff { retry, delay_slots, ready, lane, .. } => {
+        TraceEvent::Backoff {
+            retry,
+            delay_slots,
+            ready,
+            lane,
+            ..
+        } => {
             format!(
                 "backoff   retry {retry}, {delay_slots} {} slot(s) -> ready @{ready}",
                 lane_name(*lane)
@@ -45,7 +80,15 @@ fn describe(event: &TraceEvent) -> String {
         TraceEvent::Hint { dst, winner } => {
             format!("hint      receiver {dst} names winner {winner}")
         }
-        TraceEvent::Deliver { queuing, scheduling, network, resolution, retries, lane, .. } => {
+        TraceEvent::Deliver {
+            queuing,
+            scheduling,
+            network,
+            resolution,
+            retries,
+            lane,
+            ..
+        } => {
             format!(
                 "deliver   after {retries} retries ({}; latency: queue {queuing} + sched {scheduling} + net {network} + resolve {resolution})",
                 lane_name(*lane)
@@ -54,7 +97,12 @@ fn describe(event: &TraceEvent) -> String {
         TraceEvent::Confirm { src, dst, kind } => {
             format!("confirm   {src} -> {dst} ({kind})")
         }
-        TraceEvent::Dir { node, line, from, to } => {
+        TraceEvent::Dir {
+            node,
+            line,
+            from,
+            to,
+        } => {
             format!("dir       node {node} line {line:#x}: {from} -> {to}")
         }
         TraceEvent::Mark { label, value } => format!("mark      {label} = {value}"),
@@ -107,7 +155,11 @@ fn main() {
         "replay of {path}: {} events over cycles {first}..{last}, {} packets{}",
         records.len(),
         by_packet.len(),
-        if skipped > 0 { format!(" ({skipped} unparseable lines skipped)") } else { String::new() },
+        if skipped > 0 {
+            format!(" ({skipped} unparseable lines skipped)")
+        } else {
+            String::new()
+        },
     );
 
     println!("\nper-packet timelines:");
@@ -154,11 +206,22 @@ fn main() {
     println!("\nper-lane statistics:");
     println!(
         "  {:<5} {:>9} {:>10} {:>10} {:>8} {:>9} {:>12} {:>15}",
-        "lane", "tx_starts", "collisions", "bit_errs", "backoffs", "delivered", "mean_retries", "mean_backoff"
+        "lane",
+        "tx_starts",
+        "collisions",
+        "bit_errs",
+        "backoffs",
+        "delivered",
+        "mean_retries",
+        "mean_backoff"
     );
     for (i, s) in lanes.iter().enumerate() {
         let mean = |num: u64, den: u64| {
-            if den == 0 { 0.0 } else { num as f64 / den as f64 }
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
         };
         println!(
             "  {:<5} {:>9} {:>10} {:>10} {:>8} {:>9} {:>12.2} {:>12.2} sl",

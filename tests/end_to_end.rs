@@ -18,7 +18,11 @@ fn small(name: &str, ops: u64) -> AppProfile {
 fn performance_ordering_holds_per_paper() {
     // Figure 6's structure: L0 ≥ FSOI > Lr1 > Lr2, all faster than mesh.
     let app = small("oc", 800);
-    let cycles = |kind| CmpSystem::new(SystemConfig::paper_16(kind), app).run(MAX).cycles;
+    let cycles = |kind| {
+        CmpSystem::new(SystemConfig::paper_16(kind), app)
+            .run(MAX)
+            .cycles
+    };
     let mesh = cycles(NetworkKind::mesh(16));
     let fsoi = cycles(NetworkKind::fsoi(16));
     let l0 = cycles(NetworkKind::L0);
@@ -33,9 +37,7 @@ fn performance_ordering_holds_per_paper() {
 #[test]
 fn fsoi_packet_latency_is_single_digit_and_mesh_is_not() {
     let app = small("ba", 800);
-    let run = |kind| {
-        CmpSystem::new(SystemConfig::paper_16(kind), app).run(MAX)
-    };
+    let run = |kind| CmpSystem::new(SystemConfig::paper_16(kind), app).run(MAX);
     let fsoi = run(NetworkKind::fsoi(16));
     let mesh = run(NetworkKind::mesh(16));
     assert!(
@@ -121,26 +123,22 @@ fn data_lane_optimizations_cut_collision_cost() {
     // §5.2 ablation: hints + request spacing reduce the data collision
     // rate or its resolution cost.
     let app = small("mp", 900);
-    let with = CmpSystem::new(
-        SystemConfig::paper_16(NetworkKind::fsoi(16)),
-        app,
-    )
-    .run(MAX);
+    let with = CmpSystem::new(SystemConfig::paper_16(NetworkKind::fsoi(16)), app).run(MAX);
     let plain = fsoi::net::config::FsoiConfig::nodes(16)
         .with_hints(false)
         .with_request_spacing(false);
-    let without = CmpSystem::new(
-        SystemConfig::paper_16(NetworkKind::Fsoi(plain)),
-        app,
-    )
-    .run(MAX);
+    let without = CmpSystem::new(SystemConfig::paper_16(NetworkKind::Fsoi(plain)), app).run(MAX);
     let cost_with = with.data_collision_rate * with.data_resolution_delay.max(1.0);
     let cost_without = without.data_collision_rate * without.data_resolution_delay.max(1.0);
     assert!(
         cost_with < cost_without,
         "collision cost must drop: {cost_with:.3} vs {cost_without:.3}"
     );
-    assert!(with.hint_accuracy > 0.8, "paper: 94%; got {}", with.hint_accuracy);
+    assert!(
+        with.hint_accuracy > 0.8,
+        "paper: 94%; got {}",
+        with.hint_accuracy
+    );
 }
 
 #[test]

@@ -20,11 +20,19 @@ fn failing_assertion_dumps_a_replayable_flight_record() {
     // when the failure fires.
     let mut net = FsoiNetwork::new(FsoiConfig::nodes(8), 7);
     for i in 0..6usize {
-        net.inject(Packet::new(NodeId(i), NodeId((i + 1) % 8), PacketClass::Meta, i as u64))
-            .expect("queues start empty");
+        net.inject(Packet::new(
+            NodeId(i),
+            NodeId((i + 1) % 8),
+            PacketClass::Meta,
+            i as u64,
+        ))
+        .expect("queues start empty");
     }
     net.run(2_000);
-    assert!(net.delivered_count() > 0, "traffic must flow before the failure");
+    assert!(
+        net.delivered_count() > 0,
+        "traffic must flow before the failure"
+    );
 
     let dump = trace::panic_dump_path();
     let _ = std::fs::remove_file(&dump);
@@ -45,10 +53,16 @@ fn failing_assertion_dumps_a_replayable_flight_record() {
     assert!(records.iter().any(|r| r.event.name() == "inject"));
     assert!(records.iter().any(|r| r.event.name() == "deliver"));
     let by_packet = timelines(&records);
-    assert!(!by_packet.is_empty(), "dump replays into per-packet timelines");
+    assert!(
+        !by_packet.is_empty(),
+        "dump replays into per-packet timelines"
+    );
 
     // Dumping clears the recorder, so a later unrelated panic cannot
     // re-report stale events.
-    assert!(trace::snapshot().is_empty(), "recorder cleared after the dump");
+    assert!(
+        trace::snapshot().is_empty(),
+        "recorder cleared after the dump"
+    );
     let _ = std::fs::remove_file(&dump);
 }

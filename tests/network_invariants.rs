@@ -34,9 +34,18 @@ fn drive_fsoi(script: &[(u8, u8, u8, bool)], seed: u64) -> Vec<(usize, usize, u6
             }
             wait = 0;
             let dst = (src as usize + off as usize) % 16;
-            let class = if data { PacketClass::Data } else { PacketClass::Meta };
+            let class = if data {
+                PacketClass::Data
+            } else {
+                PacketClass::Meta
+            };
             if net
-                .inject(Packet::new(NodeId(src as usize), NodeId(dst), class, injected))
+                .inject(Packet::new(
+                    NodeId(src as usize),
+                    NodeId(dst),
+                    class,
+                    injected,
+                ))
                 .is_ok()
             {
                 injected += 1;
@@ -99,36 +108,38 @@ fn fsoi_is_deterministic() {
 /// The mesh conserves packets too.
 #[test]
 fn mesh_conserves_packets() {
-    checker!().cases(48).check("mesh_conserves_packets", traffic_gen(80), |script| {
-        let mut net = MeshNetwork::new(MeshConfig::nodes(16));
-        let mut injected = 0u64;
-        for &(_, src, off, data) in script {
-            let src = src as usize;
-            let dst = (src + off as usize) % 16;
-            let pkt = if data {
-                MeshPacket::data(src, dst, injected)
-            } else {
-                MeshPacket::meta(src, dst, injected)
-            };
-            if net.inject(pkt).is_ok() {
-                injected += 1;
+    checker!()
+        .cases(48)
+        .check("mesh_conserves_packets", traffic_gen(80), |script| {
+            let mut net = MeshNetwork::new(MeshConfig::nodes(16));
+            let mut injected = 0u64;
+            for &(_, src, off, data) in script {
+                let src = src as usize;
+                let dst = (src + off as usize) % 16;
+                let pkt = if data {
+                    MeshPacket::data(src, dst, injected)
+                } else {
+                    MeshPacket::meta(src, dst, injected)
+                };
+                if net.inject(pkt).is_ok() {
+                    injected += 1;
+                }
+                net.tick();
             }
-            net.tick();
-        }
-        let mut delivered = net.drain_delivered();
-        for _ in 0..100_000 {
-            net.tick();
-            delivered.extend(net.drain_delivered());
-            if net.is_idle() {
-                break;
+            let mut delivered = net.drain_delivered();
+            for _ in 0..100_000 {
+                net.tick();
+                delivered.extend(net.drain_delivered());
+                if net.is_idle() {
+                    break;
+                }
             }
-        }
-        assert!(net.is_idle(), "mesh must drain");
-        assert_eq!(delivered.len() as u64, injected);
-        let mut tags: Vec<u64> = delivered.iter().map(|d| d.packet.tag).collect();
-        tags.sort_unstable();
-        assert_eq!(tags, (0..injected).collect::<Vec<_>>());
-    });
+            assert!(net.is_idle(), "mesh must drain");
+            assert_eq!(delivered.len() as u64, injected);
+            let mut tags: Vec<u64> = delivered.iter().map(|d| d.packet.tag).collect();
+            tags.sort_unstable();
+            assert_eq!(tags, (0..injected).collect::<Vec<_>>());
+        });
 }
 
 /// Traffic with all-distinct destinations and one sender per receiver
@@ -140,7 +151,11 @@ fn partitioned_traffic_is_collision_free() {
         (any_bool(), 0u64..100),
         |&(data, seed)| {
             let mut net = FsoiNetwork::new(FsoiConfig::nodes(16), seed);
-            let class = if data { PacketClass::Data } else { PacketClass::Meta };
+            let class = if data {
+                PacketClass::Data
+            } else {
+                PacketClass::Meta
+            };
             for src in 0..8usize {
                 net.inject(Packet::new(NodeId(src), NodeId(src + 8), class, src as u64))
                     .unwrap();

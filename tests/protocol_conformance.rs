@@ -35,7 +35,9 @@ impl Cluster {
                     l1
                 })
                 .collect(),
-            dirs: (0..NODES).map(|i| Directory::new(i, MEM_NODE, 64)).collect(),
+            dirs: (0..NODES)
+                .map(|i| Directory::new(i, MEM_NODE, 64))
+                .collect(),
             wire: VecDeque::new(),
             completions: 0,
         }
@@ -74,7 +76,8 @@ impl Cluster {
                 // Perfect memory: read requests complete immediately.
                 if let CoherenceMsg::MemReq { line, write: false } = msg {
                     let home = (line.0 / 32 % NODES as u64) as usize;
-                    self.wire.push_back((MEM_NODE, home, CoherenceMsg::MemAck { line }));
+                    self.wire
+                        .push_back((MEM_NODE, home, CoherenceMsg::MemAck { line }));
                 }
                 continue;
             }
@@ -111,10 +114,7 @@ impl Cluster {
             let writers = states.iter().filter(|s| s.can_write()).count();
             assert!(writers <= 1, "{line}: two writable copies: {states:?}");
             if writers == 1 {
-                let readers = states
-                    .iter()
-                    .filter(|s| **s == L1State::S)
-                    .count();
+                let readers = states.iter().filter(|s| **s == L1State::S).count();
                 assert_eq!(readers, 0, "{line}: S beside M/E: {states:?}");
             }
             // Directory agreement at quiescence.
@@ -276,7 +276,15 @@ fn upgrade_vs_evict_shrink_regression() {
     cluster.check_invariants();
     // The upgrade won: node 1 owns the line; the shared copy at node 2
     // was invalidated; the mid-upgrade evict did not strand the MSHR.
-    assert_eq!(cluster.l1s[1].state_of(line), L1State::M, "upgrade completes to M");
-    assert_eq!(cluster.l1s[2].state_of(line), L1State::I, "old sharer invalidated");
+    assert_eq!(
+        cluster.l1s[1].state_of(line),
+        L1State::M,
+        "upgrade completes to M"
+    );
+    assert_eq!(
+        cluster.l1s[2].state_of(line),
+        L1State::I,
+        "old sharer invalidated"
+    );
     assert_eq!(cluster.completions, 3, "two fills + one write grant");
 }
