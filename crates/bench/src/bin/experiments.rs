@@ -5,7 +5,7 @@
 //!
 //! cmd: table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10 |
 //!      fig11 | table4 | bm | opts | corona | l1 | ber | receivers |
-//!      seeds | snapshot | all
+//!      seeds | snapshot | bench | all
 //! ```
 //!
 //! `--full` uses larger workloads (closer statistics, slower).
@@ -13,8 +13,15 @@
 //! `snapshot` dumps the metric registry (table + JSONL) for the Figure 6
 //! 16-node runs — the single code path behind every exported number. Two
 //! same-seed invocations emit byte-identical output.
+//!
+//! `bench [--out PATH] [--threads 1,2,8]` runs the sweep benchmark:
+//! wall time, cells/sec and thread scaling over the default Figure 6
+//! sweep, written as schema-versioned JSON (default `BENCH_sweep.json`)
+//! for `scripts/bench_gate.sh` to compare against the committed baseline.
+//! Sweeps parallelize across (app, network, seed) cells; `FSOI_THREADS`
+//! caps the worker count without changing any output byte.
 
-use fsoi_bench::runner::{network_by_name, run_app, sweep_apps, SweepOptions};
+use fsoi_bench::runner::{network_by_name, run_app, run_cells, sweep_apps, CellSpec, SweepOptions};
 use fsoi_cmp::workload::AppProfile;
 use fsoi_net::analysis::backoff as ab;
 use fsoi_net::analysis::bandwidth::BandwidthAllocationModel;
@@ -48,6 +55,7 @@ fn main() {
         "receivers" => receivers(scale),
         "seeds" => seed_stability(scale),
         "snapshot" => snapshot(scale),
+        "bench" => bench(&args[1..]),
         "all" => {
             table1();
             fig3();
@@ -385,16 +393,22 @@ fn fig9(scale: u64) {
     let mut meta_without = 0.0;
     let mut pk_with = 0u64;
     let mut pk_without = 0u64;
-    for app in AppProfile::suite() {
-        let with = run_app(app, network_by_name("fsoi", 16), opts);
-        let without = run_app(
-            app,
-            network_by_name("fsoi", 16),
-            SweepOptions {
-                optimizations: false,
-                ..opts
-            },
-        );
+    let baseline = SweepOptions {
+        optimizations: false,
+        ..opts
+    };
+    let cells: Vec<CellSpec> = AppProfile::suite()
+        .into_iter()
+        .flat_map(|app| {
+            [
+                CellSpec::new(app, "fsoi", opts),
+                CellSpec::new(app, "fsoi", baseline),
+            ]
+        })
+        .collect();
+    let reports = run_cells(&cells);
+    for (app, pair) in AppProfile::suite().into_iter().zip(reports.chunks(2)) {
+        let (with, without) = (&pair[0], &pair[1]);
         meta_with += with.meta_collision_rate;
         meta_without += without.meta_collision_rate;
         pk_with += with.packets_sent[0] + with.packets_sent[1];
@@ -433,13 +447,26 @@ fn fig10(scale: u64) {
     );
     let mut with_rates = Vec::new();
     let mut without_rates = Vec::new();
-    for app in AppProfile::suite() {
-        let with = run_app(app, network_by_name("fsoi", 16), opts);
-        // Disable hints + spacing (network-level §5.2 knobs).
-        let cfg = fsoi_net::config::FsoiConfig::nodes(16)
-            .with_hints(false)
-            .with_request_spacing(false);
-        let without = run_app(app, fsoi_cmp::configs::NetworkKind::Fsoi(cfg), opts);
+    // Disable hints + spacing (network-level §5.2 knobs).
+    let stripped = fsoi_net::config::FsoiConfig::nodes(16)
+        .with_hints(false)
+        .with_request_spacing(false);
+    let cells: Vec<CellSpec> = AppProfile::suite()
+        .into_iter()
+        .flat_map(|app| {
+            [
+                CellSpec::new(app, "fsoi", opts),
+                CellSpec {
+                    app,
+                    network: fsoi_cmp::configs::NetworkKind::Fsoi(stripped.clone()),
+                    opts,
+                },
+            ]
+        })
+        .collect();
+    let reports = run_cells(&cells);
+    for (app, pair) in AppProfile::suite().into_iter().zip(reports.chunks(2)) {
+        let (with, without) = (&pair[0], &pair[1]);
         let total: u64 = with.collided_by_kind.iter().take(3).sum();
         let pct = |x: u64| {
             if total == 0 {
@@ -550,17 +577,30 @@ fn table4(scale: u64) {
             "  {:<24} {:>10} {:>10}",
             "speedup over mesh", "8.8 GB/s", "52.8 GB/s"
         );
-        for net in ["fsoi", "L0", "Lr1", "Lr2"] {
-            let mut cols = Vec::new();
-            for bw in [8.8, 52.8] {
-                let mut o = opts;
-                o.mem_gb_per_s = bw;
-                let mut speeds = Vec::new();
+        // One flat cell list per node count: bw-major, then network, then
+        // app — the mesh baseline is simulated once per bandwidth point.
+        let nets = ["mesh", "fsoi", "L0", "Lr1", "Lr2"];
+        let napps = AppProfile::suite().len();
+        let mut cells = Vec::new();
+        for bw in [8.8, 52.8] {
+            let mut o = opts;
+            o.mem_gb_per_s = bw;
+            for net in nets {
                 for app in AppProfile::suite() {
-                    let base = run_app(app, network_by_name("mesh", nodes), o).cycles;
-                    let c = run_app(app, network_by_name(net, nodes), o).cycles;
-                    speeds.push(base as f64 / c as f64);
+                    cells.push(CellSpec::new(app, net, o));
                 }
+            }
+        }
+        let reports = run_cells(&cells);
+        let cycles = |bw_i: usize, net_i: usize, app_i: usize| {
+            reports[bw_i * nets.len() * napps + net_i * napps + app_i].cycles
+        };
+        for (net_i, net) in nets.iter().enumerate().skip(1) {
+            let mut cols = Vec::new();
+            for bw_i in 0..2 {
+                let speeds: Vec<f64> = (0..napps)
+                    .map(|a| cycles(bw_i, 0, a) as f64 / cycles(bw_i, net_i, a) as f64)
+                    .collect();
                 cols.push(geometric_mean(&speeds).unwrap_or(0.0));
             }
             println!("  {:<24} {:>10.2} {:>10.2}", net, cols[0], cols[1]);
@@ -648,9 +688,22 @@ fn corona(scale: u64) {
         "  {:<6} {:>10} {:>10} {:>8} {:>10} {:>10}",
         "app", "fsoi cyc", "ring cyc", "ratio", "fsoi lat", "ring lat"
     );
-    for app in AppProfile::suite() {
-        let f = run_app(app, network_by_name("fsoi", 64), opts);
-        let r = run_app(app, fsoi_cmp::configs::NetworkKind::ring(64), opts);
+    let cells: Vec<CellSpec> = AppProfile::suite()
+        .into_iter()
+        .flat_map(|app| {
+            [
+                CellSpec::new(app, "fsoi", opts),
+                CellSpec {
+                    app,
+                    network: fsoi_cmp::configs::NetworkKind::ring(64),
+                    opts,
+                },
+            ]
+        })
+        .collect();
+    let reports = run_cells(&cells);
+    for (app, pair) in AppProfile::suite().into_iter().zip(reports.chunks(2)) {
+        let (f, r) = (&pair[0], &pair[1]);
         let ratio = r.cycles as f64 / f.cycles as f64;
         speeds.push(ratio);
         println!(
@@ -763,19 +816,27 @@ fn receivers(scale: u64) {
         "  {:>3} {:>12} {:>12} {:>12}",
         "R", "cycles (sum)", "meta coll%", "data coll%"
     );
-    let mut prev_cycles = 0u64;
+    // R-major cell list: every (R, app) pair is an independent cell.
+    let mut cells = Vec::new();
     for r in 1..=4usize {
         let mut lanes = fsoi_net::lane::Lanes::paper_default();
         lanes.meta.receivers = r;
         lanes.data.receivers = r;
         let cfg = fsoi_net::config::FsoiConfig::nodes(16).with_lanes(lanes);
-        let (mut cyc, mut mc, mut dc) = (0u64, 0.0, 0.0);
         for name in apps {
-            let rep = run_app(
-                AppProfile::by_name(name).unwrap(),
-                fsoi_cmp::configs::NetworkKind::Fsoi(cfg.clone()),
-                o,
-            );
+            cells.push(CellSpec {
+                app: AppProfile::by_name(name).unwrap(),
+                network: fsoi_cmp::configs::NetworkKind::Fsoi(cfg.clone()),
+                opts: o,
+            });
+        }
+    }
+    let reports = run_cells(&cells);
+    let mut prev_cycles = 0u64;
+    for (ri, row) in reports.chunks(apps.len()).enumerate() {
+        let r = ri + 1;
+        let (mut cyc, mut mc, mut dc) = (0u64, 0.0, 0.0);
+        for rep in row {
             cyc += rep.cycles;
             mc += rep.meta_collision_rate;
             dc += rep.data_collision_rate;
@@ -821,6 +882,90 @@ fn snapshot(scale: u64) {
     print!("{}", reg.to_jsonl());
 }
 
+// ------------------------------------------------------------------ bench
+
+/// Runs the sweep benchmark and writes the schema-versioned JSON report
+/// (see `fsoi_bench::sweepbench`). Exits nonzero if any parallel run's
+/// merged export differed from the serial fold.
+fn bench(args: &[String]) {
+    header("bench: default-sweep wall time, throughput and thread scaling");
+    let mut out_path = String::from("BENCH_sweep.json");
+    let mut threads: Vec<usize> = vec![1, 2, 8];
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("bench: --out needs a path");
+                        std::process::exit(2);
+                    })
+                    .clone();
+                i += 2;
+            }
+            "--threads" => {
+                let list = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("bench: --threads needs a comma list, e.g. 1,2,8");
+                    std::process::exit(2);
+                });
+                threads = list
+                    .split(',')
+                    .map(|t| {
+                        t.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bench: bad thread count {t:?}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--full" => i += 1,
+            other => {
+                eprintln!("bench: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if threads.first() != Some(&1) {
+        threads.insert(0, 1); // speedups are relative to the serial run
+    }
+    let opts = SweepOptions::quick_16();
+    let networks = ["mesh", "fsoi", "L0", "Lr1", "Lr2"];
+    println!(
+        "  sweep: {} apps x {} networks = {} cells (ops/core {}, seed {})",
+        AppProfile::suite().len(),
+        networks.len(),
+        AppProfile::suite().len() * networks.len(),
+        opts.ops_per_core,
+        opts.seed
+    );
+    let report = fsoi_bench::sweepbench::run(opts, &networks, &threads);
+    println!(
+        "  {:>7} {:>12} {:>12} {:>8}",
+        "threads", "wall ms", "cells/sec", "speedup"
+    );
+    for p in &report.scaling {
+        println!(
+            "  {:>7} {:>12.1} {:>12.2} {:>8.2}",
+            p.threads, p.wall_ms, p.cells_per_sec, p.speedup
+        );
+    }
+    println!(
+        "  phases: build {:.2} ms, merge {:.2} ms; byte-identical: {}",
+        report.build_ms, report.merge_ms, report.byte_identical
+    );
+    if let Err(e) = std::fs::write(&out_path, report.render_json()) {
+        eprintln!("bench: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("  wrote {out_path}");
+    if !report.byte_identical {
+        eprintln!("bench: FAIL — parallel merged export diverged from the serial fold");
+        std::process::exit(1);
+    }
+}
+
 // ------------------------------------------------------------------ seeds
 
 /// Robustness check: the Figure 6 headline (FSOI speedup geomean) across
@@ -830,16 +975,26 @@ fn seed_stability(scale: u64) {
     header("seed stability: Figure 6 FSOI speedup geomean across seeds");
     let mut o = SweepOptions::quick_16();
     o.ops_per_core *= scale;
-    let mut gmeans = Vec::new();
-    for seed in [2010u64, 7, 42, 1234, 99999] {
-        let mut speeds = Vec::new();
+    let seeds = [2010u64, 7, 42, 1234, 99999];
+    // Seed-major cell list, [mesh, fsoi] interleaved per app.
+    let mut cells = Vec::new();
+    for seed in seeds {
+        let mut os = o;
+        os.seed = seed;
         for app in AppProfile::suite() {
-            let mut os = o;
-            os.seed = seed;
-            let mesh = run_app(app, network_by_name("mesh", 16), os).cycles;
-            let fsoi = run_app(app, network_by_name("fsoi", 16), os).cycles;
-            speeds.push(mesh as f64 / fsoi as f64);
+            cells.push(CellSpec::new(app, "mesh", os));
+            cells.push(CellSpec::new(app, "fsoi", os));
         }
+    }
+    let reports = run_cells(&cells);
+    let napps = AppProfile::suite().len();
+    let mut gmeans = Vec::new();
+    for (si, seed) in seeds.iter().enumerate() {
+        let row = &reports[si * 2 * napps..(si + 1) * 2 * napps];
+        let speeds: Vec<f64> = row
+            .chunks(2)
+            .map(|pair| pair[0].cycles as f64 / pair[1].cycles as f64)
+            .collect();
         let g = geometric_mean(&speeds).unwrap_or(0.0);
         println!("  seed {seed:>6}: gmean {g:.3}");
         gmeans.push(g);

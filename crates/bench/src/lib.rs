@@ -12,5 +12,6 @@
 
 pub mod microbench;
 pub mod runner;
+pub mod sweepbench;
 
-pub use runner::{run_app, sweep_apps, AppResult, SweepOptions};
+pub use runner::{run_app, sweep_apps, AppResult, CellSpec, SweepOptions};

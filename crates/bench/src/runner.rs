@@ -1,10 +1,18 @@
 //! Shared run helpers: execute an application on a network configuration
 //! and collect the paper's metrics.
+//!
+//! All sweeps express their work as a flat list of [`CellSpec`]s — one
+//! isolated (app, network, options) simulation each — and execute it
+//! through `fsoi_cmp::batch` on the deterministic parallel executor
+//! (`fsoi_sim::par`). Results come back indexed by cell, so every
+//! experiment's output is byte-identical to a serial run regardless of
+//! `FSOI_THREADS`.
 
+use fsoi_cmp::batch::{self, BatchCell};
 use fsoi_cmp::configs::{NetworkKind, SystemConfig};
 use fsoi_cmp::metrics::RunReport;
-use fsoi_cmp::system::CmpSystem;
 use fsoi_cmp::workload::AppProfile;
+use fsoi_sim::par;
 
 /// Safety bound on run length.
 pub const MAX_CYCLES: u64 = 50_000_000;
@@ -68,31 +76,105 @@ pub fn network_by_name(name: &str, nodes: usize) -> NetworkKind {
     }
 }
 
-/// Runs one application on one network.
-pub fn run_app(app: AppProfile, network: NetworkKind, opts: SweepOptions) -> RunReport {
-    let mut app = app;
-    app.ops_per_core = opts.ops_per_core;
-    let cfg = match opts.nodes {
+/// The system configuration for one sweep cell. Every code path —
+/// serial or parallel — builds configs through this single function, so
+/// a parallel cell can never drift from what the serial loop ran.
+pub fn cell_config(network: NetworkKind, opts: SweepOptions) -> SystemConfig {
+    match opts.nodes {
         16 => SystemConfig::paper_16(network),
         64 => SystemConfig::paper_64(network),
         n => panic!("unsupported node count {n}"),
     }
     .with_mem_bandwidth(opts.mem_gb_per_s)
     .with_optimizations(opts.optimizations)
-    .with_seed(opts.seed);
-    CmpSystem::new(cfg, app).run(MAX_CYCLES)
+    .with_seed(opts.seed)
 }
 
-/// Runs the full application suite over the named networks.
-pub fn sweep_apps(networks: &[&str], opts: SweepOptions) -> Vec<AppResult> {
+/// One sweep cell: an application on a network under sweep options.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// The application profile (its `ops_per_core` is taken from `opts`).
+    pub app: AppProfile,
+    /// The interconnect under test.
+    pub network: NetworkKind,
+    /// Shared sweep options (node count, seed, bandwidth, opts).
+    pub opts: SweepOptions,
+}
+
+impl CellSpec {
+    /// Builds a cell for a named network.
+    pub fn new(app: AppProfile, network_name: &str, opts: SweepOptions) -> Self {
+        CellSpec {
+            app,
+            network: network_by_name(network_name, opts.nodes),
+            opts,
+        }
+    }
+
+    /// Lowers to the isolated batch cell this spec describes.
+    pub fn to_batch_cell(&self) -> BatchCell {
+        let mut app = self.app;
+        app.ops_per_core = self.opts.ops_per_core;
+        BatchCell::new(cell_config(self.network.clone(), self.opts), app)
+    }
+}
+
+/// Runs cells on `threads` worker threads; reports come back in cell
+/// order, byte-identical to a serial run for any thread count.
+pub fn run_cells_threads(cells: &[CellSpec], threads: usize) -> Vec<RunReport> {
+    let batch: Vec<BatchCell> = cells.iter().map(CellSpec::to_batch_cell).collect();
+    batch::run_batch(&batch, threads, MAX_CYCLES)
+}
+
+/// [`run_cells_threads`] with the default thread count (`FSOI_THREADS`
+/// knob, else available parallelism).
+pub fn run_cells(cells: &[CellSpec]) -> Vec<RunReport> {
+    run_cells_threads(cells, par::thread_count())
+}
+
+/// Runs one application on one network (a single serial cell).
+pub fn run_app(app: AppProfile, network: NetworkKind, opts: SweepOptions) -> RunReport {
+    let mut app = app;
+    app.ops_per_core = opts.ops_per_core;
+    BatchCell::new(cell_config(network, opts), app).run(MAX_CYCLES)
+}
+
+/// The full application suite × the named networks as a flat cell list,
+/// ordered app-major (all of app 0's networks, then app 1's, …).
+pub fn suite_cells(networks: &[&str], opts: SweepOptions) -> Vec<CellSpec> {
     AppProfile::suite()
         .into_iter()
-        .map(|app| AppResult {
-            app: app.name.to_string(),
-            reports: networks
+        .flat_map(|app| {
+            networks
                 .iter()
-                .map(|n| run_app(app, network_by_name(n, opts.nodes), opts))
-                .collect(),
+                .map(move |n| CellSpec::new(app, n, opts))
+                .collect::<Vec<_>>()
         })
         .collect()
+}
+
+/// Regroups a flat app-major report vector (as produced by running
+/// [`suite_cells`]) back into per-application results.
+pub fn group_reports(reports: Vec<RunReport>, networks_len: usize) -> Vec<AppResult> {
+    assert!(networks_len > 0, "at least one network per app");
+    assert!(
+        reports.len().is_multiple_of(networks_len),
+        "reports must tile into per-app rows"
+    );
+    let apps = AppProfile::suite();
+    let mut out = Vec::new();
+    for (row, chunk) in reports.chunks(networks_len).enumerate() {
+        out.push(AppResult {
+            app: apps[row].name.to_string(),
+            reports: chunk.to_vec(),
+        });
+    }
+    out
+}
+
+/// Runs the full application suite over the named networks, in parallel
+/// on the default thread count.
+pub fn sweep_apps(networks: &[&str], opts: SweepOptions) -> Vec<AppResult> {
+    let reports = run_cells(&suite_cells(networks, opts));
+    group_reports(reports, networks.len())
 }

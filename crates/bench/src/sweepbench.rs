@@ -1,0 +1,257 @@
+//! The sweep benchmark behind `experiments bench`: measures wall time,
+//! throughput and thread scaling of the default evaluation sweep, and
+//! renders a schema-versioned `BENCH_sweep.json` that
+//! `scripts/bench_gate.sh` compares against the committed baseline.
+//!
+//! The report is plain JSON written with one `"key": value` pair per
+//! line so the shell gate can extract fields with `sed` — keep it that
+//! way when adding fields (and bump [`SCHEMA`] on breaking changes).
+//!
+//! Wall-clock measurement is confined to this crate: `fsoi-bench` is
+//! harness code, outside the simulation crates that `fsoi-lint` rule D2
+//! holds to simulated time. Timing never feeds back into any simulated
+//! number — the byte-identity check below proves it.
+
+use crate::runner::{self, CellSpec, SweepOptions};
+use fsoi_cmp::batch;
+use std::time::Instant;
+
+/// Report schema identifier; bump on breaking shape changes.
+pub const SCHEMA: &str = "fsoi-bench-sweep/v1";
+
+/// One thread-count sample of the scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall time for the whole sweep, milliseconds.
+    pub wall_ms: f64,
+    /// Cells completed per second.
+    pub cells_per_sec: f64,
+    /// Speedup vs the serial (threads = 1) sample.
+    pub speedup: f64,
+}
+
+/// The full sweep benchmark result.
+#[derive(Debug, Clone)]
+pub struct SweepBenchReport {
+    /// Node count of the swept system.
+    pub nodes: usize,
+    /// Applications in the sweep.
+    pub apps: usize,
+    /// Networks per application.
+    pub networks: usize,
+    /// Total cells (`apps × networks`).
+    pub cells: usize,
+    /// Memory operations per core per cell.
+    pub ops_per_core: u64,
+    /// Sweep seed.
+    pub seed: u64,
+    /// Per-phase breakdown: building the cell list, ms.
+    pub build_ms: f64,
+    /// Per-phase breakdown: merging reports into the registry, ms.
+    pub merge_ms: f64,
+    /// Scaling curve, one point per requested thread count (the first
+    /// point is the serial baseline).
+    pub scaling: Vec<ScalingPoint>,
+    /// Whether every parallel run's merged export was byte-identical to
+    /// the serial fold (must always be true; the gate fails otherwise).
+    pub byte_identical: bool,
+}
+
+impl SweepBenchReport {
+    /// The serial (first) scaling point.
+    pub fn serial(&self) -> &ScalingPoint {
+        &self.scaling[0]
+    }
+
+    /// The best speedup across the curve.
+    pub fn max_speedup(&self) -> f64 {
+        self.scaling.iter().map(|p| p.speedup).fold(0.0, f64::max)
+    }
+
+    /// The largest thread count sampled.
+    pub fn threads_max(&self) -> usize {
+        self.scaling.iter().map(|p| p.threads).max().unwrap_or(1)
+    }
+
+    /// Renders the schema-versioned JSON document (one key per line;
+    /// see the module docs for why the shape is load-bearing).
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        s.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        s.push_str(&format!("  \"apps\": {},\n", self.apps));
+        s.push_str(&format!("  \"networks\": {},\n", self.networks));
+        s.push_str(&format!("  \"cells\": {},\n", self.cells));
+        s.push_str(&format!("  \"ops_per_core\": {},\n", self.ops_per_core));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"build_ms\": {:.3},\n", self.build_ms));
+        s.push_str(&format!("  \"merge_ms\": {:.3},\n", self.merge_ms));
+        let serial = self.serial();
+        s.push_str(&format!("  \"wall_ms_serial\": {:.3},\n", serial.wall_ms));
+        s.push_str(&format!(
+            "  \"cells_per_sec_serial\": {:.4},\n",
+            serial.cells_per_sec
+        ));
+        s.push_str(&format!("  \"threads_max\": {},\n", self.threads_max()));
+        s.push_str(&format!("  \"max_speedup\": {:.4},\n", self.max_speedup()));
+        s.push_str(&format!("  \"byte_identical\": {},\n", self.byte_identical));
+        s.push_str("  \"scaling\": [\n");
+        for (i, p) in self.scaling.iter().enumerate() {
+            let comma = if i + 1 == self.scaling.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"threads\": {}, \"wall_ms\": {:.3}, \"cells_per_sec\": {:.4}, \"speedup\": {:.4}}}{comma}\n",
+                p.threads, p.wall_ms, p.cells_per_sec, p.speedup
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Runs the benchmark: the full application suite over the Figure 6
+/// network set, once per entry of `threads` (the first entry should be
+/// 1 — it becomes the serial baseline all speedups are relative to).
+///
+/// Every run's merged registry export is compared byte-for-byte against
+/// the serial fold; a mismatch sets `byte_identical: false`, which
+/// `scripts/bench_gate.sh` treats as a hard failure.
+pub fn run(opts: SweepOptions, networks: &[&str], threads: &[usize]) -> SweepBenchReport {
+    assert!(!threads.is_empty(), "need at least one thread count");
+    let t0 = Instant::now();
+    let cells: Vec<CellSpec> = runner::suite_cells(networks, opts);
+    let build_ms = ms_since(t0);
+    let apps = if networks.is_empty() {
+        0
+    } else {
+        cells.len() / networks.len()
+    };
+
+    let mut scaling = Vec::new();
+    let mut serial_bytes: Option<String> = None;
+    let mut merge_ms = 0.0;
+    let mut byte_identical = true;
+    for (i, &t) in threads.iter().enumerate() {
+        let t1 = Instant::now();
+        let reports = runner::run_cells_threads(&cells, t);
+        let wall_ms = ms_since(t1);
+        let batch: Vec<_> = reports;
+        let t2 = Instant::now();
+        let bytes = batch::merge_reports(&batch).to_jsonl();
+        if i == 0 {
+            merge_ms = ms_since(t2);
+            serial_bytes = Some(bytes);
+        } else if serial_bytes.as_deref() != Some(bytes.as_str()) {
+            byte_identical = false;
+        }
+        let secs = wall_ms / 1e3;
+        let cells_per_sec = if secs > 0.0 {
+            cells.len() as f64 / secs
+        } else {
+            0.0
+        };
+        let speedup = scaling
+            .first()
+            .map(|s: &ScalingPoint| s.wall_ms / wall_ms.max(1e-9))
+            .unwrap_or(1.0);
+        scaling.push(ScalingPoint {
+            threads: t,
+            wall_ms,
+            cells_per_sec,
+            speedup,
+        });
+    }
+
+    SweepBenchReport {
+        nodes: opts.nodes,
+        apps,
+        networks: networks.len(),
+        cells: cells.len(),
+        ops_per_core: opts.ops_per_core,
+        seed: opts.seed,
+        build_ms,
+        merge_ms,
+        scaling,
+        byte_identical,
+    }
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report() -> SweepBenchReport {
+        SweepBenchReport {
+            nodes: 16,
+            apps: 16,
+            networks: 5,
+            cells: 80,
+            ops_per_core: 1500,
+            seed: 2010,
+            build_ms: 0.5,
+            merge_ms: 1.25,
+            scaling: vec![
+                ScalingPoint {
+                    threads: 1,
+                    wall_ms: 1000.0,
+                    cells_per_sec: 80.0,
+                    speedup: 1.0,
+                },
+                ScalingPoint {
+                    threads: 8,
+                    wall_ms: 400.0,
+                    cells_per_sec: 200.0,
+                    speedup: 2.5,
+                },
+            ],
+            byte_identical: true,
+        }
+    }
+
+    #[test]
+    fn json_has_one_gate_field_per_line() {
+        let json = fake_report().render_json();
+        for key in [
+            "\"schema\": \"fsoi-bench-sweep/v1\"",
+            "\"cells\": 80",
+            "\"wall_ms_serial\": 1000.000",
+            "\"cells_per_sec_serial\": 80.0000",
+            "\"threads_max\": 8",
+            "\"max_speedup\": 2.5000",
+            "\"byte_identical\": true",
+        ] {
+            assert!(
+                json.lines().any(|l| l.contains(key)),
+                "missing line with {key} in:\n{json}"
+            );
+        }
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn derived_fields_come_from_the_curve() {
+        let r = fake_report();
+        assert_eq!(r.serial().threads, 1);
+        assert_eq!(r.threads_max(), 8);
+        assert!((r.max_speedup() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_sweep_end_to_end_is_byte_identical() {
+        let opts = SweepOptions {
+            ops_per_core: 30,
+            ..SweepOptions::quick_16()
+        };
+        let report = run(opts, &["fsoi", "mesh"], &[1, 2]);
+        assert!(report.byte_identical);
+        assert_eq!(report.cells, report.apps * report.networks);
+        assert_eq!(report.scaling.len(), 2);
+        assert!((report.scaling[0].speedup - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Exit-code contract of `scripts/bench_gate.sh`: pass on a matching
+//! report, nonzero on a synthetic injected regression, nonzero when the
+//! parallel sweep was not byte-identical, usage error on missing files.
+
+use fsoi_bench::sweepbench::{ScalingPoint, SweepBenchReport};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+fn report(cells_per_sec: f64, speedup: f64, byte_identical: bool) -> SweepBenchReport {
+    let wall_ms = 80.0 / cells_per_sec * 1e3;
+    SweepBenchReport {
+        nodes: 16,
+        apps: 16,
+        networks: 5,
+        cells: 80,
+        ops_per_core: 1500,
+        seed: 2010,
+        build_ms: 0.5,
+        merge_ms: 1.0,
+        scaling: vec![
+            ScalingPoint {
+                threads: 1,
+                wall_ms,
+                cells_per_sec,
+                speedup: 1.0,
+            },
+            ScalingPoint {
+                threads: 8,
+                wall_ms: wall_ms / speedup,
+                cells_per_sec: cells_per_sec * speedup,
+                speedup,
+            },
+        ],
+        byte_identical,
+    }
+}
+
+fn write_report(name: &str, r: &SweepBenchReport) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join(name);
+    std::fs::write(&path, r.render_json()).expect("write synthetic report");
+    path
+}
+
+fn run_gate(args: &[&str]) -> std::process::Output {
+    Command::new("sh")
+        .arg(repo_root().join("scripts/bench_gate.sh"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("bench_gate.sh runs")
+}
+
+#[test]
+fn matching_reports_pass() {
+    let base = write_report("gate_base_ok.json", &report(100.0, 1.8, true));
+    let cur = write_report("gate_cur_ok.json", &report(100.0, 1.8, true));
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("bench_gate: PASS"), "{stdout}");
+}
+
+#[test]
+fn small_regression_within_tolerance_passes() {
+    let base = write_report("gate_base_tol.json", &report(100.0, 2.0, true));
+    let cur = write_report("gate_cur_tol.json", &report(80.0, 1.5, true));
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+        "--tol",
+        "0.5",
+        "--speedup-tol",
+        "0.5",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "20%/25% drops sit inside a 50% tolerance: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn injected_throughput_regression_fails() {
+    let base = write_report("gate_base_reg.json", &report(100.0, 2.0, true));
+    let cur = write_report("gate_cur_reg.json", &report(10.0, 2.0, true));
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+        "--tol",
+        "0.5",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("FAIL throughput"), "{stdout}");
+}
+
+#[test]
+fn injected_scaling_regression_fails() {
+    let base = write_report("gate_base_sp.json", &report(100.0, 4.0, true));
+    let cur = write_report("gate_cur_sp.json", &report(100.0, 1.0, true));
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+        "--speedup-tol",
+        "0.5",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("FAIL scaling"), "{stdout}");
+}
+
+#[test]
+fn non_byte_identical_report_fails_at_any_tolerance() {
+    let base = write_report("gate_base_byte.json", &report(100.0, 2.0, true));
+    let cur = write_report("gate_cur_byte.json", &report(100.0, 2.0, false));
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+        "--tol",
+        "0.99",
+        "--speedup-tol",
+        "0.99",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("FAIL determinism"), "{stdout}");
+}
+
+#[test]
+fn missing_files_and_bad_args_are_usage_errors() {
+    let cur = write_report("gate_cur_usage.json", &report(100.0, 2.0, true));
+    let out = run_gate(&[
+        "--baseline",
+        "/nonexistent/fsoi-baseline.json",
+        "--current",
+        cur.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run_gate(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}

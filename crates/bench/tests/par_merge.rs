@@ -1,0 +1,128 @@
+//! The tentpole determinism property: a sweep executed on the parallel
+//! executor, merged by the deterministic index-keyed reduction, exports
+//! byte-identically to the serial fold — for any thread count and any
+//! sweep shape, including empty and single-cell sweeps.
+
+use fsoi_bench::runner::{run_cells_threads, CellSpec, SweepOptions};
+use fsoi_check::{checker, select, vec_of};
+use fsoi_cmp::batch::merge_reports;
+use fsoi_cmp::workload::AppProfile;
+use fsoi_sim::par;
+
+/// Small per-cell workload: property cases run many sweeps in debug.
+fn tiny_opts(seed: u64) -> SweepOptions {
+    SweepOptions {
+        ops_per_core: 30,
+        seed,
+        ..SweepOptions::quick_16()
+    }
+}
+
+fn cells_for(
+    app_names: &[&'static str],
+    net_names: &[&'static str],
+    opts: SweepOptions,
+) -> Vec<CellSpec> {
+    app_names
+        .iter()
+        .flat_map(|a| {
+            let app = AppProfile::by_name(a).expect("suite app");
+            net_names
+                .iter()
+                .map(move |n| CellSpec::new(app, n, opts))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// fsoi-check property: for random sweep shapes (including empty and
+/// single-cell), random seeds and random thread counts, the merged
+/// parallel export is byte-identical to the serial fold.
+#[test]
+fn merged_parallel_export_matches_serial_fold() {
+    let apps: Vec<&'static str> = AppProfile::suite().iter().map(|a| a.name).collect();
+    let nets: &[&'static str] = &["fsoi", "mesh", "L0"];
+    checker!().cases(5).check(
+        "merged_parallel_export_matches_serial_fold",
+        (
+            vec_of(select(&apps), 0..4),
+            vec_of(select(nets), 0..3),
+            0u64..1_000,
+            select(&[2usize, 3, 8]),
+        ),
+        |(app_names, net_names, seed, threads)| {
+            let opts = tiny_opts(3_000 + *seed);
+            let cells = cells_for(app_names, net_names, opts);
+            let serial = run_cells_threads(&cells, 1);
+            let expected = merge_reports(&serial).to_jsonl();
+            let parallel = run_cells_threads(&cells, *threads);
+            let cycles = |rs: &[fsoi_cmp::metrics::RunReport]| -> Vec<u64> {
+                rs.iter().map(|r| r.cycles).collect()
+            };
+            assert_eq!(
+                cycles(&parallel),
+                cycles(&serial),
+                "reports must come back in cell order"
+            );
+            assert_eq!(
+                merge_reports(&parallel).to_jsonl(),
+                expected,
+                "merged export must be byte-identical ({} cells, {} threads)",
+                cells.len(),
+                threads
+            );
+        },
+    );
+}
+
+/// Pinned acceptance test: the same-seed sweep export is byte-identical
+/// for thread counts 1, 2 and 8.
+#[test]
+fn sweep_output_byte_identical_across_thread_counts() {
+    let opts = SweepOptions {
+        ops_per_core: 200,
+        ..SweepOptions::quick_16()
+    };
+    let cells = cells_for(&["ba", "mp", "fft", "oc"], &["fsoi", "mesh"], opts);
+    let serial = merge_reports(&run_cells_threads(&cells, 1)).to_jsonl();
+    assert!(!serial.is_empty(), "the serial export carries metrics");
+    for threads in [2usize, 8] {
+        let merged = merge_reports(&run_cells_threads(&cells, threads)).to_jsonl();
+        assert_eq!(merged, serial, "threads = {threads}");
+    }
+}
+
+/// Empty and single-cell sweeps are valid degenerate shapes.
+#[test]
+fn empty_and_single_cell_sweeps_merge() {
+    let opts = tiny_opts(2010);
+    assert_eq!(merge_reports(&run_cells_threads(&[], 8)).to_jsonl(), "");
+    let one = cells_for(&["tsp"], &["fsoi"], opts);
+    let serial = merge_reports(&run_cells_threads(&one, 1)).to_jsonl();
+    let parallel = merge_reports(&run_cells_threads(&one, 8)).to_jsonl();
+    assert!(!serial.is_empty());
+    assert_eq!(parallel, serial);
+}
+
+/// The `FSOI_THREADS` knob selects the default worker count without
+/// changing a single output byte. (This test owns the env var: nothing
+/// else in this binary reads it.)
+#[test]
+fn fsoi_threads_knob_is_not_observable_in_output() {
+    let opts = tiny_opts(77);
+    let cells = cells_for(&["mp", "rx"], &["fsoi"], opts);
+    let expected = merge_reports(&run_cells_threads(&cells, 1)).to_jsonl();
+    for knob in ["1", "2", "8"] {
+        std::env::set_var("FSOI_THREADS", knob);
+        assert_eq!(par::thread_count().to_string(), knob);
+        let reports = par::sweep(cells.len(), par::thread_count(), |i| {
+            cells[i].to_batch_cell().run(fsoi_bench::runner::MAX_CYCLES)
+        });
+        assert_eq!(
+            merge_reports(&reports).to_jsonl(),
+            expected,
+            "FSOI_THREADS={knob}"
+        );
+    }
+    std::env::remove_var("FSOI_THREADS");
+}

@@ -117,7 +117,7 @@ impl Gen for Range<f64> {
 
 fn f64_tree(v: f64, lo: f64) -> Tree<f64> {
     let eps = 1e-12 * lo.abs().max(v.abs()).max(1.0);
-    if !(v - lo > eps) {
+    if v - lo <= eps {
         return Tree::leaf(v);
     }
     Tree::with_children(v, move || {
@@ -241,6 +241,7 @@ impl<A: Gen, B: Gen, C: Gen> Gen for (A, B, C) {
 impl<A: Gen, B: Gen, C: Gen, D: Gen> Gen for (A, B, C, D) {
     type Value = (A::Value, B::Value, C::Value, D::Value);
 
+    #[allow(clippy::type_complexity)]
     fn tree(&self, rng: &mut Xoshiro256StarStar) -> Tree<Self::Value> {
         let ab = pair(self.0.tree(rng), self.1.tree(rng));
         let cd = pair(self.2.tree(rng), self.3.tree(rng));
@@ -375,7 +376,7 @@ fn set_tree(v: Vec<usize>, min: usize, lo: usize) -> Tree<Vec<usize>> {
             if e == lo {
                 continue;
             }
-            let mut d = (e - lo + 1) / 2;
+            let mut d = (e - lo).div_ceil(2);
             while d > 0 {
                 let c = e - d;
                 if !v.contains(&c) {

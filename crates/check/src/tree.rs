@@ -110,7 +110,7 @@ mod tests {
     fn pair_shrinks_each_side() {
         let t = pair(int_tree(1), int_tree(1));
         assert_eq!(t.value, (1, 1));
-        let kids: Vec<(u64, u64)> = t.children().iter().map(|c| c.value.clone()).collect();
+        let kids: Vec<(u64, u64)> = t.children().iter().map(|c| c.value).collect();
         assert_eq!(kids, vec![(0, 1), (1, 0)]);
     }
 }

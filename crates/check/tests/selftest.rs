@@ -3,7 +3,6 @@
 
 use fsoi_check::{vec_of, Checker};
 use std::cell::RefCell;
-use std::path::PathBuf;
 
 /// A fresh checker decoupled from any regression file and env overrides
 /// (the self-tests must not be steered by a checked-in `.regressions`).
@@ -62,7 +61,7 @@ fn identical_seed_means_identical_case_sequence() {
         plain(seed)
             .cases(32)
             .check_result("seq", &(0u64..1_000_000, 0.0f64..1.0), &|v| {
-                seen.borrow_mut().push(v.clone());
+                seen.borrow_mut().push(*v);
             })
             .expect("recording property never fails");
         seen.into_inner()
@@ -92,7 +91,7 @@ fn distinct_test_names_get_distinct_streams() {
 
 #[test]
 fn regression_file_round_trip() {
-    let path = PathBuf::from(std::env::temp_dir()).join(format!(
+    let path = std::env::temp_dir().join(format!(
         "fsoi_check_roundtrip_{}.regressions",
         std::process::id()
     ));
@@ -137,7 +136,7 @@ fn regression_file_round_trip() {
 
 #[test]
 fn recording_failures_is_idempotent() {
-    let path = PathBuf::from(std::env::temp_dir()).join(format!(
+    let path = std::env::temp_dir().join(format!(
         "fsoi_check_idem_{}.regressions",
         std::process::id()
     ));
@@ -164,7 +163,7 @@ fn failure_carries_flight_recorder_tail() {
     if !trace::compiled() {
         return; // release without the `trace` feature: nothing to record
     }
-    let path = PathBuf::from(std::env::temp_dir()).join(format!(
+    let path = std::env::temp_dir().join(format!(
         "fsoi_check_trace_{}.regressions",
         std::process::id()
     ));

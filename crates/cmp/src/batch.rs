@@ -1,0 +1,112 @@
+//! Batch entry points: run many (config, app) cells through the
+//! deterministic parallel executor and merge their reports.
+//!
+//! A sweep *cell* is one fully-specified simulation: a [`SystemConfig`]
+//! (which carries the network kind and the run seed) plus an
+//! [`AppProfile`]. Cells share nothing — each [`run_batch`] closure call
+//! constructs its own [`CmpSystem`], whose RNG streams derive from the
+//! cell's own `cfg.seed` and whose statistics live in per-run state —
+//! so they can execute on any number of threads.
+//!
+//! Determinism is preserved end-to-end:
+//!
+//! 1. [`fsoi_sim::par::sweep`] returns reports **indexed by cell**, not
+//!    by completion order;
+//! 2. [`merge_reports`] folds `RunReport::export` into one
+//!    [`Registry`] in that same index order;
+//! 3. `Registry` itself renders in sorted key order.
+//!
+//! The merged JSONL/table bytes are therefore identical to a serial
+//! fold for any thread count (property-tested in
+//! `crates/bench/tests/par_merge.rs`).
+
+use crate::configs::SystemConfig;
+use crate::metrics::RunReport;
+use crate::system::CmpSystem;
+use crate::workload::AppProfile;
+use fsoi_sim::metrics::Registry;
+use fsoi_sim::par;
+
+/// One sweep cell: a complete system configuration plus a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCell {
+    /// Full system configuration (network, seed, bandwidth, opts).
+    pub config: SystemConfig,
+    /// The application to run (with `ops_per_core` already set).
+    pub app: AppProfile,
+}
+
+impl BatchCell {
+    /// Builds a cell.
+    pub fn new(config: SystemConfig, app: AppProfile) -> Self {
+        BatchCell { config, app }
+    }
+
+    /// Runs this cell to completion in an isolated simulator.
+    pub fn run(&self, max_cycles: u64) -> RunReport {
+        CmpSystem::new(self.config.clone(), self.app).run(max_cycles)
+    }
+}
+
+/// Runs every cell on up to `threads` worker threads and returns the
+/// reports in cell order — byte-for-byte the same vector a serial loop
+/// would produce, for any `threads` (see [`fsoi_sim::par::sweep`]).
+pub fn run_batch(cells: &[BatchCell], threads: usize, max_cycles: u64) -> Vec<RunReport> {
+    par::sweep(cells.len(), threads, |i| cells[i].run(max_cycles))
+}
+
+/// [`run_batch`] with the default [`fsoi_sim::par::thread_count`]
+/// (the `FSOI_THREADS` knob, else available parallelism).
+pub fn run_batch_auto(cells: &[BatchCell], max_cycles: u64) -> Vec<RunReport> {
+    run_batch(cells, par::thread_count(), max_cycles)
+}
+
+/// Folds reports into one registry in slice order — the deterministic
+/// reduction behind merged sweep exports.
+pub fn merge_reports(reports: &[RunReport]) -> Registry {
+    let mut reg = Registry::new();
+    for r in reports {
+        r.export(&mut reg);
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::NetworkKind;
+
+    fn tiny_cells() -> Vec<BatchCell> {
+        let mut cells = Vec::new();
+        for (ci, name) in ["tsp", "mp", "fft"].iter().enumerate() {
+            let mut app = AppProfile::by_name(name).expect("suite app");
+            app.ops_per_core = 40;
+            let cfg = SystemConfig::paper_16(NetworkKind::fsoi(16))
+                .with_seed(2010 + par::derive_seed(2010, ci as u64) % 1000);
+            cells.push(BatchCell::new(cfg, app));
+        }
+        cells
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_fold() {
+        let cells = tiny_cells();
+        let serial = run_batch(&cells, 1, 1_000_000);
+        let serial_bytes = merge_reports(&serial).to_jsonl();
+        for threads in [2, 8] {
+            let par_reports = run_batch(&cells, threads, 1_000_000);
+            assert_eq!(
+                merge_reports(&par_reports).to_jsonl(),
+                serial_bytes,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_merges_to_empty_registry() {
+        let reports = run_batch(&[], 8, 1_000);
+        assert!(reports.is_empty());
+        assert_eq!(merge_reports(&reports).to_jsonl(), "");
+    }
+}

@@ -53,7 +53,7 @@ impl DataPacketKind {
 }
 
 /// The complete result of one application × network run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Application name.
     pub app: String,

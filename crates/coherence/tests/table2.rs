@@ -1035,7 +1035,7 @@ fn l1_never_errors_under_legal_stimuli() {
                 if let Some(CoherenceMsg::Req {
                     kind: req_kind,
                     line,
-                }) = req.first().map(|o| o.msg.clone())
+                }) = req.first().map(|o| o.msg)
                 {
                     if race_inv {
                         c.handle(CoherenceMsg::Inv { line }).unwrap();
@@ -1202,6 +1202,7 @@ fn directory_never_errors_under_legal_streams() {
                         ),
                         "{line}: directory not quiescent: {ds:?}"
                     );
+                    #[allow(clippy::needless_range_loop)] // node also indexes the directory
                     for node in 1..=3usize {
                         match states[node][li] {
                             L1State::E | L1State::M => {

@@ -228,8 +228,7 @@ fn delivered_packets_have_complete_trace_lifecycles() {
                     "packet {id}: every collision/bit error pairs with a retransmission"
                 );
                 assert_eq!(
-                    u32::from(d.packet.retries),
-                    l.failures,
+                    d.packet.retries, l.failures,
                     "packet {id}: delivered retry count matches traced failures"
                 );
                 // Hint winners retransmit without backing off, so backoffs

@@ -31,6 +31,12 @@ pub fn justified(v: Option<u64>) -> u64 {
 // lint: allow(P1) the preceding-line form covers the next code line
 pub fn also_justified(v: Option<u64>) -> u64 { v.unwrap() }
 
+pub fn escape_hatched_lock() -> u64 {
+    // lint: allow(D3) init-only lock, set before any cell runs
+    let cell = std::sync::Mutex::new(3u64);
+    cell.into_inner().unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::HashMap;

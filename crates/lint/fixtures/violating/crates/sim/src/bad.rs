@@ -26,6 +26,12 @@ pub fn boom() {
     panic!("unjustified"); // P1: unannotated panic
 }
 
+pub fn racing_sweep() {
+    let shared = std::sync::Mutex::new(0u64); // D3: lock in sim code
+    let h = std::thread::spawn(move || 1u64); // D3: ad-hoc thread
+    let _ = (shared, h);
+}
+
 pub fn reasonless(v: Option<u64>) -> u64 {
     v.unwrap() // lint: allow(P1)
 }

@@ -11,6 +11,12 @@
 //!   code (`Instant`, `SystemTime`, `thread_rng`, …), and no environment
 //!   reads outside the documented `FSOI_*` knob list. Simulated time is
 //!   [`fsoi_sim::Cycle`]; randomness comes from the seeded in-repo RNGs.
+//! * **D3** — no direct threading or lock primitives (`thread::spawn`,
+//!   `Mutex`, `RwLock`, …) in simulation library code outside
+//!   `fsoi_sim::par`: ad-hoc threads make completion order — and thus
+//!   any order-sensitive reduction — scheduler-dependent. Parallel
+//!   sweeps go through `fsoi_sim::par::sweep`, whose reduction is keyed
+//!   on cell index.
 //! * **T1** — trace emissions in simulation library code must use
 //!   `trace::emit_with` (lazy closure), never eager `trace::emit`:
 //!   everything in a simulation crate is reachable from some `tick()`,
@@ -43,10 +49,23 @@ pub const ALLOWED_ENV_KNOBS: &[&str] = &[
     "FSOI_CHECK_SEED",
     "FSOI_CHECK_CASES",
     "FSOI_CHECK_REPLAY",
+    "FSOI_THREADS",
     "FSOI_TRACE",
     "FSOI_TRACE_BUF",
     "FSOI_TRACE_DUMP",
 ];
+
+/// Files exempt from D3: the deterministic sweep executor is the one
+/// sanctioned home for threads and locks in simulation library code.
+pub const D3_EXEMPT_PATHS: &[&str] = &["crates/sim/src/par.rs"];
+
+/// Identifiers that are shared-state synchronization primitives (D3).
+/// (`Barrier` is deliberately absent: `fsoi_coherence::sync::Barrier` is a
+/// *simulated* barrier, not a std synchronization primitive.)
+const D3_BANNED_IDENTS: &[&str] = &["Mutex", "RwLock", "Condvar", "OnceLock"];
+
+/// `thread::<fn>` calls that create threads (D3).
+const D3_THREAD_FNS: &[&str] = &["spawn", "scope", "Builder"];
 
 /// Identifiers that are wall-clock / OS-entropy sources (D2).
 const D2_BANNED_IDENTS: &[(&str, &str)] = &[
@@ -87,13 +106,14 @@ const D2_ENV_READS: &[&str] = &[
 ];
 
 /// The rule identifiers, in report order.
-pub const RULES: &[&str] = &["D1", "D2", "T1", "P1", "A1"];
+pub const RULES: &[&str] = &["D1", "D2", "D3", "T1", "P1", "A1"];
 
 /// One-line description per rule (for `fsoi-lint rules` and reports).
 pub fn rule_summary(rule: &str) -> &'static str {
     match rule {
         "D1" => "no HashMap/HashSet in sim library code; use fsoi_sim::det::{DetMap, DetSet}",
         "D2" => "no wall-clock/OS-entropy/undocumented-env reads in sim library code",
+        "D3" => "no thread::spawn/Mutex/RwLock in sim library code outside fsoi_sim::par",
         "T1" => "trace emissions must be lazy (trace::emit_with, never trace::emit)",
         "P1" => "no unwrap/expect/panic! in library code without `// lint: allow(P1) reason`",
         "A1" => "lint allow-annotations must name known rules and carry a reason",
@@ -169,6 +189,7 @@ pub fn lint_source(rel: &str, src: &str) -> FileFindings {
     let sim_scope = SIM_CRATES.contains(&krate);
     let p1_scope = sim_scope || HARNESS_CRATES.contains(&krate);
     let d2_scope = p1_scope;
+    let d3_scope = sim_scope && !D3_EXEMPT_PATHS.contains(&rel);
     if !sim_scope && !p1_scope {
         return out;
     }
@@ -187,7 +208,6 @@ pub fn lint_source(rel: &str, src: &str) -> FileFindings {
         .iter()
         .enumerate()
         .filter(|(i, t)| t.kind != TokKind::Comment && !suppressed.iter().any(|s| s.contains(i)))
-        .map(|(i, t)| (i, t))
         .collect();
 
     let mut push = |rule: &'static str, line: u32, msg: String| {
@@ -219,6 +239,35 @@ pub fn lint_source(rel: &str, src: &str) -> FileFindings {
                 format!(
                     "`{}` iterates in hasher order (per-process random); use fsoi_sim::det::{det} or a BTree collection",
                     t.text
+                ),
+            );
+        }
+        // D3: synchronization primitives outside fsoi_sim::par.
+        if d3_scope && t.kind == TokKind::Ident && D3_BANNED_IDENTS.contains(&t.text.as_str()) {
+            push(
+                "D3",
+                t.line,
+                format!(
+                    "`{}` shares mutable state across threads in simulation code; parallelism lives behind fsoi_sim::par::sweep (deterministic index-keyed reduction)",
+                    t.text
+                ),
+            );
+        }
+        // D3: thread creation — `thread :: spawn` / `thread :: scope`.
+        if d3_scope
+            && t.is_ident("thread")
+            && next(1).is_some_and(|a| a.is_punct(":"))
+            && next(2).is_some_and(|a| a.is_punct(":"))
+            && next(3).is_some_and(|a| {
+                a.kind == TokKind::Ident && D3_THREAD_FNS.contains(&a.text.as_str())
+            })
+        {
+            let f = next(3).map(|a| a.text.clone()).unwrap_or_default();
+            push(
+                "D3",
+                t.line,
+                format!(
+                    "`thread::{f}` creates threads in simulation code; run sweep cells through fsoi_sim::par::sweep so thread count stays unobservable"
                 ),
             );
         }
@@ -511,6 +560,49 @@ mod tests {
     fn d2_accepts_documented_knobs() {
         let src = "fn f() { let v = std::env::var(\"FSOI_TRACE\"); }\n";
         assert!(lint_as("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d3_flags_threads_and_locks_outside_par() {
+        let src = "use std::sync::Mutex;\nfn f() { let h = std::thread::spawn(|| 1); let _ = h; }\nfn g() { std::thread::scope(|s| { let _ = s; }); }\n";
+        let v = lint_as("crates/cmp/src/x.rs", src);
+        assert!(v.iter().any(|v| v.rule == "D3" && v.msg.contains("Mutex")));
+        assert!(v
+            .iter()
+            .any(|v| v.rule == "D3" && v.msg.contains("thread::spawn")));
+        assert!(v
+            .iter()
+            .any(|v| v.rule == "D3" && v.msg.contains("thread::scope")));
+    }
+
+    #[test]
+    fn d3_exempts_the_executor_and_non_sim_code() {
+        let src = "use std::sync::Mutex;\nfn f() { std::thread::scope(|s| { let _ = s; }); }\n";
+        assert!(
+            lint_as("crates/sim/src/par.rs", src).is_empty(),
+            "fsoi_sim::par is the sanctioned home for threads"
+        );
+        assert!(
+            lint_as("crates/bench/src/runner.rs", src).is_empty(),
+            "bench crates are out of D3 scope"
+        );
+        assert!(
+            lint_as("crates/cmp/tests/props.rs", src).is_empty(),
+            "test code is exempt"
+        );
+    }
+
+    #[test]
+    fn d3_honours_allow_annotations() {
+        let src = "fn f() {\n    // lint: allow(D3) bounded init-only lock, never held across cells\n    let m = std::sync::Mutex::new(0);\n    let _ = m;\n}\n";
+        assert!(lint_as("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d3_leaves_available_parallelism_alone() {
+        let src = "fn f() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }\n";
+        let v = lint_as("crates/sim/src/x.rs", src);
+        assert!(v.iter().all(|v| v.rule != "D3"));
     }
 
     #[test]

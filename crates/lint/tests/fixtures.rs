@@ -16,7 +16,7 @@ fn fixture_root(which: &str) -> PathBuf {
 fn violating_tree_fires_every_rule() {
     let report = run_check(&fixture_root("violating")).expect("scan succeeds");
     assert!(!report.is_clean());
-    for rule in ["D1", "D2", "T1", "P1", "A1"] {
+    for rule in ["D1", "D2", "D3", "T1", "P1", "A1"] {
         assert!(
             report.violations.iter().any(|v| v.rule == rule),
             "rule {rule} must fire on the violating fixture:\n{}",
@@ -48,6 +48,8 @@ fn violating_tree_reports_each_expected_site() {
     assert!(has("D2", "`Instant`"), "wall clock");
     assert!(has("D2", "undocumented knob"), "FSOI_UNDOCUMENTED read");
     assert!(has("D2", "non-literal"), "env::var(knob_name())");
+    assert!(has("D3", "`Mutex`"), "lock in sim code");
+    assert!(has("D3", "thread::spawn"), "ad-hoc thread");
     assert!(
         has("T1", "trace::emit_with"),
         "eager emission points at the fix"
@@ -79,6 +81,11 @@ fn clean_tree_is_clean_and_counts_allows() {
         report.allows.get("P1").copied(),
         Some(2),
         "both the trailing and preceding allow forms are counted"
+    );
+    assert_eq!(
+        report.allows.get("D3").copied(),
+        Some(1),
+        "the D3 escape hatch is counted"
     );
 }
 

@@ -17,6 +17,10 @@
 //!   estimators used by all measurement code,
 //! * [`metrics::Registry`] — named, labelled metrics with deterministic
 //!   JSONL/table export, the single code path behind reported numbers,
+//! * [`par`] — the work-stealing sweep executor: the only sanctioned home
+//!   for threads in simulation code (`fsoi-lint` rule D3), with results
+//!   merged by a deterministic reduction keyed on cell index so thread
+//!   count is never observable in output,
 //! * [`trace`] — cycle-stamped structured event tracing with a bounded
 //!   flight recorder that dumps JSON lines when an invariant fails,
 //! * [`queue::BoundedQueue`] — a bounded FIFO with occupancy accounting,
@@ -40,6 +44,7 @@
 pub mod det;
 pub mod event;
 pub mod metrics;
+pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,267 @@
+//! Deterministic parallel sweep execution.
+//!
+//! The paper's evaluation is a seed×config sweep: every table and figure
+//! is a fold over independent (application, network, seed) cells, each of
+//! which runs its own isolated simulator with its own RNG stream. Those
+//! cells are embarrassingly parallel — but the workspace's core invariant
+//! is that **same-seed output is byte-identical**, so parallelism must
+//! never become observable in any exported number.
+//!
+//! [`sweep`] guarantees that by construction:
+//!
+//! * each cell index runs exactly once, in an isolated closure call that
+//!   shares no mutable state with any other cell;
+//! * results are returned in a `Vec` indexed by cell — a **deterministic
+//!   reduction keyed on cell index**, not on completion order;
+//! * thread count therefore affects wall-clock time only. `sweep(n, 1, f)`
+//!   and `sweep(n, 8, f)` return equal vectors for any pure `f`, and the
+//!   serial path (`threads <= 1`) does not spawn at all.
+//!
+//! Scheduling is work-stealing over chunked deques: the cell range is cut
+//! into contiguous chunks dealt round-robin onto per-worker deques; a
+//! worker pops its own deque from the front and, when empty, steals a
+//! chunk from the *back* of another worker's deque. Chunks keep the
+//! common case (cells with similar cost) cache-friendly and low-contention
+//! while stealing absorbs skewed per-cell cost (a 64-node cell costs ~4×
+//! a 16-node cell).
+//!
+//! This module is the **only** place in simulation library code where
+//! threads and locks are allowed (`fsoi-lint` rule D3); everything above
+//! it — `fsoi_cmp::batch`, the `fsoi-bench` runner — expresses sweeps as
+//! pure per-cell closures.
+//!
+//! ```
+//! use fsoi_sim::par;
+//! let serial: Vec<u64> = par::sweep(100, 1, |i| (i as u64) * 3 + 1);
+//! let parallel = par::sweep(100, 8, |i| (i as u64) * 3 + 1);
+//! assert_eq!(serial, parallel); // thread count is not observable
+//! ```
+
+use crate::rng::SplitMix64;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Chunks dealt per worker; >1 so stealing has granularity to rebalance.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// The number of worker threads a sweep should use by default: the
+/// documented `FSOI_THREADS` knob when set, else the machine's available
+/// parallelism (1 when that cannot be determined).
+///
+/// Thread count never changes sweep *output* (see [`sweep`]), so reading
+/// machine parallelism here does not leak into any exported number.
+///
+/// # Panics
+///
+/// Panics when `FSOI_THREADS` is set to something that does not parse as
+/// a positive integer — aborting beats silently running a different
+/// configuration than the one the caller asked for.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("FSOI_THREADS") {
+        match parse_threads(&v) {
+            Some(n) => return n,
+            // lint: allow(P1) a set-but-garbage override must not be silently ignored
+            None => panic!("FSOI_THREADS={v:?} is not a positive integer"),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses an `FSOI_THREADS` value: a positive decimal integer.
+fn parse_threads(s: &str) -> Option<usize> {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+/// Derives an independent per-cell seed from a sweep's base seed.
+///
+/// SplitMix64 is a bijective mix over the full 64-bit space, so distinct
+/// cells get well-separated streams even for adjacent indices, and the
+/// derivation is position-based — independent of execution order and
+/// thread count.
+///
+/// ```
+/// use fsoi_sim::par::derive_seed;
+/// assert_eq!(derive_seed(2010, 3), derive_seed(2010, 3));
+/// assert_ne!(derive_seed(2010, 3), derive_seed(2010, 4));
+/// ```
+pub fn derive_seed(base: u64, cell: u64) -> u64 {
+    let mut sm = SplitMix64::new(base ^ cell.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64()
+}
+
+/// Locks ignoring poison: a panicked worker only ever leaves a deque of
+/// plain index ranges behind, which stays valid; the panic itself is
+/// re-raised at join time.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f` once per cell index in `0..cells` on up to `threads` worker
+/// threads and returns the results **indexed by cell** — a deterministic
+/// reduction independent of scheduling, completion order and thread
+/// count. `threads <= 1` (or fewer than two cells) runs serially on the
+/// caller's thread without spawning.
+///
+/// # Panics
+///
+/// A panic inside `f` is propagated to the caller after all workers have
+/// drained (matching the serial behaviour of the first panicking cell
+/// aborting the sweep).
+pub fn sweep<R, F>(cells: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(cells.max(1));
+    if threads <= 1 || cells <= 1 {
+        return (0..cells).map(f).collect();
+    }
+
+    // Deal contiguous chunks round-robin onto per-worker deques.
+    let chunk = (cells / (threads * CHUNKS_PER_WORKER)).max(1);
+    let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    let mut start = 0usize;
+    let mut worker = 0usize;
+    while start < cells {
+        let end = (start + chunk).min(cells);
+        lock(&queues[worker % threads]).push_back(start..end);
+        start = end;
+        worker += 1;
+    }
+
+    let mut slots: Vec<Option<R>> = (0..cells).map(|_| None).collect();
+    let queues = &queues;
+    let f = &f;
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|me| {
+                s.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        // Own work first (front), then steal from the
+                        // back of the next non-empty victim. No new work
+                        // is ever produced, so "every deque empty" is a
+                        // sound exit condition.
+                        let job = lock(&queues[me]).pop_front().or_else(|| {
+                            (1..threads).find_map(|v| lock(&queues[(me + v) % threads]).pop_back())
+                        });
+                        let Some(range) = job else { break };
+                        for i in range {
+                            out.push((i, f(i)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    for (i, r) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "cell {i} executed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        // lint: allow(P1) every index 0..cells was dealt into exactly one chunk and executed
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("cell {i} never executed")))
+        .collect()
+}
+
+/// [`sweep`] with the default [`thread_count`].
+pub fn sweep_auto<R, F>(cells: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    sweep(cells, thread_count(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn output_is_keyed_on_cell_index_for_any_thread_count() {
+        let reference: Vec<u64> = (0..257).map(|i| derive_seed(42, i as u64)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = sweep(257, threads, |i| derive_seed(42, i as u64));
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_cell_sweeps() {
+        assert_eq!(sweep(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(sweep(1, 8, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        let n = 100;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let _ = sweep(n, 8, |i| counts[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_cells_is_fine() {
+        assert_eq!(sweep(3, 100, |i| i * i), vec![0, 1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 7")]
+    fn cell_panics_propagate() {
+        let _ = sweep(16, 4, |i| {
+            if i == 7 {
+                panic!("boom at 7");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads(" 8 "), Some(8));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("two"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        let a: Vec<u64> = (0..64).map(|c| derive_seed(2010, c)).collect();
+        let b: Vec<u64> = (0..64).map(|c| derive_seed(2010, c)).collect();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "no collisions in a small sweep");
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0), "base seed matters");
+    }
+
+    #[test]
+    fn sweep_auto_matches_serial() {
+        let reference: Vec<usize> = (0..50).map(|i| i ^ 0x2a).collect();
+        assert_eq!(sweep_auto(50, |i| i ^ 0x2a), reference);
+    }
+}

@@ -1,0 +1,100 @@
+#!/usr/bin/env sh
+# Benchmark regression gate: compares a sweep benchmark report (schema
+# fsoi-bench-sweep/v1, produced by `experiments bench`) against the
+# committed baseline BENCH_sweep.json and exits nonzero on regression.
+#
+# Checks, each against its own tolerance:
+#   * serial throughput (cells_per_sec_serial) must not drop more than
+#     TOL (fractional, default 0.50 — CI machines vary a lot);
+#   * best thread-scaling speedup (max_speedup) must not drop more than
+#     SPEEDUP_TOL (default 0.50);
+#   * byte_identical must be true in the current report — a parallel
+#     sweep that diverges from the serial fold is a hard failure at any
+#     tolerance.
+#
+# Usage:
+#   scripts/bench_gate.sh                       # run the bench, compare
+#   scripts/bench_gate.sh --current FILE        # compare existing report
+#   scripts/bench_gate.sh --baseline FILE --tol 0.3 --speedup-tol 0.4
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_sweep.json
+CURRENT=
+TOL=0.50
+SPEEDUP_TOL=0.50
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --baseline)    BASELINE=$2; shift 2 ;;
+        --current)     CURRENT=$2; shift 2 ;;
+        --tol)         TOL=$2; shift 2 ;;
+        --speedup-tol) SPEEDUP_TOL=$2; shift 2 ;;
+        *) echo "bench_gate: unknown argument $1" >&2; exit 2 ;;
+    esac
+done
+
+if [ -z "$CURRENT" ]; then
+    CURRENT=target/BENCH_current.json
+    mkdir -p target
+    echo "bench_gate: running the sweep benchmark -> $CURRENT"
+    cargo run -q --release --offline -p fsoi-bench --bin experiments -- \
+        bench --out "$CURRENT"
+fi
+
+[ -f "$BASELINE" ] || { echo "bench_gate: missing baseline $BASELINE" >&2; exit 2; }
+[ -f "$CURRENT" ]  || { echo "bench_gate: missing current report $CURRENT" >&2; exit 2; }
+
+# The report writes one "key": value pair per line precisely so this
+# extraction stays a one-line sed.
+field() {
+    sed -n "s/^ *\"$2\": \([0-9][0-9.]*\).*/\1/p" "$1" | head -n 1
+}
+
+schema=$(sed -n 's/^ *"schema": "\([^"]*\)".*/\1/p' "$CURRENT" | head -n 1)
+if [ "$schema" != "fsoi-bench-sweep/v1" ]; then
+    echo "bench_gate: unexpected schema '$schema' in $CURRENT" >&2
+    exit 2
+fi
+
+base_cps=$(field "$BASELINE" cells_per_sec_serial)
+cur_cps=$(field "$CURRENT" cells_per_sec_serial)
+base_sp=$(field "$BASELINE" max_speedup)
+cur_sp=$(field "$CURRENT" max_speedup)
+byte=$(sed -n 's/^ *"byte_identical": \(true\|false\).*/\1/p' "$CURRENT" | head -n 1)
+
+for pair in "cells_per_sec_serial=$base_cps/$cur_cps" "max_speedup=$base_sp/$cur_sp"; do
+    case "$pair" in
+        *=/*|*/) echo "bench_gate: could not extract ${pair%%=*} from reports" >&2; exit 2 ;;
+    esac
+done
+
+fail=0
+
+if ! awk -v c="$cur_cps" -v b="$base_cps" -v t="$TOL" \
+        'BEGIN { exit (c + 0 >= b * (1 - t)) ? 0 : 1 }'; then
+    echo "bench_gate: FAIL throughput: $cur_cps cells/s < baseline $base_cps * (1 - $TOL)"
+    fail=1
+else
+    echo "bench_gate: ok throughput: $cur_cps cells/s (baseline $base_cps, tol $TOL)"
+fi
+
+if ! awk -v c="$cur_sp" -v b="$base_sp" -v t="$SPEEDUP_TOL" \
+        'BEGIN { exit (c + 0 >= b * (1 - t)) ? 0 : 1 }'; then
+    echo "bench_gate: FAIL scaling: max speedup $cur_sp < baseline $base_sp * (1 - $SPEEDUP_TOL)"
+    fail=1
+else
+    echo "bench_gate: ok scaling: max speedup $cur_sp (baseline $base_sp, tol $SPEEDUP_TOL)"
+fi
+
+if [ "$byte" != "true" ]; then
+    echo "bench_gate: FAIL determinism: byte_identical is '$byte' — parallel sweep diverged from the serial fold"
+    fail=1
+else
+    echo "bench_gate: ok determinism: parallel sweep byte-identical to serial"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_gate: REGRESSION (see failures above)"
+    exit 1
+fi
+echo "bench_gate: PASS"

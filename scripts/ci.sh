@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Local mirror of .github/workflows/ci.yml: the same four tiers, in the
+# same order, with the same commands — green here means green in CI.
+#
+# Usage:
+#   scripts/ci.sh                 # all tiers in order: quick lint full bench
+#   scripts/ci.sh --tier quick    # fmt check + build + test
+#   scripts/ci.sh --tier lint     # fsoi-lint check + clippy
+#   scripts/ci.sh --tier full     # scripts/verify.sh (incl. trace build + microbench guard)
+#   scripts/ci.sh --tier bench    # scripts/bench_gate.sh vs the committed baseline
+set -eu
+cd "$(dirname "$0")/.."
+
+TIER=all
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --tier) TIER=$2; shift 2 ;;
+        *) echo "ci.sh: unknown argument $1 (usage: ci.sh [--tier quick|lint|full|bench|all])" >&2; exit 2 ;;
+    esac
+done
+
+banner() {
+    echo
+    echo "=================================================================="
+    echo "ci tier: $1"
+    echo "=================================================================="
+}
+
+tier_quick() {
+    banner quick
+    cargo fmt --all --check
+    cargo build --offline --workspace
+    cargo test -q --offline --workspace
+}
+
+tier_lint() {
+    banner lint
+    cargo run -q --release --offline -p fsoi-lint -- check
+    # [workspace.lints] (deny unused_must_use, clippy disallowed_types)
+    # applies to every target, including feature-gated benches.
+    cargo clippy --offline --workspace --all-targets --features criterion -- -D warnings
+}
+
+tier_full() {
+    banner full
+    scripts/verify.sh
+}
+
+tier_bench() {
+    banner bench
+    scripts/bench_gate.sh
+}
+
+case "$TIER" in
+    quick) tier_quick ;;
+    lint)  tier_lint ;;
+    full)  tier_full ;;
+    bench) tier_bench ;;
+    all)
+        tier_quick
+        tier_lint
+        tier_full
+        tier_bench
+        ;;
+    *) echo "ci.sh: unknown tier '$TIER' (quick|lint|full|bench|all)" >&2; exit 2 ;;
+esac
+
+echo
+echo "ci.sh: tier '$TIER' PASSED"

@@ -11,7 +11,7 @@ use fsoi::net::network::FsoiNetwork;
 use fsoi::net::packet::{Packet, PacketClass};
 use fsoi::net::topology::NodeId;
 use fsoi_check::{any_bool, checker, vec_of, Gen};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An arbitrary traffic script: (delay-before-inject, src, dst-offset,
 /// is-data).
@@ -78,7 +78,7 @@ fn fsoi_conserves_packets() {
         (traffic_gen(120), 0u64..1000),
         |(script, seed)| {
             let delivered = drive_fsoi(script, *seed);
-            let mut seen = HashMap::new();
+            let mut seen = BTreeMap::new();
             for (_, _, tag, _) in &delivered {
                 *seen.entry(*tag).or_insert(0u32) += 1;
             }
