@@ -1,0 +1,78 @@
+//! Hot-path throughput: cycles simulated per second through the
+//! network's two advance paths.
+//!
+//! * `ticked_*` drives `tick()` every cycle — the per-cycle floor the
+//!   dense slot table and `NodeMask` state keep low;
+//! * `fast_forward_*` covers the same span through `run()`, which jumps
+//!   straight to the next scheduled event. On sparse traffic this is the
+//!   path `experiments` actually takes, so a regression here shows up
+//!   directly in `BENCH_sweep.json`'s `sim_cycles_per_sec`.
+//!
+//! Both variants return the delivered-packet count so the work can't be
+//! optimized away, and both run the idle tail (no traffic injected past
+//! the first quarter) where fast-forward should win by a wide margin.
+
+use fsoi_bench::microbench::{Criterion, Throughput};
+use fsoi_bench::{criterion_group, criterion_main};
+use fsoi_net::config::FsoiConfig;
+use fsoi_net::network::FsoiNetwork;
+use fsoi_net::packet::{Packet, PacketClass};
+use fsoi_net::topology::NodeId;
+use fsoi_sim::rng::Xoshiro256StarStar;
+use fsoi_sim::Cycle;
+
+const CYCLES: u64 = 40_000;
+
+/// Injects sparse uniform-random traffic over the first quarter of the
+/// span, then advances to `CYCLES` either cycle-by-cycle or through the
+/// fast-forwarding `run()`.
+fn drive(seed: u64, fast: bool) -> u64 {
+    let mut net = FsoiNetwork::new(FsoiConfig::nodes(16), seed);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    for burst in 0..(CYCLES / 400) {
+        for src in 0..16usize {
+            if rng.bernoulli(0.2) {
+                let mut dst = rng.next_below(15) as usize;
+                if dst >= src {
+                    dst += 1;
+                }
+                let class = if rng.bernoulli(0.4) {
+                    PacketClass::Data
+                } else {
+                    PacketClass::Meta
+                };
+                let _ = net.inject(Packet::new(NodeId(src), NodeId(dst), class, burst));
+            }
+        }
+        let target = Cycle((burst + 1) * 100);
+        if fast {
+            net.advance_to(target);
+        } else {
+            while net.now() < target {
+                net.tick();
+            }
+        }
+        net.drain_delivered();
+    }
+    if fast {
+        net.advance_to(Cycle(CYCLES));
+    } else {
+        while net.now() < Cycle(CYCLES) {
+            net.tick();
+        }
+    }
+    net.drain_delivered();
+    net.stats().delivered[0] + net.stats().delivered[1]
+}
+
+fn bench_tick_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tick_throughput");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(10);
+    g.bench_function("ticked_40k_cycles", |b| b.iter(|| drive(11, false)));
+    g.bench_function("fast_forward_40k_cycles", |b| b.iter(|| drive(11, true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tick_throughput);
+criterion_main!(benches);

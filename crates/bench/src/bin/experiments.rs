@@ -955,6 +955,14 @@ fn bench(args: &[String]) {
         "  phases: build {:.2} ms, merge {:.2} ms; byte-identical: {}",
         report.build_ms, report.merge_ms, report.byte_identical
     );
+    println!(
+        "  sim throughput: {:.1} Mcycles/sec ({} cycles); cell ms min/mean/max {:.1}/{:.1}/{:.1}",
+        report.sim_cycles_per_sec() / 1e6,
+        report.sim_cycles_total,
+        report.cell_ms_min(),
+        report.cell_ms_mean(),
+        report.cell_ms_max()
+    );
     if let Err(e) = std::fs::write(&out_path, report.render_json()) {
         eprintln!("bench: cannot write {out_path}: {e}");
         std::process::exit(2);

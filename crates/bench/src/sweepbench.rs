@@ -17,7 +17,14 @@ use fsoi_cmp::batch;
 use std::time::Instant;
 
 /// Report schema identifier; bump on breaking shape changes.
-pub const SCHEMA: &str = "fsoi-bench-sweep/v1";
+///
+/// v2 adds the simulated-throughput fields (`sim_cycles_total`,
+/// `sim_cycles_per_sec`) and the per-cell wall breakdown
+/// (`cell_ms_min` / `cell_ms_mean` / `cell_ms_max`). `cells_per_sec`
+/// alone hides workload-size changes: halving `ops_per_core` doubles it
+/// without the simulator getting any faster. Simulated cycles per
+/// wall-second is the workload-invariant number.
+pub const SCHEMA: &str = "fsoi-bench-sweep/v2";
 
 /// One thread-count sample of the scaling curve.
 #[derive(Debug, Clone)]
@@ -51,6 +58,11 @@ pub struct SweepBenchReport {
     pub build_ms: f64,
     /// Per-phase breakdown: merging reports into the registry, ms.
     pub merge_ms: f64,
+    /// Total simulated cycles across all cells (from the serial pass;
+    /// identical for every thread count by the byte-identity property).
+    pub sim_cycles_total: u64,
+    /// Wall milliseconds of each cell in the serial pass, in cell order.
+    pub cell_ms: Vec<f64>,
     /// Scaling curve, one point per requested thread count (the first
     /// point is the serial baseline).
     pub scaling: Vec<ScalingPoint>,
@@ -75,6 +87,38 @@ impl SweepBenchReport {
         self.scaling.iter().map(|p| p.threads).max().unwrap_or(1)
     }
 
+    /// Simulated cycles retired per wall-second in the serial pass — the
+    /// workload-size-invariant throughput number (see [`SCHEMA`]).
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        let secs = self.serial().wall_ms / 1e3;
+        if secs > 0.0 {
+            self.sim_cycles_total as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fastest cell in the serial pass, milliseconds.
+    pub fn cell_ms_min(&self) -> f64 {
+        if self.cell_ms.is_empty() {
+            return 0.0;
+        }
+        self.cell_ms.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean serial cell time, milliseconds.
+    pub fn cell_ms_mean(&self) -> f64 {
+        if self.cell_ms.is_empty() {
+            return 0.0;
+        }
+        self.cell_ms.iter().sum::<f64>() / self.cell_ms.len() as f64
+    }
+
+    /// Slowest cell in the serial pass, milliseconds.
+    pub fn cell_ms_max(&self) -> f64 {
+        self.cell_ms.iter().copied().fold(0.0, f64::max)
+    }
+
     /// Renders the schema-versioned JSON document (one key per line;
     /// see the module docs for why the shape is load-bearing).
     pub fn render_json(&self) -> String {
@@ -95,6 +139,20 @@ impl SweepBenchReport {
             "  \"cells_per_sec_serial\": {:.4},\n",
             serial.cells_per_sec
         ));
+        s.push_str(&format!(
+            "  \"sim_cycles_total\": {},\n",
+            self.sim_cycles_total
+        ));
+        s.push_str(&format!(
+            "  \"sim_cycles_per_sec\": {:.1},\n",
+            self.sim_cycles_per_sec()
+        ));
+        s.push_str(&format!("  \"cell_ms_min\": {:.3},\n", self.cell_ms_min()));
+        s.push_str(&format!(
+            "  \"cell_ms_mean\": {:.3},\n",
+            self.cell_ms_mean()
+        ));
+        s.push_str(&format!("  \"cell_ms_max\": {:.3},\n", self.cell_ms_max()));
         s.push_str(&format!("  \"threads_max\": {},\n", self.threads_max()));
         s.push_str(&format!("  \"max_speedup\": {:.4},\n", self.max_speedup()));
         s.push_str(&format!("  \"byte_identical\": {},\n", self.byte_identical));
@@ -133,11 +191,22 @@ pub fn run(opts: SweepOptions, networks: &[&str], threads: &[usize]) -> SweepBen
     let mut serial_bytes: Option<String> = None;
     let mut merge_ms = 0.0;
     let mut byte_identical = true;
+    let mut sim_cycles_total = 0;
+    let mut cell_ms = Vec::new();
     for (i, &t) in threads.iter().enumerate() {
+        // The serial pass runs cell-by-cell with a timer around each, to
+        // feed the per-cell breakdown; parallel passes go through the
+        // executor. Both produce byte-identical reports (checked below).
         let t1 = Instant::now();
-        let reports = runner::run_cells_threads(&cells, t);
+        let batch = if i == 0 {
+            let (reports, per_cell) = runner::run_cells_serial_timed(&cells);
+            sim_cycles_total = reports.iter().map(|r| r.cycles).sum();
+            cell_ms = per_cell;
+            reports
+        } else {
+            runner::run_cells_threads(&cells, t)
+        };
         let wall_ms = ms_since(t1);
-        let batch: Vec<_> = reports;
         let t2 = Instant::now();
         let bytes = batch::merge_reports(&batch).to_jsonl();
         if i == 0 {
@@ -173,6 +242,8 @@ pub fn run(opts: SweepOptions, networks: &[&str], threads: &[usize]) -> SweepBen
         seed: opts.seed,
         build_ms,
         merge_ms,
+        sim_cycles_total,
+        cell_ms,
         scaling,
         byte_identical,
     }
@@ -196,6 +267,8 @@ mod tests {
             seed: 2010,
             build_ms: 0.5,
             merge_ms: 1.25,
+            sim_cycles_total: 48_000_000,
+            cell_ms: vec![10.0, 12.5, 15.0],
             scaling: vec![
                 ScalingPoint {
                     threads: 1,
@@ -218,10 +291,15 @@ mod tests {
     fn json_has_one_gate_field_per_line() {
         let json = fake_report().render_json();
         for key in [
-            "\"schema\": \"fsoi-bench-sweep/v1\"",
+            "\"schema\": \"fsoi-bench-sweep/v2\"",
             "\"cells\": 80",
             "\"wall_ms_serial\": 1000.000",
             "\"cells_per_sec_serial\": 80.0000",
+            "\"sim_cycles_total\": 48000000",
+            "\"sim_cycles_per_sec\": 48000000.0",
+            "\"cell_ms_min\": 10.000",
+            "\"cell_ms_mean\": 12.500",
+            "\"cell_ms_max\": 15.000",
             "\"threads_max\": 8",
             "\"max_speedup\": 2.5000",
             "\"byte_identical\": true",
@@ -240,6 +318,11 @@ mod tests {
         assert_eq!(r.serial().threads, 1);
         assert_eq!(r.threads_max(), 8);
         assert!((r.max_speedup() - 2.5).abs() < 1e-12);
+        // 48M simulated cycles over a 1s serial pass.
+        assert!((r.sim_cycles_per_sec() - 48_000_000.0).abs() < 1e-6);
+        assert!((r.cell_ms_min() - 10.0).abs() < 1e-12);
+        assert!((r.cell_ms_mean() - 12.5).abs() < 1e-12);
+        assert!((r.cell_ms_max() - 15.0).abs() < 1e-12);
     }
 
     #[test]
@@ -253,5 +336,9 @@ mod tests {
         assert_eq!(report.cells, report.apps * report.networks);
         assert_eq!(report.scaling.len(), 2);
         assert!((report.scaling[0].speedup - 1.0).abs() < 1e-12);
+        assert!(report.sim_cycles_total > 0, "serial pass sums cell clocks");
+        assert_eq!(report.cell_ms.len(), report.cells);
+        assert!(report.cell_ms_min() <= report.cell_ms_mean());
+        assert!(report.cell_ms_mean() <= report.cell_ms_max());
     }
 }

@@ -13,7 +13,24 @@ fn repo_root() -> PathBuf {
         .expect("repo root resolves")
 }
 
+/// Synthetic report pinned to 40M simulated cycles per wall-second, so
+/// the cells/sec and cycles/sec gates can be exercised independently.
 fn report(cells_per_sec: f64, speedup: f64, byte_identical: bool) -> SweepBenchReport {
+    let wall_ms = 80.0 / cells_per_sec * 1e3;
+    report_with_sim_cycles(
+        cells_per_sec,
+        speedup,
+        byte_identical,
+        (wall_ms * 4e4) as u64,
+    )
+}
+
+fn report_with_sim_cycles(
+    cells_per_sec: f64,
+    speedup: f64,
+    byte_identical: bool,
+    sim_cycles_total: u64,
+) -> SweepBenchReport {
     let wall_ms = 80.0 / cells_per_sec * 1e3;
     SweepBenchReport {
         nodes: 16,
@@ -24,6 +41,8 @@ fn report(cells_per_sec: f64, speedup: f64, byte_identical: bool) -> SweepBenchR
         seed: 2010,
         build_ms: 0.5,
         merge_ms: 1.0,
+        sim_cycles_total,
+        cell_ms: vec![wall_ms / 80.0; 80],
         scaling: vec![
             ScalingPoint {
                 threads: 1,
@@ -128,6 +147,83 @@ fn injected_scaling_regression_fails() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
     assert!(stdout.contains("FAIL scaling"), "{stdout}");
+}
+
+#[test]
+fn injected_sim_throughput_regression_fails() {
+    // Same cells/sec on both sides, but the current run retires far
+    // fewer simulated cycles per second — only the v2 gate catches it.
+    let base = write_report("gate_base_sim.json", &report(100.0, 2.0, true));
+    let cur = write_report(
+        "gate_cur_sim.json",
+        &report_with_sim_cycles(100.0, 2.0, true, 1_000),
+    );
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+        "--tol",
+        "0.5",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("FAIL sim throughput"), "{stdout}");
+    assert!(stdout.contains("ok throughput"), "{stdout}");
+}
+
+#[test]
+fn v1_schema_reports_are_rejected() {
+    let v1 = report(100.0, 2.0, true)
+        .render_json()
+        .replace("fsoi-bench-sweep/v2", "fsoi-bench-sweep/v1");
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let cur = dir.join("gate_cur_v1.json");
+    std::fs::write(&cur, v1).expect("write v1 report");
+    let base = write_report("gate_base_v1.json", &report(100.0, 2.0, true));
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "old schemas are usage errors");
+}
+
+#[test]
+fn update_rebaselines_only_on_pass() {
+    let base = write_report("gate_base_upd.json", &report(100.0, 2.0, true));
+    let good = write_report("gate_cur_upd_ok.json", &report(90.0, 1.9, true));
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        good.to_str().unwrap(),
+        "--update",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("re-baselined"), "{stdout}");
+    assert_eq!(
+        std::fs::read_to_string(&base).unwrap(),
+        std::fs::read_to_string(&good).unwrap(),
+        "baseline adopts the fresh report"
+    );
+
+    let bad = write_report("gate_cur_upd_bad.json", &report(90.0, 1.9, false));
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        bad.to_str().unwrap(),
+        "--update",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        std::fs::read_to_string(&base).unwrap(),
+        std::fs::read_to_string(&good).unwrap(),
+        "failing gate leaves the baseline untouched"
+    );
 }
 
 #[test]

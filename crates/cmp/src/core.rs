@@ -138,6 +138,18 @@ impl Core {
             _ => self.stats.stalled_cycles += 1,
         }
     }
+
+    /// Accounts `n` cycles at once. Only valid when the caller knows the
+    /// state cannot change across the span (the fast-forward path skips
+    /// cycles strictly before any event that could transition a core, so
+    /// the per-cycle classification is constant).
+    pub fn account_cycles(&mut self, n: u64) {
+        match self.state {
+            CoreState::Done => {}
+            CoreState::Ready => self.stats.active_cycles += n,
+            _ => self.stats.stalled_cycles += n,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -97,6 +97,28 @@ pub trait Interconnect: std::fmt::Debug {
     /// Short human-readable name ("fsoi", "mesh", "L0"…).
     fn name(&self) -> &'static str;
 
+    /// The earliest cycle `>= now()` at which the network could do any
+    /// work on its own — deliver, resolve a slot, drain a confirmation,
+    /// start a transmission. `Some(Cycle(u64::MAX))` means "never without
+    /// a new injection"; `None` means "unknown — drive me cycle by
+    /// cycle". The default is the conservative pair: unknown while busy,
+    /// never while idle.
+    fn next_event_at(&self) -> Option<Cycle> {
+        if self.is_idle() {
+            Some(Cycle(u64::MAX))
+        } else {
+            None
+        }
+    }
+    /// Advances the network to `target`, processing internal events at
+    /// their exact cycles. The default ticks cycle by cycle; event-driven
+    /// networks override it with a fast-forwarding implementation.
+    fn advance_to(&mut self, target: Cycle) {
+        while self.now() < target {
+            self.tick();
+        }
+    }
+
     /// Registers that `dst` expects a data reply from `src` (FSOI hint
     /// optimization); default no-op.
     fn expect_data(&mut self, _dst: usize, _src: usize) {}
@@ -247,6 +269,14 @@ impl Interconnect for FsoiAdapter {
 
     fn name(&self) -> &'static str {
         "fsoi"
+    }
+
+    fn next_event_at(&self) -> Option<Cycle> {
+        Some(self.net.next_event_at().unwrap_or(Cycle(u64::MAX)))
+    }
+
+    fn advance_to(&mut self, target: Cycle) {
+        self.net.advance_to(target);
     }
 
     fn expect_data(&mut self, dst: usize, src: usize) {

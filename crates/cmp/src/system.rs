@@ -202,8 +202,64 @@ impl CmpSystem {
                 self.net.name()
             );
             self.tick();
+            self.fast_forward(max);
         }
         self.report()
+    }
+
+    /// Jumps `now` to the next cycle at which anything can happen — the
+    /// earliest pending event, core issue or spin-probe time, or network
+    /// event — bulk-accounting the skipped span. A no-op when work is due
+    /// this cycle, the injection backlog is non-empty (it retries every
+    /// cycle), or the network cannot bound its next event.
+    ///
+    /// Byte-identical to ticking through the span: no pending event, core
+    /// transition, or network event lies strictly inside it, so every
+    /// skipped `tick` would have been pure bookkeeping — constant-state
+    /// core accounting, which `account_cycles` reproduces exactly.
+    fn fast_forward(&mut self, max: u64) {
+        if !self.inject_backlog.is_empty() {
+            return; // the backlog retries every cycle
+        }
+        // Cheap bounds first — core deadlines and the pending-event
+        // queue. In busy phases something is almost always due within a
+        // cycle, and bailing here keeps the network scan (the expensive
+        // bound) off the per-tick path.
+        let mut next = Cycle(u64::MAX);
+        if let Some(t) = self.pending.peek_time() {
+            next = next.min(t);
+        }
+        for c in &self.cores {
+            match c.state {
+                CoreState::Ready => next = next.min(c.next_at),
+                CoreState::SpinLock { next_probe, .. }
+                | CoreState::SpinBarrier { next_probe, .. } => next = next.min(next_probe),
+                _ => {}
+            }
+        }
+        if next.as_u64() <= self.now.as_u64() + 1 {
+            return; // due now or next cycle: a skip could not save a tick
+        }
+        match self.net.next_event_at() {
+            Some(t) => next = next.min(t),
+            None => return, // busy network without an event bound: tick it
+        }
+        if next == Cycle(u64::MAX) {
+            return; // nothing schedulable anywhere (drained, or wedged —
+                    // the run loop's overrun assert still fires at `max`)
+        }
+        // Never skip past the drain deadline: the overrun assert in `run`
+        // fires at the same cycle it would cycle-by-cycle.
+        let next = next.min(Cycle(max));
+        if next <= self.now {
+            return;
+        }
+        let skipped = next.as_u64() - self.now.as_u64();
+        self.net.advance_to(next);
+        for c in &mut self.cores {
+            c.account_cycles(skipped);
+        }
+        self.now = next;
     }
 
     fn finished(&self) -> bool {
@@ -347,6 +403,9 @@ impl CmpSystem {
     }
 
     fn retry_backlog(&mut self) {
+        if self.inject_backlog.is_empty() {
+            return;
+        }
         let mut still = VecDeque::new();
         while let Some((from, pkt)) = self.inject_backlog.pop_front() {
             if let Err(p) = self.net.inject(pkt) {
@@ -983,6 +1042,54 @@ mod tests {
             table_a, table_b,
             "same-seed table exports must be byte-identical"
         );
+    }
+
+    /// Drives a system to completion with `tick()` only — the reference
+    /// the fast-forwarding `run()` must match byte for byte.
+    fn run_cycle_by_cycle(mut sys: CmpSystem, max: u64) -> RunReport {
+        while !sys.finished() {
+            assert!(sys.now().as_u64() < max, "reference run did not drain");
+            sys.tick();
+        }
+        sys.report()
+    }
+
+    #[test]
+    fn fast_forward_is_byte_identical_on_idle_heavy_workload() {
+        // Long compute gaps leave the network idle most of the time, so
+        // the fast path spends almost every iteration skipping; the full
+        // export must still match the cycle-by-cycle reference exactly.
+        let build = || {
+            let (cfg, mut app) = small_cfg(NetworkKind::fsoi(16));
+            app.mean_gap = 400.0;
+            app.ops_per_core = 60;
+            CmpSystem::new(cfg, app)
+        };
+        let fast = build().run(2_000_000);
+        let slow = run_cycle_by_cycle(build(), 2_000_000);
+        assert_eq!(fast.cycles, slow.cycles, "clocks must agree");
+        let (fa, sa) = (fast.registry(), slow.registry());
+        assert_eq!(fa.to_jsonl(), sa.to_jsonl(), "exports must be identical");
+        assert_eq!(fa.to_table(), sa.to_table());
+    }
+
+    #[test]
+    fn fast_forward_is_byte_identical_on_saturated_workload() {
+        // Back-to-back shared accesses keep every slot busy, so the fast
+        // path degenerates to ticking — it must change nothing.
+        let build = || {
+            let (cfg, mut app) = small_cfg(NetworkKind::fsoi(16));
+            app.mean_gap = 1.0;
+            app.shared_hot_fraction = 0.5;
+            app.ops_per_core = 250;
+            CmpSystem::new(cfg, app)
+        };
+        let fast = build().run(4_000_000);
+        let slow = run_cycle_by_cycle(build(), 4_000_000);
+        assert_eq!(fast.cycles, slow.cycles, "clocks must agree");
+        let (fa, sa) = (fast.registry(), slow.registry());
+        assert_eq!(fa.to_jsonl(), sa.to_jsonl(), "exports must be identical");
+        assert_eq!(fa.to_table(), sa.to_table());
     }
 
     #[test]

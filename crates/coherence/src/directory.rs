@@ -72,7 +72,18 @@ impl DirEntry {
     }
 
     fn sharer_list(&self) -> Vec<usize> {
-        (0..128).filter(|&i| self.sharers >> i & 1 == 1).collect()
+        self.sharer_iter().collect()
+    }
+
+    /// Number of sharers, straight off the bit mask (no allocation).
+    fn sharer_count(&self) -> usize {
+        self.sharers.count_ones() as usize
+    }
+
+    /// Iterates set sharer bits in ascending node order. The iterator
+    /// copies the mask, so the entry may be mutated while it is live.
+    fn sharer_iter(&self) -> SharerIter {
+        SharerIter { bits: self.sharers }
     }
 
     fn is_sharer(&self, node: usize) -> bool {
@@ -85,6 +96,24 @@ impl DirEntry {
 
     fn remove_sharer(&mut self, node: usize) {
         self.sharers &= !(1 << node);
+    }
+}
+
+/// Ascending iterator over the set bits of a sharer mask.
+struct SharerIter {
+    bits: u128,
+}
+
+impl Iterator for SharerIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            return None;
+        }
+        let i = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(i)
     }
 }
 
@@ -138,6 +167,11 @@ impl Directory {
         self.entries
             .get(&line)
             .map_or(Vec::new(), |e| e.sharer_list())
+    }
+
+    /// Number of sharers of a line, without materializing the list.
+    pub fn sharer_count_of(&self, line: LineAddr) -> usize {
+        self.entries.get(&line).map_or(0, |e| e.sharer_count())
     }
 
     /// The owner of a line in `DM`, if any.
@@ -308,14 +342,14 @@ impl Directory {
                         let upgrade = kind == ReqType::Upg;
                         let e = self.tracked_mut(line);
                         e.remove_sharer(from);
-                        let victims = e.sharer_list();
-                        e.acks_pending = victims.len() as u32;
+                        let victims = e.sharer_iter();
+                        e.acks_pending = e.sharer_count() as u32;
                         e.requester = from;
                         e.sharers = 0;
-                        for v in &victims {
+                        for v in victims {
                             self.stats.invalidations += 1;
                             out.push(OutMsg {
-                                to: *v,
+                                to: v,
                                 msg: CoherenceMsg::Inv { line },
                             });
                         }
@@ -692,10 +726,10 @@ impl Directory {
                 }
                 DirState::DS => {
                     let e = self.tracked_mut(line);
-                    let victims = e.sharer_list();
-                    e.acks_pending = victims.len() as u32;
+                    let victims = e.sharer_iter();
+                    e.acks_pending = e.sharer_count() as u32;
                     e.sharers = 0;
-                    if victims.is_empty() {
+                    if e.acks_pending == 0 {
                         self.remove_with_memory_writeback(line, out);
                     } else {
                         e.state = DirState::DSDIA;
@@ -876,6 +910,7 @@ mod tests {
         let mut sharers = d.sharers_of(L);
         sharers.sort_unstable();
         assert_eq!(sharers, vec![1, 2]);
+        assert_eq!(d.sharer_count_of(L), 2);
     }
 
     #[test]
@@ -928,7 +963,7 @@ mod tests {
         )
         .unwrap();
         d.handle(3, req(ReqType::Sh, L)).unwrap();
-        assert_eq!(d.sharers_of(L).len(), 3);
+        assert_eq!(d.sharer_count_of(L), 3);
         // Sharer 2 upgrades: invalidate 1 and 3, then ExcAck.
         let out = d.handle(2, req(ReqType::Upg, L)).unwrap();
         let inv_targets: Vec<usize> = out.iter().map(|m| m.to).collect();

@@ -137,6 +137,12 @@ impl ConfirmationChannel {
     pub fn pending(&self) -> usize {
         self.in_flight.len()
     }
+
+    /// Arrival cycle of the earliest in-flight confirmation, if any (the
+    /// fast-forward scheduler must not skip past a drain).
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.in_flight.peek_time()
+    }
 }
 
 /// Registry of mini-cycle reservations for boolean subscriptions (§5.1).
@@ -207,6 +213,7 @@ mod tests {
             kind: ConfirmationKind::Receipt { packet_id: 7 },
         };
         ch.send(Cycle(10), c);
+        assert_eq!(ch.next_due(), Some(Cycle(12)));
         assert!(ch.drain_due(Cycle(11)).is_empty());
         let due = ch.drain_due(Cycle(12));
         assert_eq!(due.len(), 1);
@@ -214,6 +221,7 @@ mod tests {
         assert_eq!(due[0].1, c);
         assert_eq!(ch.sent(), 1);
         assert_eq!(ch.pending(), 0);
+        assert_eq!(ch.next_due(), None);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::packet::{HeaderCode, Packet, PacketClass};
 use crate::phase_array::PhaseArraySteering;
 use crate::spacing::ReplySlotReservations;
 use crate::topology::{receiver_index, NodeId};
-use fsoi_sim::det::{DetMap, DetSet};
+use fsoi_sim::det::NodeMask;
 use fsoi_sim::event::EventQueue;
 use fsoi_sim::metrics::Registry;
 use fsoi_sim::queue::BoundedQueue;
@@ -193,7 +193,69 @@ struct NodeState {
     retries: [EventQueue<Packet>; 2],
     steering: [PhaseArraySteering; 2],
     reservations: ReplySlotReservations,
-    expected_data: DetSet<NodeId>,
+    expected_data: NodeMask,
+}
+
+/// An in-flight slot group: the packets that occupy one `(dst, rx, slot)`
+/// cell of a lane until its resolution event fires.
+#[derive(Debug)]
+struct SlotGroup {
+    slot_id: u64,
+    packets: Vec<Packet>,
+}
+
+/// Dense per-lane active-slot state, indexed `dst * receivers + rx`.
+///
+/// The replacement for the old `DetMap<GroupKey, Vec<Packet>>`: group
+/// lookup on the tx and resolve paths becomes one array index plus a
+/// linear scan of the (at most two — current slot and a not-yet-resolved
+/// previous slot under phase-array setup) groups live in that cell.
+/// Determinism is structural: cells are only ever addressed point-wise by
+/// a concrete key — nothing iterates the table — so no iteration order
+/// exists to diverge.
+#[derive(Debug)]
+struct SlotTable {
+    cells: Vec<Vec<SlotGroup>>,
+    receivers: usize,
+    live: usize,
+}
+
+impl SlotTable {
+    fn new(nodes: usize, receivers: usize) -> Self {
+        SlotTable {
+            cells: (0..nodes * receivers).map(|_| Vec::new()).collect(),
+            receivers,
+            live: 0,
+        }
+    }
+
+    /// Adds `packet` to its slot group, drawing a recycled packet buffer
+    /// from `pool` when the group is new. Returns true exactly when a new
+    /// group was created — the caller owes one resolution event per group.
+    fn push(&mut self, key: &GroupKey, packet: Packet, pool: &mut Vec<Vec<Packet>>) -> bool {
+        let cell = &mut self.cells[key.dst.0 * self.receivers + key.rx];
+        if let Some(group) = cell.iter_mut().find(|g| g.slot_id == key.slot_id) {
+            group.packets.push(packet);
+            return false;
+        }
+        let mut packets = pool.pop().unwrap_or_default();
+        packets.push(packet);
+        cell.push(SlotGroup {
+            slot_id: key.slot_id,
+            packets,
+        });
+        self.live += 1;
+        true
+    }
+
+    /// Removes and returns the packets of `key`'s group, if it is live.
+    /// The caller returns the buffer to the pool after resolving it.
+    fn take(&mut self, key: &GroupKey) -> Option<Vec<Packet>> {
+        let cell = &mut self.cells[key.dst.0 * self.receivers + key.rx];
+        let pos = cell.iter().position(|g| g.slot_id == key.slot_id)?;
+        self.live -= 1;
+        Some(cell.swap_remove(pos).packets)
+    }
 }
 
 /// The free-space optical interconnect simulator.
@@ -203,9 +265,13 @@ pub struct FsoiNetwork {
     now: Cycle,
     rng: Xoshiro256StarStar,
     nodes: Vec<NodeState>,
-    // Deterministic map (lint rule D1): slot groups feed collision
-    // resolution and the delivered-packet order, which feed every export.
-    groups: DetMap<GroupKey, Vec<Packet>>,
+    // Slot groups feed collision resolution and the delivered-packet
+    // order, which feed every export; the dense table is deterministic by
+    // construction (point-wise addressing only, lint rule D1).
+    slots: [SlotTable; 2],
+    // Free-list of packet buffers for slot groups: steady-state slot
+    // turnover recycles instead of allocating.
+    pool: Vec<Vec<Packet>>,
     resolutions: EventQueue<GroupKey>,
     confirmations: ConfirmationChannel,
     delivered: Vec<Delivered>,
@@ -218,6 +284,11 @@ pub struct FsoiNetwork {
 impl FsoiNetwork {
     /// Creates a network from a configuration and RNG seed.
     pub fn new(cfg: FsoiConfig, seed: u64) -> Self {
+        assert!(
+            cfg.nodes <= NodeMask::CAPACITY,
+            "expected-data masks hold at most {} nodes",
+            NodeMask::CAPACITY
+        );
         let qcap = cfg.outgoing_queue_capacity;
         let nodes = (0..cfg.nodes)
             .map(|_| NodeState {
@@ -226,9 +297,13 @@ impl FsoiNetwork {
                 retries: [EventQueue::new(), EventQueue::new()],
                 steering: [PhaseArraySteering::new(), PhaseArraySteering::new()],
                 reservations: ReplySlotReservations::new(),
-                expected_data: DetSet::new(),
+                expected_data: NodeMask::new(),
             })
             .collect();
+        let slots = [
+            SlotTable::new(cfg.nodes, cfg.lanes.spec(PacketClass::Meta).receivers),
+            SlotTable::new(cfg.nodes, cfg.lanes.spec(PacketClass::Data).receivers),
+        ];
         let slot_len = [
             cfg.lanes.slot_cycles(PacketClass::Meta),
             cfg.lanes.slot_cycles(PacketClass::Data),
@@ -248,7 +323,8 @@ impl FsoiNetwork {
             now: Cycle::ZERO,
             rng: Xoshiro256StarStar::new(seed),
             nodes,
-            groups: DetMap::new(),
+            slots,
+            pool: Vec::new(),
             resolutions: EventQueue::new(),
             confirmations: ConfirmationChannel::new(confirmation_delay),
             delivered: Vec::new(),
@@ -342,12 +418,12 @@ impl FsoiNetwork {
     /// Registers that `dst` expects a data-packet reply from `src` (drives
     /// the §5.2 hint candidate set).
     pub fn expect_data(&mut self, dst: NodeId, src: NodeId) {
-        self.nodes[dst.0].expected_data.insert(src);
+        self.nodes[dst.0].expected_data.insert(src.0);
     }
 
     /// Clears an expectation (reply received or transaction aborted).
     pub fn clear_expected(&mut self, dst: NodeId, src: NodeId) {
-        self.nodes[dst.0].expected_data.remove(&src);
+        self.nodes[dst.0].expected_data.remove(src.0);
     }
 
     /// Access to a node's incoming-data-slot reservation book (request
@@ -369,7 +445,7 @@ impl FsoiNetwork {
 
     /// True when no packet is queued, in flight, or awaiting retry.
     pub fn is_idle(&self) -> bool {
-        self.groups.is_empty()
+        self.slots.iter().all(|t| t.live == 0)
             && self.resolutions.is_empty()
             && self.nodes.iter().all(|n| {
                 n.out.iter().all(|q| q.is_empty()) && n.retries.iter().all(|r| r.is_empty())
@@ -378,29 +454,108 @@ impl FsoiNetwork {
 
     /// Advances the simulation by one cycle.
     pub fn tick(&mut self) {
+        self.step_cycle();
+        self.now += 1;
+    }
+
+    /// Processes everything due at the current cycle (the body of
+    /// [`tick`](Self::tick), without the time advance).
+    fn step_cycle(&mut self) {
         self.resolve_slots();
         self.start_transmissions();
         // Confirmations are drained for bookkeeping; their information
         // content (receipt, hints) has already been applied at resolution
         // time with the correct delays.
         let _ = self.confirmations.drain_due(self.now);
-        self.now += 1;
     }
 
-    /// Runs `cycles` ticks.
+    /// Runs `cycles` ticks, fast-forwarding over provably empty cycles.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.tick();
+        self.advance_to(self.now + cycles);
+    }
+
+    /// The earliest cycle `>= now` at which the network has any work to
+    /// do: the next resolution event, the next confirmation arrival, or
+    /// the next slot boundary at which some node can start a transmission
+    /// (a queued packet, or a retry that will have matured by then).
+    /// Returns `None` when the network is completely quiet — nothing will
+    /// ever happen again without a new injection.
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        let now = self.now.as_u64();
+        let mut next = u64::MAX;
+        if let Some(t) = self.resolutions.peek_time() {
+            next = next.min(t.as_u64());
+        }
+        if let Some(t) = self.confirmations.next_due() {
+            next = next.min(t.as_u64());
+        }
+        for lane in 0..2 {
+            let slot = self.slot_len[lane];
+            for node in &self.nodes {
+                // Earliest cycle this node could pop a packet on this
+                // lane: queued work is ready immediately, a retry matures
+                // at its scheduled cycle. The transmission then waits for
+                // the transmitter to go quiet and the next slot boundary —
+                // exactly the eligibility test in `start_transmissions`.
+                let mut ready = u64::MAX;
+                if !node.out[lane].is_empty() {
+                    ready = now;
+                }
+                if let Some(r) = node.retries[lane].peek_time() {
+                    ready = ready.min(r.as_u64().max(now));
+                }
+                if ready == u64::MAX {
+                    continue;
+                }
+                let eligible = Cycle(ready.max(node.tx_busy_until[lane].as_u64()));
+                next = next.min(eligible.round_up_to_slot(slot).as_u64());
+            }
+        }
+        (next != u64::MAX).then_some(Cycle(next))
+    }
+
+    /// Advances the simulation to `target`, jumping straight to each next
+    /// interesting cycle instead of ticking one by one.
+    ///
+    /// Byte-identical to calling [`tick`](Self::tick) `target - now`
+    /// times: a cycle below the [`next_event_at`](Self::next_event_at)
+    /// bound pops no resolution, starts no transmission, and drains no
+    /// confirmation, so it touches neither the RNG nor any queue — skipping
+    /// it skips nothing. Cycles that do have work are processed in full, in
+    /// order, at their exact times.
+    pub fn advance_to(&mut self, target: Cycle) {
+        while self.now < target {
+            match self.next_event_at() {
+                Some(at) if at < target => {
+                    self.now = self.now.max(at);
+                    self.step_cycle();
+                    self.now += 1;
+                }
+                _ => self.now = target,
+            }
         }
     }
 
     fn start_transmissions(&mut self) {
+        // Hoisted slot-boundary flags: off-boundary cycles (the common
+        // case when the lanes' slots are long) return before touching any
+        // node state. The node-major × lane order of the loop below is
+        // load-bearing — it fixes the insertion order of same-cycle
+        // resolution events, which fixes the resolver's RNG draw order —
+        // so the flags gate each lane in place rather than restructuring.
+        let boundary = [
+            self.now.is_slot_boundary(self.slot_len[0]),
+            self.now.is_slot_boundary(self.slot_len[1]),
+        ];
+        if !boundary[0] && !boundary[1] {
+            return;
+        }
         for node_idx in 0..self.nodes.len() {
-            for lane in 0..2 {
-                let slot = self.slot_len[lane];
-                if !self.now.is_slot_boundary(slot) {
+            for (lane, &at_boundary) in boundary.iter().enumerate() {
+                if !at_boundary {
                     continue;
                 }
+                let slot = self.slot_len[lane];
                 if self.nodes[node_idx].tx_busy_until[lane] > self.now {
                     continue;
                 }
@@ -459,17 +614,20 @@ impl FsoiNetwork {
                 });
                 // All packets of a slot resolve at the same deterministic
                 // cycle: slot end plus the worst-case phase-array setup.
+                // One resolution event per slot group — the packet that
+                // opens the group schedules it, later colliders just join.
                 let resolve_at = Cycle((key.slot_id + 1) * slot + self.cfg.phase_array_setup());
-                self.groups.entry(key).or_default().push(packet);
-                self.resolutions.push(resolve_at, key);
+                if self.slots[lane].push(&key, packet, &mut self.pool) {
+                    self.resolutions.push(resolve_at, key);
+                }
             }
         }
     }
 
     fn resolve_slots(&mut self) {
         while let Some((resolve_at, key)) = self.resolutions.pop_due(self.now) {
-            let Some(group) = self.groups.remove(&key) else {
-                continue; // already resolved (duplicate event)
+            let Some(mut group) = self.slots[key.lane].take(&key) else {
+                continue; // defensive: every event has exactly one group
             };
             if group.len() == 1 {
                 // A clean slot can still be hit by a raw bit error; the
@@ -486,8 +644,10 @@ impl FsoiNetwork {
                     self.deliver(group[0], resolve_at);
                 }
             } else {
-                self.collide(key, group, resolve_at);
+                self.collide(key, &group, resolve_at);
             }
+            group.clear();
+            self.pool.push(group);
         }
     }
 
@@ -575,7 +735,7 @@ impl FsoiNetwork {
         self.nodes[packet.src.0].retries[lane].push(ready, packet);
     }
 
-    fn collide(&mut self, key: GroupKey, group: Vec<Packet>, at: Cycle) {
+    fn collide(&mut self, key: GroupKey, group: &[Packet], at: Cycle) {
         let lane = key.lane;
         self.stats.collision_events[lane] += 1;
         self.stats.collided_packets[lane] += group.len() as u64;
@@ -586,13 +746,13 @@ impl FsoiNetwork {
         let next_boundary = detect.round_up_to_slot(slot);
 
         let winner = if lane == PacketClass::Data.lane() && self.cfg.hints {
-            self.select_hint_winner(key.dst, &group, next_boundary)
+            self.select_hint_winner(key.dst, group, next_boundary)
         } else {
             None
         };
 
         let group_size = group.len() as u64;
-        for mut packet in group {
+        for mut packet in group.iter().copied() {
             packet.retries += 1;
             self.stats.retransmissions[lane] += 1;
             trace::emit_with(at, || TraceEvent::Collide {
@@ -656,7 +816,7 @@ impl FsoiNetwork {
             let filtered: Vec<NodeId> = superset
                 .iter()
                 .copied()
-                .filter(|s| expected.contains(s))
+                .filter(|s| expected.contains(s.0))
                 .collect();
             if filtered.is_empty() {
                 superset.clone()
@@ -940,9 +1100,9 @@ mod tests {
     fn expected_data_registry_updates() {
         let mut net = net16(14);
         net.expect_data(NodeId(3), NodeId(7));
-        assert!(net.nodes[3].expected_data.contains(&NodeId(7)));
+        assert!(net.nodes[3].expected_data.contains(7));
         net.clear_expected(NodeId(3), NodeId(7));
-        assert!(!net.nodes[3].expected_data.contains(&NodeId(7)));
+        assert!(!net.nodes[3].expected_data.contains(7));
     }
 
     #[test]
@@ -1119,6 +1279,93 @@ mod tests {
         }
         run_until_idle(&mut net, 5_000);
         assert_eq!(net.stats().bit_error_drops, [0, 0]);
+    }
+
+    #[test]
+    fn one_resolution_event_per_slot_group() {
+        // Three senders sharing receiver 0 at node 5 collide in slot 0:
+        // the heap must carry one event for the group, not one per packet.
+        let mut net = net16(40);
+        for src in [0usize, 2, 4] {
+            assert_eq!(receiver_index(NodeId(src), NodeId(5), 16, 2), 0);
+            net.inject(Packet::new(NodeId(src), NodeId(5), PacketClass::Meta, 0))
+                .unwrap();
+        }
+        net.tick(); // cycle 0: all three transmit into the same slot group
+        assert_eq!(net.slots[0].live, 1, "one live group");
+        assert_eq!(
+            net.resolutions.len(),
+            net.slots[0].live,
+            "heap length tracks group count, not packet count"
+        );
+        let out = run_until_idle(&mut net, 20_000);
+        assert_eq!(out.len(), 3, "the burst still drains");
+        assert!(net.stats().collision_events[0] >= 1);
+    }
+
+    #[test]
+    fn slot_group_buffers_are_pooled() {
+        let mut net = net16(41);
+        for i in 0..4 {
+            net.inject(Packet::new(NodeId(0), NodeId(1), PacketClass::Meta, i))
+                .unwrap();
+        }
+        run_until_idle(&mut net, 100);
+        assert!(
+            !net.pool.is_empty(),
+            "resolved groups return their buffers to the free-list"
+        );
+        assert_eq!(net.slots[0].live, 0);
+    }
+
+    #[test]
+    fn next_event_at_tracks_pending_work() {
+        let mut net = net16(42);
+        assert_eq!(net.next_event_at(), None, "quiet network has no events");
+        net.inject(Packet::new(NodeId(0), NodeId(5), PacketClass::Meta, 0))
+            .unwrap();
+        // Queued work at cycle 0, which is a slot boundary.
+        assert_eq!(net.next_event_at(), Some(Cycle(0)));
+        net.tick();
+        // In flight: the slot resolves at cycle 2.
+        assert_eq!(net.next_event_at(), Some(Cycle(2)));
+        net.tick();
+        net.tick();
+        // Delivered at 2; only the receipt confirmation (due 4) remains.
+        assert_eq!(net.delivered_count(), 1);
+        assert_eq!(net.next_event_at(), Some(Cycle(4)));
+        net.run(10);
+        assert_eq!(net.next_event_at(), None);
+    }
+
+    #[test]
+    fn fast_forward_matches_cycle_by_cycle() {
+        // The same contended workload driven by tick() and by run() must
+        // land on identical deliveries, stats exports, and clock.
+        let drive = |fast: bool| {
+            let mut net = net16(43);
+            for src in 1..16 {
+                net.expect_data(NodeId(src), NodeId(0));
+                net.inject(Packet::new(NodeId(src), NodeId(0), PacketClass::Data, 0))
+                    .unwrap();
+            }
+            if fast {
+                net.run(20_000);
+            } else {
+                for _ in 0..20_000 {
+                    net.tick();
+                }
+            }
+            let delivered: Vec<(u64, usize, u64)> = net
+                .drain_delivered()
+                .iter()
+                .map(|d| (d.packet.id, d.packet.src.0, d.delivered_at.as_u64()))
+                .collect();
+            let mut reg = Registry::new();
+            net.stats().export(&mut reg);
+            (delivered, reg.to_jsonl(), net.now())
+        };
+        assert_eq!(drive(true), drive(false));
     }
 
     #[test]

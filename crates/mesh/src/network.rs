@@ -4,7 +4,7 @@ use crate::config::MeshConfig;
 use crate::packet::{flits_of, Flit, MeshPacket};
 use crate::router::Router;
 use crate::routing::{coords, node_at, Port};
-use fsoi_sim::event::EventQueue;
+use fsoi_sim::event::MonotoneQueue;
 use fsoi_sim::queue::BoundedQueue;
 use fsoi_sim::stats::Summary;
 use fsoi_sim::Cycle;
@@ -68,10 +68,18 @@ pub struct MeshNetwork {
     routers: Vec<Router>,
     /// Per-node packet injection queues.
     inject_q: Vec<BoundedQueue<MeshPacket>>,
+    /// Packets across all injection queues (O(1) gate for `inject_flits`).
+    queued: usize,
     /// Per-node current packet being flit-injected.
     injecting: Vec<Option<InjectionState>>,
+    /// Nodes with an in-progress flit injection.
+    streaming: usize,
     /// Flits in flight on links: (destination router, in-port, vc, flit).
-    links: EventQueue<(usize, usize, usize, Flit)>,
+    /// Every push is due `link_cycles` after `now`, so arrival order is
+    /// push order — the FIFO queue is exactly the event-heap order.
+    links: MonotoneQueue<(usize, usize, usize, Flit)>,
+    /// Scratch buffer for per-router departures, reused across cycles.
+    departures: Vec<crate::router::Departure>,
     /// Partial packets being reassembled at ejection (tail ⇒ delivered).
     delivered: Vec<MeshDelivered>,
     stats: MeshStats,
@@ -87,8 +95,11 @@ impl MeshNetwork {
             inject_q: (0..n)
                 .map(|_| BoundedQueue::new(cfg.injection_queue))
                 .collect(),
+            queued: 0,
             injecting: (0..n).map(|_| None).collect(),
-            links: EventQueue::new(),
+            streaming: 0,
+            links: MonotoneQueue::new(),
+            departures: Vec::new(),
             delivered: Vec::new(),
             stats: MeshStats::default(),
             next_id: 0,
@@ -130,6 +141,7 @@ impl MeshNetwork {
             Ok(()) => {
                 self.next_id += 1;
                 self.stats.injected += 1;
+                self.queued += 1;
                 Ok(packet.id)
             }
             Err(p) => {
@@ -151,9 +163,14 @@ impl MeshNetwork {
 
     /// True when nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
+        debug_assert_eq!(self.queued == 0, self.inject_q.iter().all(|q| q.is_empty()));
+        debug_assert_eq!(
+            self.streaming == 0,
+            self.injecting.iter().all(|i| i.is_none())
+        );
         self.links.is_empty()
-            && self.inject_q.iter().all(|q| q.is_empty())
-            && self.injecting.iter().all(|i| i.is_none())
+            && self.queued == 0
+            && self.streaming == 0
             && self.routers.iter().all(|r| r.is_idle())
     }
 
@@ -182,16 +199,21 @@ impl MeshNetwork {
     }
 
     fn inject_flits(&mut self) {
+        if self.queued == 0 && self.streaming == 0 {
+            return; // no node has anything to inject
+        }
         let local = Port::Local.index();
         for node in 0..self.routers.len() {
             if self.injecting[node].is_none() {
                 if let Some(&pkt) = self.inject_q[node].front() {
                     if let Some(vc) = self.routers[node].free_local_vc() {
                         self.inject_q[node].pop();
+                        self.queued -= 1;
                         self.injecting[node] = Some(InjectionState {
                             flits: flits_of(pkt).into(),
                             vc,
                         });
+                        self.streaming += 1;
                     }
                 }
             }
@@ -203,6 +225,7 @@ impl MeshNetwork {
                 }
                 if state.flits.is_empty() {
                     self.injecting[node] = None;
+                    self.streaming -= 1;
                 }
             }
         }
@@ -211,9 +234,11 @@ impl MeshNetwork {
     fn traverse_switches(&mut self) {
         let local = Port::Local.index();
         let width = self.cfg.width;
+        let mut departures = std::mem::take(&mut self.departures);
         for node in 0..self.routers.len() {
-            let departures = self.routers[node].switch(self.now);
-            for dep in departures {
+            departures.clear();
+            self.routers[node].switch_into(self.now, &mut departures);
+            for &dep in &departures {
                 // The consumed input-buffer slot frees a credit upstream
                 // (injection from the local port is credit-free: the
                 // injector checks buffer space directly).
@@ -264,6 +289,7 @@ impl MeshNetwork {
                 );
             }
         }
+        self.departures = departures;
         // Credit returns: a flit consumed from an input buffer frees a slot
         // upstream. We return credits for the flits that traversed switches
         // this cycle (handled above by reading router counters is racy, so

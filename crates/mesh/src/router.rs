@@ -69,6 +69,13 @@ pub struct Router {
     /// Round-robin pointers for fair allocation.
     va_rr: Vec<usize>,
     sa_rr: usize,
+    /// Input VCs that are live — buffered flits or an in-progress route.
+    /// O(1) idle test: `allocate`/`switch` scan nothing when it is zero.
+    live_vcs: usize,
+    /// Bit `port * vcs + vc` set iff that input VC has buffered flits.
+    /// Lets `allocate`/`switch` visit only occupied VCs — in the same
+    /// order a full scan would, so arbitration is unchanged.
+    occ: u32,
     /// Event counters for the power model.
     pub(crate) buffer_writes: u64,
     pub(crate) buffer_reads: u64,
@@ -79,6 +86,7 @@ pub struct Router {
 impl Router {
     /// Creates the router for mesh node `node`.
     pub fn new(cfg: &MeshConfig, node: usize) -> Self {
+        assert!(5 * cfg.vcs <= 32, "occupancy mask is u32: at most 6 VCs");
         Router {
             node,
             vcs: cfg.vcs,
@@ -92,6 +100,8 @@ impl Router {
             credits: vec![vec![cfg.vc_depth; cfg.vcs]; 5],
             va_rr: vec![0; 5],
             sa_rr: 0,
+            live_vcs: 0,
+            occ: 0,
             buffer_writes: 0,
             buffer_reads: 0,
             crossbar_traversals: 0,
@@ -126,7 +136,11 @@ impl Router {
             "credit violation at node {} port {port} vc {vc}",
             self.node
         );
+        if ch.buf.is_empty() && ch.route.is_none() {
+            self.live_vcs += 1;
+        }
         ch.buf.push_back((flit, now));
+        self.occ |= 1 << (port * self.vcs + vc);
         self.buffer_writes += 1;
     }
 
@@ -139,49 +153,51 @@ impl Router {
 
     /// Route computation + VC allocation for every input VC whose head
     /// flit is ready.
+    ///
+    /// RC and VA run as one pass in (port, vc) order. That matches the
+    /// original two-pass formulation exactly: RC reads only its own
+    /// channel, and VA's round-robin state evolves in the same (port, vc)
+    /// order either way.
     pub fn allocate(&mut self, now: Cycle) {
-        // RC: front flit is a head and no route yet.
-        for port in 0..5 {
-            for vc in 0..self.vcs {
-                let ch = &self.inputs[port][vc];
-                let Some(&(flit, _arr)) = ch.buf.front() else {
-                    continue;
-                };
-                if ch.route.is_none() && flit.kind.is_head() {
-                    let out = xy_route(self.node, flit.packet.dst, self.width);
-                    self.inputs[port][vc].route = Some(out.index());
-                }
+        // Only occupied VCs can have a head at the front; walking the
+        // occupancy mask LSB-first is the full scan's (port, vc) order.
+        let mut bits = self.occ;
+        while bits != 0 {
+            let idx = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let (port, vc) = (idx / self.vcs, idx % self.vcs);
+            let ch = &self.inputs[port][vc];
+            let Some(&(flit, _arr)) = ch.buf.front() else {
+                continue;
+            };
+            if !flit.kind.is_head() {
+                continue;
             }
-        }
-        // VA: separable, output-side round-robin over free out VCs.
-        for port in 0..5 {
-            for vc in 0..self.vcs {
-                let ch = &self.inputs[port][vc];
-                let Some(&(flit, _)) = ch.buf.front() else {
-                    continue;
-                };
-                let (Some(out), None) = (ch.route, ch.out_vc) else {
-                    continue;
-                };
-                if !flit.kind.is_head() {
-                    continue;
-                }
-                if out == Port::Local.index() {
-                    // Ejection has a dedicated sink: no VC contention.
-                    self.inputs[port][vc].out_vc = Some(0);
-                    continue;
-                }
-                // Find a free downstream VC, starting at the RR pointer.
-                let start = self.va_rr[out];
-                let grant = (0..self.vcs)
-                    .map(|k| (start + k) % self.vcs)
-                    .find(|&cand| self.out_alloc[out][cand].is_none());
-                if let Some(g) = grant {
-                    self.out_alloc[out][g] = Some((port, vc));
-                    self.va_rr[out] = (g + 1) % self.vcs;
-                    self.inputs[port][vc].out_vc = Some(g);
-                    self.allocations += 1;
-                }
+            // RC: head at the front and no route yet.
+            if ch.route.is_none() {
+                let out = xy_route(self.node, flit.packet.dst, self.width);
+                self.inputs[port][vc].route = Some(out.index());
+            }
+            // VA: separable, output-side round-robin over free out VCs.
+            let ch = &self.inputs[port][vc];
+            let (Some(out), None) = (ch.route, ch.out_vc) else {
+                continue;
+            };
+            if out == Port::Local.index() {
+                // Ejection has a dedicated sink: no VC contention.
+                self.inputs[port][vc].out_vc = Some(0);
+                continue;
+            }
+            // Find a free downstream VC, starting at the RR pointer.
+            let start = self.va_rr[out];
+            let grant = (0..self.vcs)
+                .map(|k| (start + k) % self.vcs)
+                .find(|&cand| self.out_alloc[out][cand].is_none());
+            if let Some(g) = grant {
+                self.out_alloc[out][g] = Some((port, vc));
+                self.va_rr[out] = (g + 1) % self.vcs;
+                self.inputs[port][vc].out_vc = Some(g);
+                self.allocations += 1;
             }
         }
         let _ = now;
@@ -191,15 +207,45 @@ impl Router {
     /// port and one per input port, removes the winners from their buffers
     /// and returns them for the network to deliver.
     pub fn switch(&mut self, now: Cycle) -> Vec<Departure> {
+        let mut departures = Vec::new();
+        self.switch_into(now, &mut departures);
+        departures
+    }
+
+    /// [`switch`](Self::switch) into a caller-owned buffer (appended, not
+    /// cleared), so the per-cycle network loop reuses one allocation.
+    pub fn switch_into(&mut self, now: Cycle, departures: &mut Vec<Departure>) {
+        let total = 5 * self.vcs;
+        if self.live_vcs == 0 {
+            // An empty scan grants nothing but still rotates the SA
+            // round-robin pointer; rotate it here so arbitration after an
+            // idle stretch matches the scanned version bit for bit.
+            self.sa_rr = (self.sa_rr + 1) % total;
+            return;
+        }
         let mut out_taken = [false; 5];
         let mut in_taken = [false; 5];
-        let mut departures = Vec::new();
-        let total = 5 * self.vcs;
         let start = self.sa_rr;
-        for k in 0..total {
-            let idx = (start + k) % total;
-            let port = idx / self.vcs;
-            let vc = idx % self.vcs;
+        // Visit occupied VCs in cyclic (port, vc) order from the RR
+        // pointer: bits at or above `start` LSB-first, then the wrapped
+        // bits below it — the exact subsequence of the full scan's visit
+        // order that has a flit to consider.
+        let occ = self.occ;
+        let below = occ & ((1u32 << start) - 1);
+        let mut bits = occ ^ below;
+        let mut wrapped = false;
+        loop {
+            if bits == 0 {
+                if wrapped || below == 0 {
+                    break;
+                }
+                bits = below;
+                wrapped = true;
+                continue;
+            }
+            let idx = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let (port, vc) = (idx / self.vcs, idx % self.vcs);
             if in_taken[port] {
                 continue;
             }
@@ -243,6 +289,13 @@ impl Router {
                 ch.route = None;
                 ch.out_vc = None;
             }
+            let ch = &self.inputs[port][vc];
+            if ch.buf.is_empty() {
+                self.occ &= !(1 << idx);
+                if ch.route.is_none() {
+                    self.live_vcs -= 1;
+                }
+            }
             out_taken[out] = true;
             in_taken[port] = true;
             departures.push(Departure {
@@ -254,15 +307,28 @@ impl Router {
             });
         }
         self.sa_rr = (start + 1) % total;
-        departures
     }
 
     /// True when every buffer is empty and no VC holds state.
     pub fn is_idle(&self) -> bool {
-        self.inputs
-            .iter()
-            .flatten()
-            .all(|ch| ch.buf.is_empty() && ch.route.is_none())
+        debug_assert_eq!(
+            self.live_vcs == 0,
+            self.inputs
+                .iter()
+                .flatten()
+                .all(|ch| ch.buf.is_empty() && ch.route.is_none()),
+            "live_vcs counter out of sync at node {}",
+            self.node
+        );
+        debug_assert!(
+            (0..5 * self.vcs).all(|idx| {
+                let occupied = !self.inputs[idx / self.vcs][idx % self.vcs].buf.is_empty();
+                occupied == ((self.occ >> idx) & 1 == 1)
+            }),
+            "occupancy mask out of sync at node {}",
+            self.node
+        );
+        self.live_vcs == 0
     }
 
     /// An input VC of the local port able to accept a new packet's head

@@ -258,6 +258,131 @@ impl<T: Ord> FromIterator<T> for DetSet<T> {
     }
 }
 
+/// A deterministic set of small indices (node ids) backed by a `u128`
+/// bitmask.
+///
+/// The hot-path replacement for `DetSet<NodeId>` where the universe is
+/// bounded by the node count (≤ [`NodeMask::CAPACITY`]): membership is one
+/// shift-and-mask, and iteration walks set bits in strictly ascending
+/// index order — the same order a `DetSet` would produce — so swapping one
+/// for the other cannot perturb any export. Like its siblings above, it
+/// depends on nothing but its own bits: no hasher, no OS entropy (lint
+/// rule D1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeMask {
+    bits: u128,
+}
+
+impl NodeMask {
+    /// Largest index the mask can hold, exclusive.
+    pub const CAPACITY: usize = 128;
+
+    /// Creates an empty mask.
+    pub fn new() -> Self {
+        NodeMask { bits: 0 }
+    }
+
+    /// Inserts `index`; returns true if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= CAPACITY`.
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(
+            index < Self::CAPACITY,
+            "NodeMask index {index} out of range"
+        );
+        let bit = 1u128 << index;
+        let fresh = self.bits & bit == 0;
+        self.bits |= bit;
+        fresh
+    }
+
+    /// Removes `index`; returns true if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= CAPACITY`.
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(
+            index < Self::CAPACITY,
+            "NodeMask index {index} out of range"
+        );
+        let bit = 1u128 << index;
+        let present = self.bits & bit != 0;
+        self.bits &= !bit;
+        present
+    }
+
+    /// True if `index` is present. Out-of-range indices are simply absent.
+    pub fn contains(&self, index: usize) -> bool {
+        index < Self::CAPACITY && self.bits >> index & 1 == 1
+    }
+
+    /// Number of set indices.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// True when the mask holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Removes every index.
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+
+    /// Iterates set indices in ascending order.
+    pub fn iter(&self) -> NodeMaskIter {
+        NodeMaskIter { bits: self.bits }
+    }
+}
+
+impl IntoIterator for &NodeMask {
+    type Item = usize;
+    type IntoIter = NodeMaskIter;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for NodeMask {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut mask = NodeMask::new();
+        for i in iter {
+            mask.insert(i);
+        }
+        mask
+    }
+}
+
+/// Ascending-order iterator over the set bits of a [`NodeMask`].
+#[derive(Debug, Clone)]
+pub struct NodeMaskIter {
+    bits: u128,
+}
+
+impl Iterator for NodeMaskIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            return None;
+        }
+        let index = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1; // clear the lowest set bit
+        Some(index)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodeMaskIter {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +437,44 @@ mod tests {
         let mut s: DetSet<u32> = (0..10u32).collect();
         s.retain(|x| x % 3 == 0);
         assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn node_mask_matches_det_set_semantics() {
+        let mut mask = NodeMask::new();
+        let mut set: DetSet<usize> = DetSet::new();
+        for i in [5usize, 1, 127, 5, 64, 0] {
+            assert_eq!(mask.insert(i), set.insert(i), "insert({i})");
+        }
+        assert_eq!(mask.len(), set.len());
+        assert!(!mask.is_empty());
+        for i in 0..NodeMask::CAPACITY {
+            assert_eq!(mask.contains(i), set.contains(&i), "contains({i})");
+        }
+        // Iteration order is ascending, exactly like the BTree set.
+        let from_mask: Vec<usize> = mask.iter().collect();
+        let from_set: Vec<usize> = set.iter().copied().collect();
+        assert_eq!(from_mask, from_set);
+        assert_eq!(mask.iter().len(), mask.len());
+        assert_eq!(mask.remove(64), set.remove(&64));
+        assert_eq!(mask.remove(64), set.remove(&64), "double remove is false");
+        assert_eq!(mask.iter().collect::<Vec<_>>(), vec![0, 1, 5, 127]);
+        mask.clear();
+        assert!(mask.is_empty() && mask.iter().next().is_none());
+    }
+
+    #[test]
+    fn node_mask_round_trips_from_iterator() {
+        let mask: NodeMask = [9usize, 3, 100].into_iter().collect();
+        assert_eq!((&mask).into_iter().collect::<Vec<_>>(), vec![3, 9, 100]);
+        assert!(!mask.contains(4));
+        assert!(!mask.contains(usize::MAX), "out of range is just absent");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_mask_insert_past_capacity_panics() {
+        NodeMask::new().insert(NodeMask::CAPACITY);
     }
 
     #[test]

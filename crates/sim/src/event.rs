@@ -120,6 +120,74 @@ impl<T> EventQueue<T> {
     }
 }
 
+/// A time-ordered queue for the special case where events are scheduled
+/// in non-decreasing time order — fixed-delay pipelines such as link
+/// traversal, where everything pushed at cycle `t` is due at `t + L`.
+///
+/// Under that restriction a plain FIFO ring *is* the earliest-first,
+/// FIFO-tie-broken order of [`EventQueue`], with O(1) push/pop and no
+/// heap comparisons. Push order is pop order; determinism is inherited
+/// from the caller's push order exactly as with the heap.
+///
+/// # Panics
+///
+/// `push` panics (debug builds) if `at` is earlier than the most recent
+/// push — the monotonicity the FIFO equivalence rests on.
+#[derive(Debug)]
+pub struct MonotoneQueue<T> {
+    fifo: std::collections::VecDeque<(Cycle, T)>,
+}
+
+impl<T> Default for MonotoneQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MonotoneQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        MonotoneQueue {
+            fifo: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Schedules `payload` for cycle `at`; `at` must be no earlier than
+    /// any previously pushed time.
+    pub fn push(&mut self, at: Cycle, payload: T) {
+        debug_assert!(
+            self.fifo.back().is_none_or(|(t, _)| *t <= at),
+            "MonotoneQueue pushes must be in non-decreasing time order"
+        );
+        self.fifo.push_back((at, payload));
+    }
+
+    /// Removes and returns the earliest event only if it is due at or
+    /// before `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, T)> {
+        if self.fifo.front().is_some_and(|(t, _)| *t <= now) {
+            self.fifo.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.fifo.front().map(|(t, _)| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +248,45 @@ mod tests {
         q.push(Cycle(1), 'c');
         assert_eq!(q.pop(), Some((Cycle(1), 'b')));
         assert_eq!(q.pop(), Some((Cycle(1), 'c')));
+    }
+
+    #[test]
+    fn monotone_queue_matches_event_queue_order() {
+        // Fixed-delay schedule: both queues see identical (time, payload)
+        // pushes; pops must agree at every step.
+        let mut heap = EventQueue::new();
+        let mut fifo = MonotoneQueue::new();
+        for t in 0..20u64 {
+            for k in 0..3 {
+                heap.push(Cycle(t + 2), (t, k));
+                fifo.push(Cycle(t + 2), (t, k));
+            }
+            let now = Cycle(t);
+            assert_eq!(heap.peek_time(), fifo.peek_time());
+            loop {
+                let a = heap.pop_due(now);
+                let b = fifo.pop_due(now);
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        assert_eq!(heap.len(), fifo.len());
+    }
+
+    #[test]
+    fn monotone_queue_pop_due_respects_now() {
+        let mut q = MonotoneQueue::new();
+        assert!(q.is_empty());
+        q.push(Cycle(5), "a");
+        q.push(Cycle(10), "b");
+        assert_eq!(q.peek_time(), Some(Cycle(5)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_due(Cycle(4)), None);
+        assert_eq!(q.pop_due(Cycle(5)), Some((Cycle(5), "a")));
+        assert_eq!(q.pop_due(Cycle(5)), None);
+        assert_eq!(q.pop_due(Cycle(100)), Some((Cycle(10), "b")));
+        assert!(q.is_empty());
     }
 }

@@ -1,11 +1,15 @@
 #!/usr/bin/env sh
 # Benchmark regression gate: compares a sweep benchmark report (schema
-# fsoi-bench-sweep/v1, produced by `experiments bench`) against the
+# fsoi-bench-sweep/v2, produced by `experiments bench`) against the
 # committed baseline BENCH_sweep.json and exits nonzero on regression.
 #
 # Checks, each against its own tolerance:
 #   * serial throughput (cells_per_sec_serial) must not drop more than
 #     TOL (fractional, default 0.50 — CI machines vary a lot);
+#   * simulated throughput (sim_cycles_per_sec) must not drop more than
+#     TOL either — this is the workload-size-invariant number: halving
+#     ops_per_core inflates cells/sec without the simulator getting
+#     faster, but cannot inflate cycles/sec;
 #   * best thread-scaling speedup (max_speedup) must not drop more than
 #     SPEEDUP_TOL (default 0.50);
 #   * byte_identical must be true in the current report — a parallel
@@ -16,6 +20,11 @@
 #   scripts/bench_gate.sh                       # run the bench, compare
 #   scripts/bench_gate.sh --current FILE        # compare existing report
 #   scripts/bench_gate.sh --baseline FILE --tol 0.3 --speedup-tol 0.4
+#   scripts/bench_gate.sh --update              # re-baseline: run the
+#       bench (or gate an existing --current FILE), check it against the
+#       current baseline as usual, then overwrite the baseline file with
+#       the fresh report on success. A failing gate leaves the baseline
+#       untouched.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,12 +32,14 @@ BASELINE=BENCH_sweep.json
 CURRENT=
 TOL=0.50
 SPEEDUP_TOL=0.50
+UPDATE=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --baseline)    BASELINE=$2; shift 2 ;;
         --current)     CURRENT=$2; shift 2 ;;
         --tol)         TOL=$2; shift 2 ;;
         --speedup-tol) SPEEDUP_TOL=$2; shift 2 ;;
+        --update)      UPDATE=1; shift ;;
         *) echo "bench_gate: unknown argument $1" >&2; exit 2 ;;
     esac
 done
@@ -51,18 +62,22 @@ field() {
 }
 
 schema=$(sed -n 's/^ *"schema": "\([^"]*\)".*/\1/p' "$CURRENT" | head -n 1)
-if [ "$schema" != "fsoi-bench-sweep/v1" ]; then
+if [ "$schema" != "fsoi-bench-sweep/v2" ]; then
     echo "bench_gate: unexpected schema '$schema' in $CURRENT" >&2
     exit 2
 fi
 
 base_cps=$(field "$BASELINE" cells_per_sec_serial)
 cur_cps=$(field "$CURRENT" cells_per_sec_serial)
+base_scps=$(field "$BASELINE" sim_cycles_per_sec)
+cur_scps=$(field "$CURRENT" sim_cycles_per_sec)
 base_sp=$(field "$BASELINE" max_speedup)
 cur_sp=$(field "$CURRENT" max_speedup)
 byte=$(sed -n 's/^ *"byte_identical": \(true\|false\).*/\1/p' "$CURRENT" | head -n 1)
 
-for pair in "cells_per_sec_serial=$base_cps/$cur_cps" "max_speedup=$base_sp/$cur_sp"; do
+for pair in "cells_per_sec_serial=$base_cps/$cur_cps" \
+            "sim_cycles_per_sec=$base_scps/$cur_scps" \
+            "max_speedup=$base_sp/$cur_sp"; do
     case "$pair" in
         *=/*|*/) echo "bench_gate: could not extract ${pair%%=*} from reports" >&2; exit 2 ;;
     esac
@@ -76,6 +91,14 @@ if ! awk -v c="$cur_cps" -v b="$base_cps" -v t="$TOL" \
     fail=1
 else
     echo "bench_gate: ok throughput: $cur_cps cells/s (baseline $base_cps, tol $TOL)"
+fi
+
+if ! awk -v c="$cur_scps" -v b="$base_scps" -v t="$TOL" \
+        'BEGIN { exit (c + 0 >= b * (1 - t)) ? 0 : 1 }'; then
+    echo "bench_gate: FAIL sim throughput: $cur_scps cycles/s < baseline $base_scps * (1 - $TOL)"
+    fail=1
+else
+    echo "bench_gate: ok sim throughput: $cur_scps cycles/s (baseline $base_scps, tol $TOL)"
 fi
 
 if ! awk -v c="$cur_sp" -v b="$base_sp" -v t="$SPEEDUP_TOL" \
@@ -96,5 +119,9 @@ fi
 if [ "$fail" -ne 0 ]; then
     echo "bench_gate: REGRESSION (see failures above)"
     exit 1
+fi
+if [ "$UPDATE" -eq 1 ]; then
+    cp "$CURRENT" "$BASELINE"
+    echo "bench_gate: re-baselined $BASELINE from $CURRENT"
 fi
 echo "bench_gate: PASS"

@@ -53,3 +53,20 @@ if ! echo "$bench_out" | grep -q "^bench "; then
     exit 1
 fi
 echo "==> gate: bench trace_overhead OK"
+
+# Hot-path guard: the tick/fast-forward throughput bench must actually
+# run, with the same report-line check as above (a matched-nothing
+# `cargo bench` exits 0 without running anything).
+echo "==> gate: bench tick_throughput"
+bench_out=$(cargo bench -q --offline -p fsoi-bench --features criterion --bench tick_throughput 2>&1) || {
+    echo "$bench_out"
+    echo "==> gate: bench tick_throughput FAILED"
+    exit 1
+}
+echo "$bench_out"
+if ! echo "$bench_out" | grep -q "^bench "; then
+    echo "==> gate: bench tick_throughput FAILED — no bench report line in the output above;"
+    echo "    the bench was silently skipped (feature/target combination matched nothing)"
+    exit 1
+fi
+echo "==> gate: bench tick_throughput OK"
