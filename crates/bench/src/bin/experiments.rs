@@ -890,7 +890,7 @@ fn snapshot(scale: u64) {
 fn bench(args: &[String]) {
     header("bench: default-sweep wall time, throughput and thread scaling");
     let mut out_path = String::from("BENCH_sweep.json");
-    let mut threads: Vec<usize> = vec![1, 2, 8];
+    let mut threads = default_bench_threads();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -930,6 +930,10 @@ fn bench(args: &[String]) {
     if threads.first() != Some(&1) {
         threads.insert(0, 1); // speedups are relative to the serial run
     }
+    println!(
+        "  host cpus: {}; thread counts: {threads:?}",
+        fsoi_bench::sweepbench::host_cpus()
+    );
     let opts = SweepOptions::quick_16();
     let networks = ["mesh", "fsoi", "L0", "Lr1", "Lr2"];
     println!(
@@ -972,6 +976,22 @@ fn bench(args: &[String]) {
         eprintln!("bench: FAIL — parallel merged export diverged from the serial fold");
         std::process::exit(1);
     }
+}
+
+/// Default thread counts for the scaling curve, adapted to the host:
+/// sampling 8 threads on a 1-CPU container only measures oversubscription
+/// overhead and poisons the committed baseline with a bogus "<1.0
+/// speedup" (exactly what happened to the original `BENCH_sweep.json`).
+/// A 1-CPU host samples the serial point only; multi-core hosts sample
+/// `[1, 2, min(8, cpus)]`. `--threads` overrides.
+fn default_bench_threads() -> Vec<usize> {
+    let cpus = fsoi_bench::sweepbench::host_cpus();
+    if cpus == 1 {
+        return vec![1];
+    }
+    let mut threads = vec![1, 2, cpus.min(8)];
+    threads.dedup();
+    threads
 }
 
 // ------------------------------------------------------------------ seeds

@@ -136,9 +136,15 @@ pub fn run_cells_serial_timed(cells: &[CellSpec]) -> (Vec<RunReport>, Vec<f64>) 
 
 /// Runs cells on `threads` worker threads; reports come back in cell
 /// order, byte-identical to a serial run for any thread count.
+///
+/// Goes through [`batch::run_batch_forked`], so cells differing only by
+/// seed (seed-stability studies, per-seed figure replicas) share one
+/// warmed template system instead of each paying construction and
+/// directory preload; sweeps without seed variants behave exactly like
+/// [`batch::run_batch`].
 pub fn run_cells_threads(cells: &[CellSpec], threads: usize) -> Vec<RunReport> {
     let batch: Vec<BatchCell> = cells.iter().map(CellSpec::to_batch_cell).collect();
-    batch::run_batch(&batch, threads, MAX_CYCLES)
+    batch::run_batch_forked(&batch, threads, MAX_CYCLES)
 }
 
 /// [`run_cells_threads`] with the default thread count (`FSOI_THREADS`

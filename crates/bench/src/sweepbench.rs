@@ -24,7 +24,13 @@ use std::time::Instant;
 /// alone hides workload-size changes: halving `ops_per_core` doubles it
 /// without the simulator getting any faster. Simulated cycles per
 /// wall-second is the workload-invariant number.
-pub const SCHEMA: &str = "fsoi-bench-sweep/v2";
+///
+/// v3 adds `cpus` — the host's available parallelism at run time. A
+/// scaling curve is only interpretable against the cores it had to work
+/// with: `max_speedup ≈ 1.0` is the *expected* honest result on a 1-CPU
+/// container and a regression on an 8-core runner, and the gate needs to
+/// tell those apart.
+pub const SCHEMA: &str = "fsoi-bench-sweep/v3";
 
 /// One thread-count sample of the scaling curve.
 #[derive(Debug, Clone)]
@@ -54,6 +60,9 @@ pub struct SweepBenchReport {
     pub ops_per_core: u64,
     /// Sweep seed.
     pub seed: u64,
+    /// Host CPUs available to the run (`available_parallelism`); gives
+    /// the scaling curve its context (see [`SCHEMA`]).
+    pub cpus: usize,
     /// Per-phase breakdown: building the cell list, ms.
     pub build_ms: f64,
     /// Per-phase breakdown: merging reports into the registry, ms.
@@ -72,14 +81,35 @@ pub struct SweepBenchReport {
 }
 
 impl SweepBenchReport {
-    /// The serial (first) scaling point.
-    pub fn serial(&self) -> &ScalingPoint {
-        &self.scaling[0]
+    /// The serial (first) scaling point, or `None` for an empty curve —
+    /// a report built from zero thread counts must serialize gracefully,
+    /// not panic on `scaling[0]`.
+    pub fn serial(&self) -> Option<&ScalingPoint> {
+        self.scaling.first()
     }
 
-    /// The best speedup across the curve.
+    /// The best speedup achieved by any *parallel* point (threads > 1).
+    ///
+    /// The serial point's speedup is 1.0 by construction, so folding it
+    /// in would floor this at 1.0 and hide a parallel-slower-than-serial
+    /// regression behind the serial baseline. Excluding it, a curve of
+    /// `[1.0@1, 0.9@8]` honestly reports 0.9 and the gate's hard check
+    /// can fire. Returns 1.0 (the neutral value) when no parallel point
+    /// was sampled — an empty or serial-only curve claims nothing about
+    /// scaling, and 0.0 from a bare fold would read as "infinitely
+    /// slower" and trip the gate.
     pub fn max_speedup(&self) -> f64 {
-        self.scaling.iter().map(|p| p.speedup).fold(0.0, f64::max)
+        let best = self
+            .scaling
+            .iter()
+            .filter(|p| p.threads > 1)
+            .map(|p| p.speedup)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best.is_finite() {
+            best
+        } else {
+            1.0
+        }
     }
 
     /// The largest thread count sampled.
@@ -90,7 +120,7 @@ impl SweepBenchReport {
     /// Simulated cycles retired per wall-second in the serial pass — the
     /// workload-size-invariant throughput number (see [`SCHEMA`]).
     pub fn sim_cycles_per_sec(&self) -> f64 {
-        let secs = self.serial().wall_ms / 1e3;
+        let secs = self.serial().map_or(0.0, |s| s.wall_ms / 1e3);
         if secs > 0.0 {
             self.sim_cycles_total as f64 / secs
         } else {
@@ -131,14 +161,14 @@ impl SweepBenchReport {
         s.push_str(&format!("  \"cells\": {},\n", self.cells));
         s.push_str(&format!("  \"ops_per_core\": {},\n", self.ops_per_core));
         s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"cpus\": {},\n", self.cpus));
         s.push_str(&format!("  \"build_ms\": {:.3},\n", self.build_ms));
         s.push_str(&format!("  \"merge_ms\": {:.3},\n", self.merge_ms));
-        let serial = self.serial();
-        s.push_str(&format!("  \"wall_ms_serial\": {:.3},\n", serial.wall_ms));
-        s.push_str(&format!(
-            "  \"cells_per_sec_serial\": {:.4},\n",
-            serial.cells_per_sec
-        ));
+        let (serial_wall, serial_cps) = self
+            .serial()
+            .map_or((0.0, 0.0), |s| (s.wall_ms, s.cells_per_sec));
+        s.push_str(&format!("  \"wall_ms_serial\": {serial_wall:.3},\n"));
+        s.push_str(&format!("  \"cells_per_sec_serial\": {serial_cps:.4},\n"));
         s.push_str(&format!(
             "  \"sim_cycles_total\": {},\n",
             self.sim_cycles_total
@@ -240,6 +270,7 @@ pub fn run(opts: SweepOptions, networks: &[&str], threads: &[usize]) -> SweepBen
         cells: cells.len(),
         ops_per_core: opts.ops_per_core,
         seed: opts.seed,
+        cpus: host_cpus(),
         build_ms,
         merge_ms,
         sim_cycles_total,
@@ -251,6 +282,13 @@ pub fn run(opts: SweepOptions, networks: &[&str], threads: &[usize]) -> SweepBen
 
 fn ms_since(t: Instant) -> f64 {
     t.elapsed().as_secs_f64() * 1e3
+}
+
+/// The host's available parallelism (1 when undeterminable).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -265,6 +303,7 @@ mod tests {
             cells: 80,
             ops_per_core: 1500,
             seed: 2010,
+            cpus: 8,
             build_ms: 0.5,
             merge_ms: 1.25,
             sim_cycles_total: 48_000_000,
@@ -291,8 +330,9 @@ mod tests {
     fn json_has_one_gate_field_per_line() {
         let json = fake_report().render_json();
         for key in [
-            "\"schema\": \"fsoi-bench-sweep/v2\"",
+            "\"schema\": \"fsoi-bench-sweep/v3\"",
             "\"cells\": 80",
+            "\"cpus\": 8",
             "\"wall_ms_serial\": 1000.000",
             "\"cells_per_sec_serial\": 80.0000",
             "\"sim_cycles_total\": 48000000",
@@ -315,7 +355,7 @@ mod tests {
     #[test]
     fn derived_fields_come_from_the_curve() {
         let r = fake_report();
-        assert_eq!(r.serial().threads, 1);
+        assert_eq!(r.serial().map(|s| s.threads), Some(1));
         assert_eq!(r.threads_max(), 8);
         assert!((r.max_speedup() - 2.5).abs() < 1e-12);
         // 48M simulated cycles over a 1s serial pass.
@@ -323,6 +363,27 @@ mod tests {
         assert!((r.cell_ms_min() - 10.0).abs() < 1e-12);
         assert!((r.cell_ms_mean() - 12.5).abs() < 1e-12);
         assert!((r.cell_ms_max() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_scaling_curve_is_guarded() {
+        let r = SweepBenchReport {
+            scaling: Vec::new(),
+            cell_ms: Vec::new(),
+            ..fake_report()
+        };
+        // An empty curve must neither panic (serial() used to index
+        // scaling[0]) nor serialize a nonsense speedup (the bare fold
+        // started at 0.0).
+        assert!(r.serial().is_none());
+        assert!((r.max_speedup() - 1.0).abs() < 1e-12);
+        assert_eq!(r.threads_max(), 1);
+        assert_eq!(r.sim_cycles_per_sec(), 0.0);
+        let json = r.render_json();
+        assert!(json.lines().any(|l| l.contains("\"max_speedup\": 1.0000")));
+        assert!(json
+            .lines()
+            .any(|l| l.contains("\"wall_ms_serial\": 0.000")));
     }
 
     #[test]

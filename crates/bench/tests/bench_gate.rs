@@ -39,6 +39,7 @@ fn report_with_sim_cycles(
         cells: 80,
         ops_per_core: 1500,
         seed: 2010,
+        cpus: 8,
         build_ms: 0.5,
         merge_ms: 1.0,
         sim_cycles_total,
@@ -59,6 +60,15 @@ fn report_with_sim_cycles(
         ],
         byte_identical,
     }
+}
+
+/// A report whose scaling curve sampled only the serial point — what an
+/// honest 1-CPU host (or a forced `--threads 1` run) produces.
+fn serial_only_report(cells_per_sec: f64, cpus: usize) -> SweepBenchReport {
+    let mut r = report(cells_per_sec, 1.0, true);
+    r.cpus = cpus;
+    r.scaling.truncate(1);
+    r
 }
 
 fn write_report(name: &str, r: &SweepBenchReport) -> PathBuf {
@@ -173,21 +183,106 @@ fn injected_sim_throughput_regression_fails() {
 }
 
 #[test]
-fn v1_schema_reports_are_rejected() {
-    let v1 = report(100.0, 2.0, true)
-        .render_json()
-        .replace("fsoi-bench-sweep/v2", "fsoi-bench-sweep/v1");
-    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
-    let cur = dir.join("gate_cur_v1.json");
-    std::fs::write(&cur, v1).expect("write v1 report");
+fn old_schema_reports_are_rejected() {
     let base = write_report("gate_base_v1.json", &report(100.0, 2.0, true));
+    for old in ["fsoi-bench-sweep/v1", "fsoi-bench-sweep/v2"] {
+        let stale = report(100.0, 2.0, true)
+            .render_json()
+            .replace("fsoi-bench-sweep/v3", old);
+        let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+        let cur = dir.join("gate_cur_old_schema.json");
+        std::fs::write(&cur, stale).expect("write stale-schema report");
+        let out = run_gate(&[
+            "--baseline",
+            base.to_str().unwrap(),
+            "--current",
+            cur.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(2), "{old} is a usage error");
+    }
+}
+
+#[test]
+fn parallel_slower_than_serial_hard_fails() {
+    // The vacuous case the relative check let through: the baseline
+    // itself regressed (speedup 0.9), so current == baseline passes the
+    // relative gate at any tolerance. The hard check still fires.
+    let mut r = report(100.0, 0.9, true);
+    r.cpus = 1; // isolate the threads_max>1 check from the cpus check
+    let base = write_report("gate_base_hard_slow.json", &r);
+    let cur = write_report("gate_cur_hard_slow.json", &r);
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+        "--tol",
+        "0.99",
+        "--speedup-tol",
+        "0.99",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("FAIL scaling (hard)"), "{stdout}");
+    assert!(
+        stdout.contains("parallel is slower than serial"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn multi_cpu_host_without_speedup_fails() {
+    // cpus=8 but the best sampled speedup is exactly 1.0 — a multi-core
+    // runner must actually beat serial, baseline agreement is no excuse.
+    let base = write_report("gate_base_hard_flat.json", &report(100.0, 1.0, true));
+    let cur = write_report("gate_cur_hard_flat.json", &report(100.0, 1.0, true));
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+        "--tol",
+        "0.99",
+        "--speedup-tol",
+        "0.99",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("not above 1.0"), "{stdout}");
+}
+
+#[test]
+fn multi_cpu_host_with_serial_only_curve_fails() {
+    let r = serial_only_report(100.0, 8);
+    let base = write_report("gate_base_hard_ser8.json", &r);
+    let cur = write_report("gate_cur_hard_ser8.json", &r);
     let out = run_gate(&[
         "--baseline",
         base.to_str().unwrap(),
         "--current",
         cur.to_str().unwrap(),
     ]);
-    assert_eq!(out.status.code(), Some(2), "old schemas are usage errors");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("only sampled threads_max=1"), "{stdout}");
+}
+
+#[test]
+fn single_cpu_serial_only_report_passes() {
+    // The honest shape a 1-CPU host produces (and the committed
+    // baseline's shape when re-baselined on such a host).
+    let r = serial_only_report(100.0, 1);
+    let base = write_report("gate_base_hard_ser1.json", &r);
+    let cur = write_report("gate_cur_hard_ser1.json", &r);
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("serial-only curve is honest"), "{stdout}");
 }
 
 #[test]

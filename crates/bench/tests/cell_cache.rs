@@ -1,0 +1,106 @@
+//! End-to-end contract of the `FSOI_CACHE` cell cache through the
+//! public batch entry points. (This binary owns the `FSOI_CACHE` env
+//! var: nothing else in it — and no other test binary — reads or writes
+//! the knob, so the serial `set_var`/`remove_var` dance here cannot race
+//! another test.)
+
+use fsoi_bench::runner::{CellSpec, SweepOptions, MAX_CYCLES};
+use fsoi_cmp::batch::{merge_reports, run_batch, BatchCell};
+use fsoi_cmp::cache::CellCache;
+use fsoi_cmp::workload::AppProfile;
+use std::path::PathBuf;
+
+fn cache_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_cells(seed: u64) -> Vec<BatchCell> {
+    let opts = SweepOptions {
+        ops_per_core: 30,
+        seed,
+        ..SweepOptions::quick_16()
+    };
+    ["mp", "fft"]
+        .iter()
+        .flat_map(|a| {
+            let app = AppProfile::by_name(a).expect("suite app");
+            ["fsoi", "mesh"].map(|n| CellSpec::new(app, n, opts).to_batch_cell())
+        })
+        .collect()
+}
+
+/// The one test: a single `#[test]` keeps every use of the env var on
+/// one thread. Sub-scenarios run in sequence against fresh cache dirs.
+#[test]
+fn fsoi_cache_knob_end_to_end() {
+    let cells = tiny_cells(2010);
+    std::env::remove_var("FSOI_CACHE");
+    let cold = merge_reports(&run_batch(&cells, 1, MAX_CYCLES)).to_jsonl();
+    assert!(!cold.is_empty(), "the cold export carries metrics");
+
+    // Enabled knob: the first batch fills the cache, the second batch is
+    // all hits — same bytes both times, one entry file per cell.
+    let dir = cache_dir("cell_cache_smoke");
+    std::env::set_var("FSOI_CACHE", &dir);
+    let fill = merge_reports(&run_batch(&cells, 2, MAX_CYCLES)).to_jsonl();
+    assert_eq!(fill, cold, "cache fill must not change the export");
+    let entries = || {
+        std::fs::read_dir(&dir)
+            .map(|d| d.filter_map(Result::ok).count())
+            .unwrap_or(0)
+    };
+    assert_eq!(entries(), cells.len(), "one cache entry per distinct cell");
+    let hits = merge_reports(&run_batch(&cells, 2, MAX_CYCLES)).to_jsonl();
+    assert_eq!(hits, cold, "cache hits must reproduce the cold bytes");
+    assert_eq!(entries(), cells.len(), "a hit run writes nothing new");
+
+    // Prove hits really come from disk: rewrite one entry with another
+    // entry's *payload* while keeping its own preimage line, and the
+    // tampered report must surface in the next run. (Swapping whole
+    // files would trip the preimage check and fall back to a cold run.)
+    let cache = CellCache::at(&dir);
+    let a = &cells[0];
+    let b = &cells[1];
+    let path_of = |c: &BatchCell| cache.entry_path_for(&c.config, &c.app, MAX_CYCLES);
+    let preimage_line = |p: &PathBuf| {
+        let text = std::fs::read_to_string(p).expect("cache entry readable");
+        text.split_once('\n')
+            .expect("entry has a preimage line")
+            .0
+            .to_string()
+    };
+    let payload = |p: &PathBuf| {
+        let text = std::fs::read_to_string(p).expect("cache entry readable");
+        text.split_once('\n')
+            .expect("entry has a preimage line")
+            .1
+            .to_string()
+    };
+    let tampered = format!("{}\n{}", preimage_line(&path_of(a)), payload(&path_of(b)));
+    std::fs::write(path_of(a), tampered).expect("tamper cache entry");
+    let swapped = merge_reports(&run_batch(&cells, 1, MAX_CYCLES)).to_jsonl();
+    assert_ne!(
+        swapped, cold,
+        "a tampered cache entry must be visible — otherwise hits were not read from disk"
+    );
+
+    // Corrupt the same entry into garbage: the preimage check rejects
+    // it, the cell falls back to a cold run, and the export heals.
+    std::fs::write(path_of(a), "not a cache entry\n").expect("corrupt cache entry");
+    let healed = merge_reports(&run_batch(&cells, 1, MAX_CYCLES)).to_jsonl();
+    assert_eq!(healed, cold, "corrupt entries must fall back to cold runs");
+
+    // An empty knob value disables the cache entirely.
+    std::env::set_var("FSOI_CACHE", "");
+    assert!(
+        CellCache::from_env().is_none(),
+        "an empty knob must disable the cache"
+    );
+    let off = merge_reports(&run_batch(&cells, 1, MAX_CYCLES)).to_jsonl();
+    assert_eq!(off, cold);
+
+    std::env::remove_var("FSOI_CACHE");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,9 +3,10 @@
 //! byte-identically to the serial fold — for any thread count and any
 //! sweep shape, including empty and single-cell sweeps.
 
-use fsoi_bench::runner::{run_cells_threads, CellSpec, SweepOptions};
+use fsoi_bench::runner::{run_cells_threads, CellSpec, SweepOptions, MAX_CYCLES};
 use fsoi_check::{checker, select, vec_of};
-use fsoi_cmp::batch::merge_reports;
+use fsoi_cmp::batch::{merge_reports, run_batch, run_batch_forked, BatchCell};
+use fsoi_cmp::cache::CellCache;
 use fsoi_cmp::workload::AppProfile;
 use fsoi_sim::par;
 
@@ -104,24 +105,81 @@ fn empty_and_single_cell_sweeps_merge() {
     assert_eq!(parallel, serial);
 }
 
+/// The tentpole's two fast paths pinned against the cold path: a
+/// template-forked batch and a cache-hit batch both export the exact
+/// bytes of a cold serial run, for thread counts 1, 2 and 8.
+#[test]
+fn forked_and_cached_paths_match_the_cold_bytes() {
+    // Seed variants of the same (config, app) cells form forkable
+    // groups; one odd cell stays a singleton (cold path inside
+    // `run_batch_forked`).
+    let mut cells: Vec<BatchCell> = Vec::new();
+    for seed in [2010, 2011, 2012] {
+        for spec in cells_for(&["mp"], &["fsoi", "mesh"], tiny_opts(seed)) {
+            cells.push(spec.to_batch_cell());
+        }
+    }
+    cells.push(cells_for(&["fft"], &["L0"], tiny_opts(7))[0].to_batch_cell());
+
+    let cold = merge_reports(&run_batch(&cells, 1, MAX_CYCLES)).to_jsonl();
+    assert!(!cold.is_empty(), "the cold export carries metrics");
+    for threads in [1usize, 2, 8] {
+        let forked = merge_reports(&run_batch_forked(&cells, threads, MAX_CYCLES)).to_jsonl();
+        assert_eq!(forked, cold, "forked path, threads = {threads}");
+    }
+
+    // Explicit cache directory — the `FSOI_CACHE` env var belongs to the
+    // cell_cache test binary, not this one. Fill the cache serially,
+    // then rerun threaded: every cell is a hit, and the merged bytes
+    // must not move.
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("par_merge_cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = CellCache::at(&dir);
+    let run_cached = |threads: usize| {
+        let reports = par::sweep(cells.len(), threads, |i| {
+            cache.run_or(&cells[i].config, &cells[i].app, MAX_CYCLES, || {
+                cells[i].run_cold(MAX_CYCLES)
+            })
+        });
+        merge_reports(&reports).to_jsonl()
+    };
+    assert_eq!(run_cached(1), cold, "cold fill through the cache");
+    for threads in [2usize, 8] {
+        assert_eq!(
+            run_cached(threads),
+            cold,
+            "cache-hit path, threads = {threads}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The `FSOI_THREADS` knob selects the default worker count without
 /// changing a single output byte. (This test owns the env var: nothing
 /// else in this binary reads it.)
 #[test]
 fn fsoi_threads_knob_is_not_observable_in_output() {
-    let opts = tiny_opts(77);
-    let cells = cells_for(&["mp", "rx"], &["fsoi"], opts);
+    // Two seeds of the same cells so the forked path has real groups.
+    let mut cells = cells_for(&["mp", "rx"], &["fsoi"], tiny_opts(77));
+    cells.extend(cells_for(&["mp", "rx"], &["fsoi"], tiny_opts(78)));
+    let batch: Vec<BatchCell> = cells.iter().map(CellSpec::to_batch_cell).collect();
     let expected = merge_reports(&run_cells_threads(&cells, 1)).to_jsonl();
     for knob in ["1", "2", "8"] {
         std::env::set_var("FSOI_THREADS", knob);
         assert_eq!(par::thread_count().to_string(), knob);
         let reports = par::sweep(cells.len(), par::thread_count(), |i| {
-            cells[i].to_batch_cell().run(fsoi_bench::runner::MAX_CYCLES)
+            cells[i].to_batch_cell().run(MAX_CYCLES)
         });
         assert_eq!(
             merge_reports(&reports).to_jsonl(),
             expected,
             "FSOI_THREADS={knob}"
+        );
+        let forked = run_batch_forked(&batch, par::thread_count(), MAX_CYCLES);
+        assert_eq!(
+            merge_reports(&forked).to_jsonl(),
+            expected,
+            "forked path, FSOI_THREADS={knob}"
         );
     }
     std::env::remove_var("FSOI_THREADS");

@@ -20,10 +20,12 @@
 //! fold for any thread count (property-tested in
 //! `crates/bench/tests/par_merge.rs`).
 
+use crate::cache::CellCache;
 use crate::configs::SystemConfig;
 use crate::metrics::RunReport;
 use crate::system::CmpSystem;
 use crate::workload::AppProfile;
+use fsoi_sim::det::DetMap;
 use fsoi_sim::metrics::Registry;
 use fsoi_sim::par;
 
@@ -42,9 +44,25 @@ impl BatchCell {
         BatchCell { config, app }
     }
 
-    /// Runs this cell to completion in an isolated simulator.
+    /// Runs this cell to completion in an isolated simulator, consulting
+    /// the content-addressed cell cache first when the `FSOI_CACHE` knob
+    /// enables one. A hit is byte-identical to the cold run it replaces
+    /// (see [`CellCache`]).
     pub fn run(&self, max_cycles: u64) -> RunReport {
+        run_via_cache(self, max_cycles, || self.run_cold(max_cycles))
+    }
+
+    /// Runs this cell unconditionally — fresh system, no cache.
+    pub fn run_cold(&self, max_cycles: u64) -> RunReport {
         CmpSystem::new(self.config.clone(), self.app).run(max_cycles)
+    }
+}
+
+/// Routes one cell run through the env-configured cache when enabled.
+fn run_via_cache(cell: &BatchCell, max_cycles: u64, cold: impl FnOnce() -> RunReport) -> RunReport {
+    match CellCache::from_env() {
+        Some(cache) => cache.run_or(&cell.config, &cell.app, max_cycles, cold),
+        None => cold(),
     }
 }
 
@@ -59,6 +77,53 @@ pub fn run_batch(cells: &[BatchCell], threads: usize, max_cycles: u64) -> Vec<Ru
 /// (the `FSOI_THREADS` knob, else available parallelism).
 pub fn run_batch_auto(cells: &[BatchCell], max_cycles: u64) -> Vec<RunReport> {
     run_batch(cells, par::thread_count(), max_cycles)
+}
+
+/// Like [`run_batch`], but amortizes seed-independent construction work:
+/// cells that differ **only by seed** share one unrun template
+/// [`CmpSystem`] — the preloaded distributed-L2 directories, L1 arrays
+/// and memory map are built once — which is then
+/// [forked](CmpSystem::fork) per cell inside the sweep. Groups with a
+/// single member skip the template and run cold, so sweeps with no seed
+/// variants pay only the (cheap) grouping pass.
+///
+/// Output is byte-identical to [`run_batch`] for any thread count:
+/// forking an unrun template reproduces cold construction exactly (see
+/// [`CmpSystem::fork`]; pinned by `crates/bench/tests/par_merge.rs`).
+/// The `FSOI_CACHE` cell cache, when enabled, is consulted before
+/// forking just as [`BatchCell::run`] does before constructing.
+pub fn run_batch_forked(cells: &[BatchCell], threads: usize, max_cycles: u64) -> Vec<RunReport> {
+    // Group by everything except the seed. The `Debug` rendering covers
+    // every field of the config (including the nested network config)
+    // and the app, so equal keys imply fork-compatible cells.
+    let mut groups: DetMap<String, Vec<usize>> = DetMap::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let key = format!("{:?}|{:?}", cell.config.clone().with_seed(0), cell.app);
+        groups.entry(key).or_default().push(i);
+    }
+    let mut template_of: Vec<Option<usize>> = vec![None; cells.len()];
+    let mut templates: Vec<CmpSystem> = Vec::new();
+    for members in groups.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        let first = &cells[members[0]];
+        templates.push(CmpSystem::new(first.config.clone(), first.app));
+        for &i in members {
+            template_of[i] = Some(templates.len() - 1);
+        }
+    }
+    let templates = &templates;
+    let template_of = &template_of;
+    par::sweep(cells.len(), threads, move |i| {
+        let cell = &cells[i];
+        match template_of[i] {
+            Some(t) => run_via_cache(cell, max_cycles, || {
+                templates[t].fork(cell.config.seed).run(max_cycles)
+            }),
+            None => cell.run(max_cycles),
+        }
+    })
 }
 
 /// Folds reports into one registry in slice order — the deterministic
@@ -101,6 +166,50 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn forked_batch_matches_cold_batch_bytes() {
+        // Three seed variants of the same (config, app) share a template
+        // (forked path) plus one odd cell that stays a singleton (cold
+        // path inside run_batch_forked).
+        let mut cells = Vec::new();
+        let mut app = AppProfile::by_name("mp").expect("suite app");
+        app.ops_per_core = 40;
+        for seed in [11, 12, 13] {
+            let cfg = SystemConfig::paper_16(NetworkKind::fsoi(16)).with_seed(seed);
+            cells.push(BatchCell::new(cfg, app));
+        }
+        cells.extend(tiny_cells().into_iter().take(1));
+        let cold = run_batch(&cells, 1, 1_000_000);
+        let cold_bytes = merge_reports(&cold).to_jsonl();
+        for threads in [1, 2, 8] {
+            let forked = run_batch_forked(&cells, threads, 1_000_000);
+            assert_eq!(
+                merge_reports(&forked).to_jsonl(),
+                cold_bytes,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn fork_of_unrun_template_equals_cold_construction() {
+        let cell = tiny_cells().remove(0);
+        let template = CmpSystem::new(cell.config.clone().with_seed(999), cell.app);
+        let forked = template.fork(cell.config.seed).run(1_000_000);
+        let cold = cell.run_cold(1_000_000);
+        assert_eq!(forked.registry().to_jsonl(), cold.registry().to_jsonl());
+        assert_eq!(forked.to_wire(), cold.to_wire());
+    }
+
+    #[test]
+    #[should_panic(expected = "unrun template")]
+    fn fork_of_a_run_system_panics() {
+        let cell = tiny_cells().remove(0);
+        let mut sys = CmpSystem::new(cell.config, cell.app);
+        let _ = sys.run(1_000_000);
+        let _ = sys.fork(1);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+pub mod cache;
 pub mod configs;
 pub mod core;
 pub mod energy;

@@ -10,7 +10,7 @@ use fsoi_sim::Cycle;
 
 /// One memory channel: a fixed access latency plus a bandwidth-limited
 /// service pipe.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemoryChannel {
     /// The network node this controller attaches to.
     pub node: usize,
@@ -59,7 +59,7 @@ impl MemoryChannel {
 }
 
 /// The full memory system: interleaved channels mapped over nodes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemorySystem {
     channels: Vec<MemoryChannel>,
     nodes: usize,

@@ -3,7 +3,7 @@
 use crate::energy::ChipEnergy;
 use crate::interconnect::LatencyAttribution;
 use fsoi_sim::metrics::Registry;
-use fsoi_sim::stats::Histogram;
+use fsoi_sim::stats::{Histogram, Summary};
 
 /// Traffic classes used in Figure 10's data-lane collision breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -214,6 +214,239 @@ impl RunReport {
         self.export(&mut reg);
         reg
     }
+
+    /// Serializes the report into the cell cache's line-oriented wire
+    /// format: one `key value…` line per field, in declaration order,
+    /// with every `f64` written as its exact 16-hex-digit bit pattern.
+    /// [`RunReport::from_wire`] reproduces the report bit-for-bit, so a
+    /// cache hit exports byte-identical metrics to the run it replaced.
+    pub fn to_wire(&self) -> String {
+        let h = f64_to_hex;
+        let mut lines: Vec<String> = Vec::new();
+        lines.push(format!("app {}", self.app));
+        lines.push(format!("network {}", self.network));
+        lines.push(format!("cycles {}", self.cycles));
+        lines.push(format!(
+            "attribution {} {} {} {}",
+            h(self.attribution.queuing),
+            h(self.attribution.scheduling),
+            h(self.attribution.network),
+            h(self.attribution.collision_resolution)
+        ));
+        let rl = &self.reply_latency;
+        let bins: Vec<String> = (0..rl.num_bins()).map(|i| rl.bin(i).to_string()).collect();
+        lines.push(format!(
+            "reply_latency {} {} {}",
+            rl.bin_width(),
+            rl.overflow(),
+            bins.join(" ")
+        ));
+        let (count, mean, m2, min, max) = rl.summary().raw();
+        lines.push(format!(
+            "reply_summary {count} {} {} {} {}",
+            h(mean),
+            h(m2),
+            h(min),
+            h(max)
+        ));
+        lines.push(format!(
+            "meta_tx_probability {}",
+            h(self.meta_tx_probability)
+        ));
+        lines.push(format!(
+            "data_tx_probability {}",
+            h(self.data_tx_probability)
+        ));
+        lines.push(format!(
+            "meta_collision_rate {}",
+            h(self.meta_collision_rate)
+        ));
+        lines.push(format!(
+            "data_collision_rate {}",
+            h(self.data_collision_rate)
+        ));
+        lines.push(format!(
+            "packets_sent {} {}",
+            self.packets_sent[0], self.packets_sent[1]
+        ));
+        lines.push(format!(
+            "data_by_kind {} {} {}",
+            self.data_by_kind[0], self.data_by_kind[1], self.data_by_kind[2]
+        ));
+        lines.push(format!(
+            "collided_by_kind {} {} {} {}",
+            self.collided_by_kind[0],
+            self.collided_by_kind[1],
+            self.collided_by_kind[2],
+            self.collided_by_kind[3]
+        ));
+        lines.push(format!("acks_elided {}", self.acks_elided));
+        lines.push(format!(
+            "subscription_packets_saved {}",
+            self.subscription_packets_saved
+        ));
+        lines.push(format!("l1_miss_rate {}", h(self.l1_miss_rate)));
+        lines.push(format!("active_cycles {}", self.active_cycles));
+        lines.push(format!("stalled_cycles {}", self.stalled_cycles));
+        lines.push(format!(
+            "energy {} {} {}",
+            h(self.energy.network_j),
+            h(self.energy.core_j),
+            h(self.energy.leakage_j)
+        ));
+        lines.push(format!(
+            "data_resolution_delay {}",
+            h(self.data_resolution_delay)
+        ));
+        lines.push(format!("hint_accuracy {}", h(self.hint_accuracy)));
+        lines.push(format!("hint_wrong_rate {}", h(self.hint_wrong_rate)));
+        lines.push(format!("bit_error_drops {}", self.bit_error_drops));
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Parses the wire format written by [`RunReport::to_wire`]. Returns
+    /// `None` on any structural mismatch — missing/extra/misordered lines
+    /// or malformed numbers — so cache readers treat damage as a miss
+    /// rather than ever returning wrong bytes.
+    pub fn from_wire(text: &str) -> Option<RunReport> {
+        let mut w = WireLines(text.lines());
+        let app = w.kv("app")?.to_string();
+        let network = w.kv("network")?.to_string();
+        let cycles: u64 = w.kv("cycles")?.parse().ok()?;
+        let attr = parse_hex_f64s(w.kv("attribution")?)?;
+        let [queuing, scheduling, network_lat, collision_resolution] = attr[..] else {
+            return None;
+        };
+        let hist = parse_u64s(w.kv("reply_latency")?)?;
+        let (&bin_width, rest) = hist.split_first()?;
+        let (&overflow, bins) = rest.split_first()?;
+        if bin_width == 0 || bins.is_empty() {
+            return None;
+        }
+        let mut sum = w.kv("reply_summary")?.split(' ');
+        let count: u64 = sum.next()?.parse().ok()?;
+        let mean = f64_from_hex(sum.next()?)?;
+        let m2 = f64_from_hex(sum.next()?)?;
+        let min = f64_from_hex(sum.next()?)?;
+        let max = f64_from_hex(sum.next()?)?;
+        if sum.next().is_some() {
+            return None;
+        }
+        let reply_latency = Histogram::from_raw(
+            bin_width,
+            bins.to_vec(),
+            overflow,
+            Summary::from_raw(count, mean, m2, min, max),
+        );
+        let meta_tx_probability = f64_from_hex(w.kv("meta_tx_probability")?)?;
+        let data_tx_probability = f64_from_hex(w.kv("data_tx_probability")?)?;
+        let meta_collision_rate = f64_from_hex(w.kv("meta_collision_rate")?)?;
+        let data_collision_rate = f64_from_hex(w.kv("data_collision_rate")?)?;
+        let sent = parse_u64s(w.kv("packets_sent")?)?;
+        let [sent_meta, sent_data] = sent[..] else {
+            return None;
+        };
+        let by_kind = parse_u64s(w.kv("data_by_kind")?)?;
+        let [k0, k1, k2] = by_kind[..] else {
+            return None;
+        };
+        let collided = parse_u64s(w.kv("collided_by_kind")?)?;
+        let [c0, c1, c2, c3] = collided[..] else {
+            return None;
+        };
+        let acks_elided: u64 = w.kv("acks_elided")?.parse().ok()?;
+        let subscription_packets_saved: u64 = w.kv("subscription_packets_saved")?.parse().ok()?;
+        let l1_miss_rate = f64_from_hex(w.kv("l1_miss_rate")?)?;
+        let active_cycles: u64 = w.kv("active_cycles")?.parse().ok()?;
+        let stalled_cycles: u64 = w.kv("stalled_cycles")?.parse().ok()?;
+        let energy = parse_hex_f64s(w.kv("energy")?)?;
+        let [network_j, core_j, leakage_j] = energy[..] else {
+            return None;
+        };
+        let data_resolution_delay = f64_from_hex(w.kv("data_resolution_delay")?)?;
+        let hint_accuracy = f64_from_hex(w.kv("hint_accuracy")?)?;
+        let hint_wrong_rate = f64_from_hex(w.kv("hint_wrong_rate")?)?;
+        let bit_error_drops: u64 = w.kv("bit_error_drops")?.parse().ok()?;
+        w.end()?;
+        Some(RunReport {
+            app,
+            network,
+            cycles,
+            attribution: LatencyAttribution {
+                queuing,
+                scheduling,
+                network: network_lat,
+                collision_resolution,
+            },
+            reply_latency,
+            meta_tx_probability,
+            data_tx_probability,
+            meta_collision_rate,
+            data_collision_rate,
+            packets_sent: [sent_meta, sent_data],
+            data_by_kind: [k0, k1, k2],
+            collided_by_kind: [c0, c1, c2, c3],
+            acks_elided,
+            subscription_packets_saved,
+            l1_miss_rate,
+            active_cycles,
+            stalled_cycles,
+            energy: ChipEnergy {
+                network_j,
+                core_j,
+                leakage_j,
+            },
+            data_resolution_delay,
+            hint_accuracy,
+            hint_wrong_rate,
+            bit_error_drops,
+        })
+    }
+}
+
+/// Cursor over wire-format lines: each line must start with the expected
+/// key followed by one space.
+struct WireLines<'a>(std::str::Lines<'a>);
+
+impl<'a> WireLines<'a> {
+    /// Consumes the next line, returning the value part iff the line's
+    /// key matches.
+    fn kv(&mut self, key: &str) -> Option<&'a str> {
+        self.0.next()?.strip_prefix(key)?.strip_prefix(' ')
+    }
+
+    /// Succeeds iff no lines remain.
+    fn end(mut self) -> Option<()> {
+        match self.0.next() {
+            None => Some(()),
+            Some(_) => None,
+        }
+    }
+}
+
+/// An `f64` as its exact bit pattern, 16 hex digits.
+fn f64_to_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Inverse of [`f64_to_hex`]; `None` on malformed input.
+fn f64_from_hex(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Space-separated decimal `u64`s.
+fn parse_u64s(s: &str) -> Option<Vec<u64>> {
+    s.split(' ').map(|t| t.parse().ok()).collect()
+}
+
+/// Space-separated hex-bit `f64`s.
+fn parse_hex_f64s(s: &str) -> Option<Vec<f64>> {
+    s.split(' ').map(f64_from_hex).collect()
 }
 
 #[cfg(test)]
@@ -317,6 +550,38 @@ mod tests {
         assert_eq!(reg.counter("cmp.data_recollided", &run), 4);
         assert_eq!(reg.gauge_value("cmp.energy.total_j", &run), Some(2.25));
         assert_eq!(reg.counter("cmp.bit_error_drops", &run), 2);
+    }
+
+    #[test]
+    fn wire_round_trip_is_byte_exact() {
+        let mut r = sample_report();
+        // Exercise the histogram path with real observations, including
+        // overflow, and an f64 that does not print exactly in decimal.
+        for v in [3, 17, 42, 1_000] {
+            r.reply_latency.record(v);
+        }
+        r.l1_miss_rate = 0.1 + 0.2; // 0.30000000000000004
+        let wire = r.to_wire();
+        let back = RunReport::from_wire(&wire).expect("round trip parses");
+        assert_eq!(back.registry().to_jsonl(), r.registry().to_jsonl());
+        assert_eq!(back.to_wire(), wire, "re-serialization is byte-stable");
+        assert_eq!(back.l1_miss_rate.to_bits(), r.l1_miss_rate.to_bits());
+    }
+
+    #[test]
+    fn malformed_wire_is_rejected_not_misparsed() {
+        let wire = sample_report().to_wire();
+        assert!(RunReport::from_wire("").is_none());
+        assert!(RunReport::from_wire("garbage\n").is_none());
+        // Truncation, an extra trailing line, a reordered field, and a
+        // corrupted number must all fail closed (cache treats as a miss).
+        let truncated: String = wire.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert!(RunReport::from_wire(&truncated).is_none());
+        assert!(RunReport::from_wire(&format!("{wire}extra 1\n")).is_none());
+        let reordered = wire.replacen("cycles", "cycle_count", 1);
+        assert!(RunReport::from_wire(&reordered).is_none());
+        let corrupt = wire.replacen("cycles 500", "cycles 5oo", 1);
+        assert!(RunReport::from_wire(&corrupt).is_none());
     }
 
     #[test]

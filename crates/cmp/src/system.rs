@@ -176,6 +176,69 @@ impl CmpSystem {
         }
     }
 
+    /// Forks an unrun template into a fresh system equivalent to
+    /// `CmpSystem::new(cfg.with_seed(seed), app)` for the pre-scaling
+    /// `app` the template was built from.
+    ///
+    /// The expensive seed-independent construction work — the preloaded
+    /// distributed-L2 directories, the L1 arrays, the memory system — is
+    /// deep-cloned from the template; everything seed-dependent (the
+    /// network, the per-core workload RNG streams, the system RNG) is
+    /// rebuilt from `seed`. Construction is deterministic and none of the
+    /// cloned state reads `cfg.seed`, so a fork is byte-identical to a
+    /// cold construction with the same seed — an invariant pinned by the
+    /// `par_merge` byte-identity properties in `fsoi-bench`.
+    ///
+    /// Note `self.app` already carries the weak-scaling adjustment from
+    /// [`CmpSystem::new`], so the fork must not (and does not) rescale
+    /// `shared_cold_lines` again.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the template has already been run: mid-run warm state
+    /// is seed-dependent, so only a freshly-constructed system may seed
+    /// other sweep cells.
+    pub fn fork(&self, seed: u64) -> CmpSystem {
+        assert!(
+            self.now == Cycle::ZERO && self.pending.is_empty(),
+            "fork requires an unrun template (state after cycle 0 is seed-dependent)"
+        );
+        let cfg = self.cfg.clone().with_seed(seed);
+        let n = cfg.nodes;
+        let cores = (0..n)
+            .map(|i| Core::new(i, CoreWorkload::new(self.app, i, cfg.line_bytes, seed)))
+            .collect();
+        CmpSystem {
+            app: self.app,
+            now: Cycle::ZERO,
+            cores,
+            l1s: self.l1s.clone(),
+            dirs: self.dirs.clone(),
+            mem: self.mem.clone(),
+            locks: (0..self.app.locks.max(1))
+                .map(|_| SpinLock::new())
+                .collect(),
+            barrier: Barrier::new(n),
+            hub: BooleanSubscriptionHub::new(),
+            rng: Xoshiro256StarStar::new(seed ^ SYSTEM_SEED_SALT),
+            pending: EventQueue::new(),
+            msgs: Vec::new(),
+            free_tags: Vec::new(),
+            order_wait: DetMap::new(),
+            order_busy: DetSet::new(),
+            inject_backlog: VecDeque::new(),
+            reply_latency: Histogram::new(10, 20),
+            packets_sent: [0, 0],
+            data_by_kind: [0; 3],
+            collided_by_kind: [0; 4],
+            acks_elided: 0,
+            protocol_errors: 0,
+            first_protocol_error: None,
+            net: cfg.build_network(),
+            cfg,
+        }
+    }
+
     /// Current cycle.
     pub fn now(&self) -> Cycle {
         self.now

@@ -47,7 +47,7 @@ pub struct DirStats {
     pub evictions: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct DirEntry {
     state: DirState,
     owner: usize,
@@ -118,7 +118,7 @@ impl Iterator for SharerIter {
 }
 
 /// One node's directory + L2 slice controller.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Directory {
     node: usize,
     mem_node: usize,

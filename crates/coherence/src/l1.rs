@@ -89,7 +89,7 @@ pub struct L1Stats {
 }
 
 /// The L1 cache controller of one node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct L1Controller {
     node: usize,
     array: CacheArray<L1State>,

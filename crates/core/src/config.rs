@@ -2,6 +2,45 @@
 
 use crate::backoff::BackoffPolicy;
 use crate::lane::Lanes;
+use fsoi_sim::det::NodeMask;
+
+/// A rejected network configuration, carrying the offending value.
+///
+/// Node-count limits are enforced here, at construction time, instead of
+/// surfacing later as `NodeMask` capacity asserts deep inside a running
+/// simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Fewer than two nodes — there is nobody to talk to.
+    TooFewNodes {
+        /// The requested node count.
+        nodes: usize,
+    },
+    /// More nodes than the dense per-node bitmask tracking supports.
+    TooManyNodes {
+        /// The requested node count.
+        nodes: usize,
+        /// The hard capacity ([`NodeMask::CAPACITY`]).
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ConfigError::TooFewNodes { nodes } => {
+                write!(f, "a network needs at least two nodes (got {nodes})")
+            }
+            ConfigError::TooManyNodes { nodes, capacity } => write!(
+                f,
+                "{nodes} nodes exceed the NodeMask capacity of {capacity} \
+                 (sharer/subscription tracking uses dense per-node bitmasks)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How each node aims its beams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,9 +93,36 @@ impl FsoiConfig {
     /// `W = 2.7, B = 1.1` back-off, 2-cycle confirmation, 8-packet queues,
     /// both data-lane optimizations on, and a phase-array transmitter for
     /// systems larger than 16 nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is out of range; [`FsoiConfig::try_nodes`] is the
+    /// non-panicking variant.
     pub fn nodes(n: usize) -> Self {
-        assert!(n >= 2, "a network needs at least two nodes");
-        FsoiConfig {
+        match Self::try_nodes(n) {
+            Ok(cfg) => cfg,
+            // lint: allow(P1) infallible-constructor convenience; callers with untrusted n use try_nodes
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`FsoiConfig::nodes`], but validating the node count instead of
+    /// panicking: `n` must be at least 2 and at most
+    /// [`NodeMask::CAPACITY`] (sharer sets, subscription hubs and
+    /// directory masks all track nodes in dense bitmasks of that
+    /// capacity, and a violation would otherwise only surface as an
+    /// assert deep inside a running simulation).
+    pub fn try_nodes(n: usize) -> Result<Self, ConfigError> {
+        if n < 2 {
+            return Err(ConfigError::TooFewNodes { nodes: n });
+        }
+        if n > NodeMask::CAPACITY {
+            return Err(ConfigError::TooManyNodes {
+                nodes: n,
+                capacity: NodeMask::CAPACITY,
+            });
+        }
+        Ok(FsoiConfig {
             nodes: n,
             lanes: Lanes::paper_default(),
             array: if n > 16 {
@@ -70,7 +136,7 @@ impl FsoiConfig {
             hints: true,
             request_spacing: true,
             bit_error_rate: 1e-10,
-        }
+        })
     }
 
     /// Builder-style: replaces the lane configuration.
@@ -183,5 +249,30 @@ mod tests {
     #[should_panic(expected = "at least two nodes")]
     fn one_node_panics() {
         FsoiConfig::nodes(1);
+    }
+
+    #[test]
+    fn try_nodes_reports_the_offending_count() {
+        assert_eq!(
+            FsoiConfig::try_nodes(1),
+            Err(ConfigError::TooFewNodes { nodes: 1 })
+        );
+        assert_eq!(
+            FsoiConfig::try_nodes(200),
+            Err(ConfigError::TooManyNodes {
+                nodes: 200,
+                capacity: 128
+            })
+        );
+        let msg = FsoiConfig::try_nodes(200).unwrap_err().to_string();
+        assert!(msg.contains("200") && msg.contains("128"), "{msg}");
+        assert!(FsoiConfig::try_nodes(2).is_ok());
+        assert!(FsoiConfig::try_nodes(128).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "NodeMask capacity of 128")]
+    fn oversized_network_panics_at_construction_not_mid_run() {
+        FsoiConfig::nodes(129);
     }
 }

@@ -50,6 +50,7 @@ pub const ALLOWED_ENV_KNOBS: &[&str] = &[
     "FSOI_CHECK_CASES",
     "FSOI_CHECK_REPLAY",
     "FSOI_THREADS",
+    "FSOI_CACHE",
     "FSOI_TRACE",
     "FSOI_TRACE_BUF",
     "FSOI_TRACE_DUMP",

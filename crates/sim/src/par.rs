@@ -42,8 +42,16 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-/// Chunks dealt per worker; >1 so stealing has granularity to rebalance.
-const CHUNKS_PER_WORKER: usize = 4;
+/// Chunks dealt per worker. Sweep cells are coarse (milliseconds each)
+/// and heavily skewed — a 64-node cell costs ~4–8× a 16-node cell — so
+/// steal granularity, not per-chunk overhead, bounds the tail: with the
+/// old value of 4 an 80-cell/8-thread sweep dealt 2-cell chunks, and one
+/// unlucky chunk holding two 80 ms cells pinned the critical path at
+/// 160 ms. At 16 the same sweep deals single-cell chunks (the deque lock
+/// costs ~1 µs per pop, noise against ms-scale cells) while huge sweeps
+/// of cheap cells still amortize the lock over `cells / (threads * 16)`
+/// indices per acquisition.
+const CHUNKS_PER_WORKER: usize = 16;
 
 /// The number of worker threads a sweep should use by default: the
 /// documented `FSOI_THREADS` knob when set, else the machine's available
@@ -149,7 +157,17 @@ where
                         // back of the next non-empty victim. No new work
                         // is ever produced, so "every deque empty" is a
                         // sound exit condition.
-                        let job = lock(&queues[me]).pop_front().or_else(|| {
+                        //
+                        // The own-queue guard MUST be dropped before
+                        // stealing. Written as one chained statement
+                        // (`own.pop_front().or_else(|| steal)`), the
+                        // guard is a statement temporary held through
+                        // the closure: once every queue drains, each
+                        // worker holds its own empty queue's lock while
+                        // requesting a neighbour's — an n-worker cycle
+                        // that deadlocks the sweep.
+                        let own = lock(&queues[me]).pop_front();
+                        let job = own.or_else(|| {
                             (1..threads).find_map(|v| lock(&queues[(me + v) % threads]).pop_back())
                         });
                         let Some(range) = job else { break };
@@ -224,6 +242,20 @@ mod tests {
     #[test]
     fn more_threads_than_cells_is_fine() {
         assert_eq!(sweep(3, 100, |i| i * i), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn drained_queues_never_deadlock() {
+        // Regression: the own-queue guard used to be held across the
+        // steal attempt (statement-temporary lifetime), so workers
+        // draining simultaneously formed a lock cycle and the sweep hung.
+        // Many tiny sweeps with cheap cells maximize simultaneous-drain
+        // windows; with the bug this test hangs rather than fails.
+        for round in 0..200 {
+            let n = 1 + (round % 17);
+            let got = sweep(n, 8, |i| i);
+            assert_eq!(got, (0..n).collect::<Vec<_>>(), "round {round}");
+        }
     }
 
     #[test]

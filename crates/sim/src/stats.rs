@@ -157,6 +157,26 @@ impl Summary {
         self.mean() * self.count as f64
     }
 
+    /// Rebuilds a summary from its exact internal state, as captured by
+    /// [`Summary::raw`] — the round-trip primitive behind byte-exact
+    /// report (de)serialization in the cell cache.
+    pub fn from_raw(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Summary {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
+    /// The exact internal state `(count, mean, m2, min, max)`;
+    /// [`Summary::from_raw`] of this tuple reproduces the summary
+    /// bit-for-bit (including the empty-state sentinels ±∞).
+    pub fn raw(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
     /// Merges another summary into this one (parallel Welford combine).
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
@@ -276,6 +296,30 @@ impl Histogram {
             }
         }
         u64::MAX
+    }
+
+    /// Rebuilds a histogram from its exact internal state — the
+    /// counterpart of [`Histogram::summary`] plus the bin accessors, used
+    /// for byte-exact report (de)serialization in the cell cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width == 0` or `bins` is empty (same contract as
+    /// [`Histogram::new`]).
+    pub fn from_raw(bin_width: u64, bins: Vec<u64>, overflow: u64, summary: Summary) -> Self {
+        assert!(bin_width > 0, "bin width must be positive");
+        assert!(!bins.is_empty(), "need at least one bin");
+        Histogram {
+            bin_width,
+            bins,
+            overflow,
+            summary,
+        }
+    }
+
+    /// The exact running summary over all observations.
+    pub fn summary(&self) -> Summary {
+        self.summary
     }
 
     /// Iterates `(bin_start, count)` pairs over the regular bins.
@@ -406,6 +450,40 @@ pub fn geometric_mean(values: &[f64]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summary_raw_round_trip_is_bit_exact() {
+        let mut s = Summary::new();
+        for x in [0.1, -3.25, 7.5e9, 0.0] {
+            s.record(x);
+        }
+        let (count, mean, m2, min, max) = s.raw();
+        let back = Summary::from_raw(count, mean, m2, min, max);
+        assert_eq!(back, s);
+        // Empty summaries round-trip their ±∞ sentinels too.
+        let empty = Summary::new();
+        let (c, me, m2, mi, ma) = empty.raw();
+        assert_eq!(Summary::from_raw(c, me, m2, mi, ma), empty);
+    }
+
+    #[test]
+    fn histogram_raw_round_trip_is_bit_exact() {
+        let mut h = Histogram::new(10, 4);
+        for v in [0, 9, 10, 39, 40, 1000] {
+            h.record(v);
+        }
+        let back = Histogram::from_raw(
+            h.bin_width(),
+            (0..h.num_bins()).map(|i| h.bin(i)).collect(),
+            h.overflow(),
+            h.summary(),
+        );
+        assert_eq!(back.bin_width(), h.bin_width());
+        assert_eq!(back.num_bins(), h.num_bins());
+        assert_eq!(back.overflow(), h.overflow());
+        assert_eq!(back.summary(), h.summary());
+        assert_eq!(back.percentile(0.5), h.percentile(0.5));
+    }
 
     #[test]
     fn counter_basics() {

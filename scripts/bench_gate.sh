@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Benchmark regression gate: compares a sweep benchmark report (schema
-# fsoi-bench-sweep/v2, produced by `experiments bench`) against the
+# fsoi-bench-sweep/v3, produced by `experiments bench`) against the
 # committed baseline BENCH_sweep.json and exits nonzero on regression.
 #
 # Checks, each against its own tolerance:
@@ -15,6 +15,17 @@
 #   * byte_identical must be true in the current report — a parallel
 #     sweep that diverges from the serial fold is a hard failure at any
 #     tolerance.
+#
+# Hard scaling checks, independent of any baseline or tolerance (the old
+# relative-only check was vacuous: with a bad baseline of 1.0 and tol
+# 0.50, a parallel run 2x slower than serial still passed):
+#   * if the current report sampled threads_max > 1, max_speedup must be
+#     at least 1.0 — parallel slower than serial is a performance bug;
+#   * if the current host has cpus > 1, the report must have sampled
+#     threads_max > 1 AND achieved max_speedup > 1.0 — a multi-core
+#     runner that cannot beat serial means the executor regressed.
+#     (A 1-CPU host honestly reports cpus=1/threads_max=1 and skips
+#     both: there is no parallelism to prove.)
 #
 # Usage:
 #   scripts/bench_gate.sh                       # run the bench, compare
@@ -62,7 +73,7 @@ field() {
 }
 
 schema=$(sed -n 's/^ *"schema": "\([^"]*\)".*/\1/p' "$CURRENT" | head -n 1)
-if [ "$schema" != "fsoi-bench-sweep/v2" ]; then
+if [ "$schema" != "fsoi-bench-sweep/v3" ]; then
     echo "bench_gate: unexpected schema '$schema' in $CURRENT" >&2
     exit 2
 fi
@@ -73,11 +84,15 @@ base_scps=$(field "$BASELINE" sim_cycles_per_sec)
 cur_scps=$(field "$CURRENT" sim_cycles_per_sec)
 base_sp=$(field "$BASELINE" max_speedup)
 cur_sp=$(field "$CURRENT" max_speedup)
+cur_tmax=$(field "$CURRENT" threads_max)
+cur_cpus=$(field "$CURRENT" cpus)
 byte=$(sed -n 's/^ *"byte_identical": \(true\|false\).*/\1/p' "$CURRENT" | head -n 1)
 
 for pair in "cells_per_sec_serial=$base_cps/$cur_cps" \
             "sim_cycles_per_sec=$base_scps/$cur_scps" \
-            "max_speedup=$base_sp/$cur_sp"; do
+            "max_speedup=$base_sp/$cur_sp" \
+            "threads_max=$cur_tmax/$cur_tmax" \
+            "cpus=$cur_cpus/$cur_cpus"; do
     case "$pair" in
         *=/*|*/) echo "bench_gate: could not extract ${pair%%=*} from reports" >&2; exit 2 ;;
     esac
@@ -107,6 +122,27 @@ if ! awk -v c="$cur_sp" -v b="$base_sp" -v t="$SPEEDUP_TOL" \
     fail=1
 else
     echo "bench_gate: ok scaling: max speedup $cur_sp (baseline $base_sp, tol $SPEEDUP_TOL)"
+fi
+
+# Hard checks: no baseline or tolerance can excuse parallel-slower-than-
+# serial, and a multi-core host must demonstrate real speedup.
+if awk -v m="$cur_tmax" 'BEGIN { exit (m + 0 > 1) ? 0 : 1 }' && \
+   awk -v s="$cur_sp" 'BEGIN { exit (s + 0 < 1.0) ? 0 : 1 }'; then
+    echo "bench_gate: FAIL scaling (hard): sampled $cur_tmax threads but max speedup $cur_sp < 1.0 — parallel is slower than serial"
+    fail=1
+fi
+if awk -v c="$cur_cpus" 'BEGIN { exit (c + 0 > 1) ? 0 : 1 }'; then
+    if ! awk -v m="$cur_tmax" 'BEGIN { exit (m + 0 > 1) ? 0 : 1 }'; then
+        echo "bench_gate: FAIL scaling (hard): host has $cur_cpus cpus but the report only sampled threads_max=$cur_tmax"
+        fail=1
+    elif ! awk -v s="$cur_sp" 'BEGIN { exit (s + 0 > 1.0) ? 0 : 1 }'; then
+        echo "bench_gate: FAIL scaling (hard): host has $cur_cpus cpus but max speedup $cur_sp is not above 1.0"
+        fail=1
+    else
+        echo "bench_gate: ok scaling (hard): $cur_cpus cpus, $cur_tmax threads, max speedup $cur_sp > 1.0"
+    fi
+else
+    echo "bench_gate: ok scaling (hard): single-cpu host, serial-only curve is honest"
 fi
 
 if [ "$byte" != "true" ]; then

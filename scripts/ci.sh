@@ -31,6 +31,12 @@ tier_quick() {
     cargo fmt --all --check
     cargo build --offline --workspace
     cargo test -q --offline --workspace
+    # Cache smoke: the FSOI_CACHE knob end-to-end (fill, hit, tamper,
+    # corrupt-fallback). Already part of the workspace test run above —
+    # repeated by name so a cell-cache regression fails a step that says
+    # "cell_cache", and so this tier keeps covering it if the workspace
+    # test set is ever filtered.
+    cargo test -q --offline -p fsoi-bench --test cell_cache
 }
 
 tier_lint() {
