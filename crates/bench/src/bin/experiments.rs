@@ -5,7 +5,7 @@
 //!
 //! cmd: table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10 |
 //!      fig11 | table4 | bm | opts | corona | l1 | ber | receivers |
-//!      seeds | snapshot | bench | all
+//!      seeds | snapshot | bench | profile | all
 //! ```
 //!
 //! `--full` uses larger workloads (closer statistics, slower).
@@ -20,8 +20,20 @@
 //! for `scripts/bench_gate.sh` to compare against the committed baseline.
 //! Sweeps parallelize across (app, network, seed) cells; `FSOI_THREADS`
 //! caps the worker count without changing any output byte.
+//!
+//! `profile [--out PATH] [--det PATH] [--ops N]` runs the standard
+//! 80-cell sweep under both harness observability planes and writes the
+//! versioned run manifest (default `RUN_manifest.json`): config hash and
+//! seed, build info, the deterministic span profile (byte-identical for
+//! any `FSOI_THREADS`) and the wall-clock executor/cache telemetry
+//! (explicitly nondeterministic). `--det` additionally writes the raw
+//! deterministic-plane bytes (profile + merged registry JSONL) for
+//! byte-identity gates; `--ops` overrides ops-per-core for quick runs.
 
-use fsoi_bench::runner::{network_by_name, run_app, run_cells, sweep_apps, CellSpec, SweepOptions};
+use fsoi_bench::runner::{
+    network_by_name, run_app, run_cells, run_cells_threads_profiled, suite_cells, sweep_apps,
+    CellSpec, SweepOptions, MAX_CYCLES,
+};
 use fsoi_cmp::workload::AppProfile;
 use fsoi_net::analysis::backoff as ab;
 use fsoi_net::analysis::bandwidth::BandwidthAllocationModel;
@@ -56,6 +68,7 @@ fn main() {
         "seeds" => seed_stability(scale),
         "snapshot" => snapshot(scale),
         "bench" => bench(&args[1..]),
+        "profile" => profile(&args[1..]),
         "all" => {
             table1();
             fig3();
@@ -976,6 +989,191 @@ fn bench(args: &[String]) {
         eprintln!("bench: FAIL — parallel merged export diverged from the serial fold");
         std::process::exit(1);
     }
+}
+
+// ---------------------------------------------------------------- profile
+
+/// Runs the standard 80-cell sweep (16 apps × 5 networks at
+/// `quick_16`) under both harness observability planes and writes the
+/// versioned run manifest. The `deterministic` section — span profile,
+/// merged-registry size, content hash — is a pure function of the cell
+/// list and is byte-identical for any `FSOI_THREADS`; the `telemetry`
+/// section (worker/steal/phase/cache counters) is wall-clock data and
+/// deliberately excluded from byte-identity gates.
+fn profile(args: &[String]) {
+    header("profile: harness observability over the standard 80-cell sweep");
+    let mut out_path = String::from("RUN_manifest.json");
+    let mut det_path: Option<String> = None;
+    let mut ops_override: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("profile: --out needs a path");
+                        std::process::exit(2);
+                    })
+                    .clone();
+                i += 2;
+            }
+            "--det" => {
+                det_path = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("profile: --det needs a path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--ops" => {
+                let n = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("profile: --ops needs a count");
+                    std::process::exit(2);
+                });
+                ops_override = Some(n.parse().unwrap_or_else(|_| {
+                    eprintln!("profile: bad ops count {n:?}");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--full" => i += 1,
+            other => {
+                eprintln!("profile: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    fsoi_sim::telemetry::reset();
+    fsoi_sim::telemetry::set_enabled(true);
+    let mut opts = SweepOptions::quick_16();
+    if let Some(ops) = ops_override {
+        opts.ops_per_core = ops;
+    }
+    let networks = ["mesh", "fsoi", "L0", "Lr1", "Lr2"];
+    let cells = suite_cells(&networks, opts);
+    let threads = fsoi_sim::par::thread_count();
+    println!(
+        "  sweep: {} cells (ops/core {}, seed {}), {} worker threads",
+        cells.len(),
+        opts.ops_per_core,
+        opts.seed,
+        threads
+    );
+
+    // The content-addressed identity of the run: the same preimage
+    // inputs the cell cache keys on, hashed over every cell in order.
+    let mut key_bytes = String::new();
+    for cell in &cells {
+        let bc = cell.to_batch_cell();
+        key_bytes.push_str(&format!("{:?}|{:?}|{MAX_CYCLES}\n", bc.config, bc.app));
+    }
+    let config_hash = fsoi_cmp::cache::fnv1a64(key_bytes.as_bytes());
+
+    let (reports, profile) = run_cells_threads_profiled(&cells, threads);
+    let registry = fsoi_cmp::batch::merge_reports(&reports);
+    let snap = fsoi_sim::telemetry::snapshot();
+    fsoi_sim::telemetry::set_enabled(false);
+
+    // Deterministic-plane bytes: the span profile plus the merged
+    // registry, both in sorted JSONL. `scripts/verify.sh` byte-compares
+    // this file across FSOI_THREADS values.
+    let det_bytes = format!("{}{}", profile.to_jsonl(), registry.to_jsonl());
+    let det_hash = fsoi_cmp::cache::fnv1a64(det_bytes.as_bytes());
+    if let Some(path) = &det_path {
+        if let Err(e) = std::fs::write(path, &det_bytes) {
+            eprintln!("profile: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("  wrote deterministic-plane export to {path}");
+    }
+
+    let manifest = render_manifest(
+        &opts,
+        &networks,
+        cells.len(),
+        config_hash,
+        &profile,
+        registry.len(),
+        det_hash,
+        threads,
+        &snap,
+    );
+    if let Err(e) = std::fs::write(&out_path, manifest) {
+        eprintln!("profile: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("  wrote {out_path}\n");
+    println!("deterministic span profile:");
+    for line in profile.to_tree().lines() {
+        println!("  {line}");
+    }
+    println!();
+    print!("{}", snap.to_table());
+}
+
+/// Renders the `fsoi-run-manifest/v1` JSON document (hand-rolled, no
+/// JSON dependency; one key per line, stable field order).
+#[allow(clippy::too_many_arguments)]
+fn render_manifest(
+    opts: &SweepOptions,
+    networks: &[&str],
+    cells: usize,
+    config_hash: u64,
+    profile: &fsoi_sim::profile::Profile,
+    registry_metrics: usize,
+    det_hash: u64,
+    threads: usize,
+    snap: &fsoi_sim::telemetry::Snapshot,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"fsoi-run-manifest/v1\",\n");
+    out.push_str("  \"config\": {\n");
+    let _ = writeln!(out, "    \"cells\": {cells},");
+    let _ = writeln!(out, "    \"networks\": \"{}\",", networks.join(","));
+    let _ = writeln!(out, "    \"nodes\": {},", opts.nodes);
+    let _ = writeln!(out, "    \"ops_per_core\": {},", opts.ops_per_core);
+    let _ = writeln!(out, "    \"mem_gb_per_s\": {:?},", opts.mem_gb_per_s);
+    let _ = writeln!(out, "    \"optimizations\": {},", opts.optimizations);
+    let _ = writeln!(out, "    \"seed\": {},", opts.seed);
+    let _ = writeln!(out, "    \"max_cycles\": {MAX_CYCLES},");
+    let _ = writeln!(out, "    \"config_hash\": \"{config_hash:016x}\"");
+    out.push_str("  },\n");
+    // Build identity without reaching for git: the package version and
+    // build profile fully identify a released binary, and omitting VCS
+    // state keeps the manifest reproducible from a bare source tarball.
+    out.push_str("  \"build\": {\n");
+    let _ = writeln!(out, "    \"package\": \"{}\",", env!("CARGO_PKG_NAME"));
+    let _ = writeln!(out, "    \"version\": \"{}\",", env!("CARGO_PKG_VERSION"));
+    let _ = writeln!(out, "    \"debug_assertions\": {}", cfg!(debug_assertions));
+    out.push_str("  },\n");
+    out.push_str("  \"deterministic\": {\n");
+    out.push_str("    \"spans\": {\n");
+    let n_spans = profile.len();
+    for (i, (path, count)) in profile.iter().enumerate() {
+        let comma = if i + 1 == n_spans { "" } else { "," };
+        let _ = writeln!(out, "      \"{path}\": {count}{comma}");
+    }
+    out.push_str("    },\n");
+    let _ = writeln!(out, "    \"registry_metrics\": {registry_metrics},");
+    let _ = writeln!(out, "    \"det_hash\": \"{det_hash:016x}\"");
+    out.push_str("  },\n");
+    out.push_str("  \"telemetry\": {\n");
+    let _ = writeln!(out, "    \"threads\": {threads},");
+    let _ = writeln!(
+        out,
+        "    \"host_cpus\": {},",
+        fsoi_bench::sweepbench::host_cpus()
+    );
+    let _ = writeln!(out, "    \"snapshot\": {}", snap.to_json("    "));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
 }
 
 /// Default thread counts for the scaling curve, adapted to the host:

@@ -13,6 +13,7 @@ use fsoi_cmp::configs::{NetworkKind, SystemConfig};
 use fsoi_cmp::metrics::RunReport;
 use fsoi_cmp::workload::AppProfile;
 use fsoi_sim::par;
+use fsoi_sim::profile::Profile;
 
 /// Safety bound on run length.
 pub const MAX_CYCLES: u64 = 50_000_000;
@@ -143,8 +144,22 @@ pub fn run_cells_serial_timed(cells: &[CellSpec]) -> (Vec<RunReport>, Vec<f64>) 
 /// directory preload; sweeps without seed variants behave exactly like
 /// [`batch::run_batch`].
 pub fn run_cells_threads(cells: &[CellSpec], threads: usize) -> Vec<RunReport> {
+    run_cells_threads_profiled(cells, threads).0
+}
+
+/// [`run_cells_threads`] plus the sweep's merged deterministic profile:
+/// the batch-decomposition counters from
+/// [`batch::run_batch_forked_profiled`] merged with every cell's own
+/// [`RunReport`] `profile` spans. The result is a pure function of the
+/// cell list — byte-identical for any `threads` — and is the
+/// deterministic-plane payload behind `experiments profile`.
+pub fn run_cells_threads_profiled(cells: &[CellSpec], threads: usize) -> (Vec<RunReport>, Profile) {
     let batch: Vec<BatchCell> = cells.iter().map(CellSpec::to_batch_cell).collect();
-    batch::run_batch_forked(&batch, threads, MAX_CYCLES)
+    let (reports, mut profile) = batch::run_batch_forked_profiled(&batch, threads, MAX_CYCLES);
+    for r in &reports {
+        profile.merge(&r.profile);
+    }
+    (reports, profile)
 }
 
 /// [`run_cells_threads`] with the default thread count (`FSOI_THREADS`

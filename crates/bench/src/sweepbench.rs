@@ -7,10 +7,12 @@
 //! line so the shell gate can extract fields with `sed` — keep it that
 //! way when adding fields (and bump [`SCHEMA`] on breaking changes).
 //!
-//! Wall-clock measurement is confined to this crate: `fsoi-bench` is
-//! harness code, outside the simulation crates that `fsoi-lint` rule D2
-//! holds to simulated time. Timing never feeds back into any simulated
-//! number — the byte-identity check below proves it.
+//! Wall-clock measurement lives in two sanctioned homes: this crate
+//! (`fsoi-bench` is harness code, outside the simulation crates that
+//! `fsoi-lint` rule D2 holds to simulated time) and
+//! `fsoi_sim::telemetry`, the explicitly nondeterministic observability
+//! plane D2 carves out by name. Timing never feeds back into any
+//! simulated number — the byte-identity check below proves it.
 
 use crate::runner::{self, CellSpec, SweepOptions};
 use fsoi_cmp::batch;

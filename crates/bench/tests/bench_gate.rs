@@ -143,6 +143,38 @@ fn injected_throughput_regression_fails() {
 }
 
 #[test]
+fn regression_diff_lands_on_stderr_with_both_values() {
+    // The human narrative stays on stdout; stderr carries the offending
+    // field with baseline and fresh values side by side, so CI logs can
+    // grep one stream for the numbers that moved.
+    let base = write_report("gate_base_err.json", &report(100.0, 2.0, true));
+    let cur = write_report("gate_cur_err.json", &report(10.0, 2.0, false));
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+        "--tol",
+        "0.5",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(
+        stderr.contains("bench_gate: diff cells_per_sec_serial: baseline=100.0000 current=10.0000"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("bench_gate: diff byte_identical: baseline=true current=false"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        !stdout.contains("bench_gate: diff"),
+        "diff lines belong to stderr only: {stdout}"
+    );
+}
+
+#[test]
 fn injected_scaling_regression_fails() {
     let base = write_report("gate_base_sp.json", &report(100.0, 4.0, true));
     let cur = write_report("gate_cur_sp.json", &report(100.0, 1.0, true));

@@ -8,6 +8,7 @@ use fsoi_bench::runner::{CellSpec, SweepOptions, MAX_CYCLES};
 use fsoi_cmp::batch::{merge_reports, run_batch, BatchCell};
 use fsoi_cmp::cache::CellCache;
 use fsoi_cmp::workload::AppProfile;
+use fsoi_sim::telemetry;
 use std::path::PathBuf;
 
 fn cache_dir(name: &str) -> PathBuf {
@@ -41,7 +42,10 @@ fn fsoi_cache_knob_end_to_end() {
     assert!(!cold.is_empty(), "the cold export carries metrics");
 
     // Enabled knob: the first batch fills the cache, the second batch is
-    // all hits — same bytes both times, one entry file per cell.
+    // all hits — same bytes both times, one entry file per cell. Cache
+    // outcome telemetry is always-on (no `set_enabled` needed) and must
+    // track each scenario.
+    let t0 = telemetry::cache_stats();
     let dir = cache_dir("cell_cache_smoke");
     std::env::set_var("FSOI_CACHE", &dir);
     let fill = merge_reports(&run_batch(&cells, 2, MAX_CYCLES)).to_jsonl();
@@ -52,9 +56,19 @@ fn fsoi_cache_knob_end_to_end() {
             .unwrap_or(0)
     };
     assert_eq!(entries(), cells.len(), "one cache entry per distinct cell");
+    assert_eq!(
+        telemetry::cache_stats().misses,
+        t0.misses + cells.len() as u64,
+        "the fill run counts one miss per cell"
+    );
     let hits = merge_reports(&run_batch(&cells, 2, MAX_CYCLES)).to_jsonl();
     assert_eq!(hits, cold, "cache hits must reproduce the cold bytes");
     assert_eq!(entries(), cells.len(), "a hit run writes nothing new");
+    assert_eq!(
+        telemetry::cache_stats().hits,
+        t0.hits + cells.len() as u64,
+        "the warm run counts one hit per cell"
+    );
 
     // Prove hits really come from disk: rewrite one entry with another
     // entry's *payload* while keeping its own preimage line, and the
@@ -87,10 +101,36 @@ fn fsoi_cache_knob_end_to_end() {
     );
 
     // Corrupt the same entry into garbage: the preimage check rejects
-    // it, the cell falls back to a cold run, and the export heals.
+    // it, the cell falls back to a cold run, and the export heals. The
+    // rejection lands in the tamper counter (preimage mismatch).
+    let before_tamper = telemetry::cache_stats();
     std::fs::write(path_of(a), "not a cache entry\n").expect("corrupt cache entry");
     let healed = merge_reports(&run_batch(&cells, 1, MAX_CYCLES)).to_jsonl();
     assert_eq!(healed, cold, "corrupt entries must fall back to cold runs");
+    assert_eq!(
+        telemetry::cache_stats().tamper,
+        before_tamper.tamper + 1,
+        "a preimage mismatch must increment the tamper counter"
+    );
+
+    // Keep the preimage line but garble the payload: the preimage check
+    // passes, the wire parse fails, and the corruption counter — not the
+    // tamper counter — records it while the run heals the entry again.
+    let before_corrupt = telemetry::cache_stats();
+    let garbled = format!("{}\nnot wire format\n", preimage_line(&path_of(a)));
+    std::fs::write(path_of(a), garbled).expect("garble cache payload");
+    let reheal = merge_reports(&run_batch(&cells, 1, MAX_CYCLES)).to_jsonl();
+    assert_eq!(reheal, cold, "garbled payloads must fall back to cold runs");
+    let after_corrupt = telemetry::cache_stats();
+    assert_eq!(
+        after_corrupt.corrupt,
+        before_corrupt.corrupt + 1,
+        "a wire-parse failure must increment the corruption counter"
+    );
+    assert_eq!(
+        after_corrupt.tamper, before_corrupt.tamper,
+        "an intact preimage must not count as tampering"
+    );
 
     // An empty knob value disables the cache entirely.
     std::env::set_var("FSOI_CACHE", "");

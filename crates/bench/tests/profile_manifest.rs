@@ -1,0 +1,98 @@
+//! End-to-end pin of the `experiments profile` observability contract:
+//! the run manifest's deterministic-plane section (and the raw `--det`
+//! export) must be byte-identical for `FSOI_THREADS` ∈ {1, 2, 8} on the
+//! standard 80-cell sweep, while the telemetry section reports real
+//! executor activity (chunks or steals) on multi-thread runs.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+/// Runs `experiments profile` in a fresh process (fresh telemetry
+/// counters) with a small per-core workload and returns
+/// `(manifest, deterministic export)`.
+fn run_profile(threads: &str) -> (String, String) {
+    let out = tmp(&format!("RUN_manifest_t{threads}.json"));
+    let det = tmp(&format!("RUN_det_t{threads}.txt"));
+    let status = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args([
+            "profile",
+            "--ops",
+            "30",
+            "--out",
+            out.to_str().expect("utf8 path"),
+            "--det",
+            det.to_str().expect("utf8 path"),
+        ])
+        .env("FSOI_THREADS", threads)
+        .env_remove("FSOI_CACHE") // cache hits must not perturb the planes
+        .status()
+        .expect("spawn experiments profile");
+    assert!(status.success(), "profile failed for threads={threads}");
+    (
+        std::fs::read_to_string(&out).expect("manifest written"),
+        std::fs::read_to_string(&det).expect("det export written"),
+    )
+}
+
+/// The manifest's `deterministic` section, exclusive of `telemetry`.
+fn det_section(manifest: &str) -> &str {
+    let start = manifest
+        .find("\"deterministic\": {")
+        .expect("deterministic section present");
+    let end = manifest
+        .find("\"telemetry\": {")
+        .expect("telemetry section present");
+    &manifest[start..end]
+}
+
+/// Sums every `<key><integer>` occurrence, e.g. all workers' chunk
+/// counts for `"\"chunks\": "`.
+fn sum_counts(text: &str, key: &str) -> u64 {
+    let mut total = 0u64;
+    let mut rest = text;
+    while let Some(pos) = rest.find(key) {
+        rest = &rest[pos + key.len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        total += digits.parse::<u64>().unwrap_or(0);
+    }
+    total
+}
+
+#[test]
+fn deterministic_plane_is_byte_identical_across_thread_counts() {
+    let (m1, d1) = run_profile("1");
+    let (m2, d2) = run_profile("2");
+    let (m8, d8) = run_profile("8");
+
+    // Raw deterministic-plane export: profile + merged registry JSONL.
+    assert!(!d1.is_empty(), "deterministic export must not be empty");
+    assert!(d1.contains("\"span\":\"sim/cycles\""), "{d1}");
+    assert_eq!(d1, d2, "threads=2 deterministic export diverged");
+    assert_eq!(d1, d8, "threads=8 deterministic export diverged");
+
+    // Manifest: versioned schema, deterministic section thread-blind.
+    for m in [&m1, &m2, &m8] {
+        assert!(m.contains("\"schema\": \"fsoi-run-manifest/v1\""), "{m}");
+        assert!(m.contains("\"config_hash\": \""), "{m}");
+    }
+    assert_eq!(det_section(&m1), det_section(&m2));
+    assert_eq!(det_section(&m1), det_section(&m8));
+    assert!(
+        !det_section(&m1).contains("thread"),
+        "deterministic section must not mention threads: {}",
+        det_section(&m1)
+    );
+
+    // Telemetry plane: real executor activity on multi-thread runs.
+    for (threads, m) in [("2", &m2), ("8", &m8)] {
+        let activity = sum_counts(m, "\"chunks\": ") + sum_counts(m, "\"steals\": ");
+        assert!(
+            activity > 0,
+            "threads={threads}: telemetry shows no chunks or steals: {m}"
+        );
+    }
+}

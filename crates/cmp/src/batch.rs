@@ -28,6 +28,8 @@ use crate::workload::AppProfile;
 use fsoi_sim::det::DetMap;
 use fsoi_sim::metrics::Registry;
 use fsoi_sim::par;
+use fsoi_sim::profile::Profile;
+use fsoi_sim::telemetry::{self, Phase};
 
 /// One sweep cell: a complete system configuration plus a workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +56,12 @@ impl BatchCell {
 
     /// Runs this cell unconditionally — fresh system, no cache.
     pub fn run_cold(&self, max_cycles: u64) -> RunReport {
-        CmpSystem::new(self.config.clone(), self.app).run(max_cycles)
+        let mut sys = {
+            let _build = telemetry::span(Phase::Build);
+            CmpSystem::new(self.config.clone(), self.app)
+        };
+        let _sim = telemetry::span(Phase::Sim);
+        sys.run(max_cycles)
     }
 }
 
@@ -93,6 +100,20 @@ pub fn run_batch_auto(cells: &[BatchCell], max_cycles: u64) -> Vec<RunReport> {
 /// The `FSOI_CACHE` cell cache, when enabled, is consulted before
 /// forking just as [`BatchCell::run`] does before constructing.
 pub fn run_batch_forked(cells: &[BatchCell], threads: usize, max_cycles: u64) -> Vec<RunReport> {
+    run_batch_forked_profiled(cells, threads, max_cycles).0
+}
+
+/// [`run_batch_forked`] plus the harness-side deterministic profile:
+/// how the batch was decomposed (cells total, forked vs cold, group and
+/// template counts). The decomposition is a pure function of the cell
+/// list — never of thread count or cache state — so the returned
+/// [`Profile`] is byte-identical across `threads` and belongs in the
+/// deterministic observability plane.
+pub fn run_batch_forked_profiled(
+    cells: &[BatchCell],
+    threads: usize,
+    max_cycles: u64,
+) -> (Vec<RunReport>, Profile) {
     // Group by everything except the seed. The `Debug` rendering covers
     // every field of the config (including the nested network config)
     // and the app, so equal keys imply fork-compatible cells.
@@ -108,27 +129,45 @@ pub fn run_batch_forked(cells: &[BatchCell], threads: usize, max_cycles: u64) ->
             continue;
         }
         let first = &cells[members[0]];
-        templates.push(CmpSystem::new(first.config.clone(), first.app));
+        let template = {
+            let _build = telemetry::span(Phase::Build);
+            CmpSystem::new(first.config.clone(), first.app)
+        };
+        templates.push(template);
         for &i in members {
             template_of[i] = Some(templates.len() - 1);
         }
     }
+    let forked = template_of.iter().filter(|t| t.is_some()).count() as u64;
+    let mut harness = Profile::new();
+    harness.add("batch/cells", cells.len() as u64);
+    harness.add("batch/cells_forked", forked);
+    harness.add("batch/cells_cold", cells.len() as u64 - forked);
+    harness.add("batch/groups", groups.len() as u64);
+    harness.add("batch/templates", templates.len() as u64);
     let templates = &templates;
     let template_of = &template_of;
-    par::sweep(cells.len(), threads, move |i| {
+    let reports = par::sweep(cells.len(), threads, move |i| {
         let cell = &cells[i];
         match template_of[i] {
             Some(t) => run_via_cache(cell, max_cycles, || {
-                templates[t].fork(cell.config.seed).run(max_cycles)
+                let mut sys = {
+                    let _build = telemetry::span(Phase::Build);
+                    templates[t].fork(cell.config.seed)
+                };
+                let _sim = telemetry::span(Phase::Sim);
+                sys.run(max_cycles)
             }),
             None => cell.run(max_cycles),
         }
-    })
+    });
+    (reports, harness)
 }
 
 /// Folds reports into one registry in slice order — the deterministic
 /// reduction behind merged sweep exports.
 pub fn merge_reports(reports: &[RunReport]) -> Registry {
+    let _merge = telemetry::span(Phase::Merge);
     let mut reg = Registry::new();
     for r in reports {
         r.export(&mut reg);
@@ -210,6 +249,33 @@ mod tests {
         let mut sys = CmpSystem::new(cell.config, cell.app);
         let _ = sys.run(1_000_000);
         let _ = sys.fork(1);
+    }
+
+    #[test]
+    fn profiled_batch_reports_the_decomposition() {
+        // Same shape as `forked_batch_matches_cold_batch_bytes`: three
+        // seed variants share one template, one singleton stays cold.
+        let mut cells = Vec::new();
+        let mut app = AppProfile::by_name("mp").expect("suite app");
+        app.ops_per_core = 40;
+        for seed in [11, 12, 13] {
+            let cfg = SystemConfig::paper_16(NetworkKind::fsoi(16)).with_seed(seed);
+            cells.push(BatchCell::new(cfg, app));
+        }
+        cells.extend(tiny_cells().into_iter().take(1));
+        let (reports, harness) = run_batch_forked_profiled(&cells, 2, 1_000_000);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(harness.get("batch/cells"), 4);
+        assert_eq!(harness.get("batch/cells_forked"), 3);
+        assert_eq!(harness.get("batch/cells_cold"), 1);
+        assert_eq!(harness.get("batch/groups"), 2);
+        assert_eq!(harness.get("batch/templates"), 1);
+        // The decomposition never depends on thread count.
+        let (_, serial) = run_batch_forked_profiled(&cells, 1, 1_000_000);
+        assert_eq!(serial, harness);
+        // Per-cell sim profiles ride inside the reports.
+        assert!(reports[0].profile.get("sim/cycles") > 0);
+        assert!(reports[0].profile.get("sim/ticks") > 0);
     }
 
     #[test]

@@ -25,14 +25,16 @@
 use crate::configs::SystemConfig;
 use crate::metrics::RunReport;
 use crate::workload::AppProfile;
+use fsoi_sim::telemetry;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Format tag for the preimage/wire layout; bump on any change to the
 /// `Debug` shape of the key types or the wire format so stale entries
-/// miss instead of misparsing.
-const FORMAT: &str = "fsoi-cell/v1";
+/// miss instead of misparsing. v2: `RunReport` gained a trailing
+/// `profile` wire line.
+const FORMAT: &str = "fsoi-cell/v2";
 
 /// Distinguishes concurrent writers' temp files within one process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -78,8 +80,10 @@ impl CellCache {
         let preimage = preimage(cfg, app, max_cycles);
         let path = self.entry_path(&preimage);
         if let Some(report) = load(&path, &preimage) {
+            telemetry::cache_hit();
             return report;
         }
+        telemetry::cache_miss();
         let report = cold();
         store(&path, &preimage, &report);
         report
@@ -126,13 +130,22 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// Loads and verifies one entry; any damage or mismatch is a miss.
+/// Rejections are counted in the cache-telemetry plane: a preimage
+/// mismatch (tampered, stale-format or hash-collided entry) bumps the
+/// tamper counter, a wire-parse failure (truncated or corrupted payload)
+/// bumps the corruption counter.
 fn load(path: &Path, preimage: &str) -> Option<RunReport> {
     let text = fs::read_to_string(path).ok()?;
     let (stored_preimage, wire) = text.split_once('\n')?;
     if stored_preimage != preimage {
+        telemetry::cache_tamper();
         return None; // hash collision or stale format — never trust it
     }
-    RunReport::from_wire(wire)
+    let report = RunReport::from_wire(wire);
+    if report.is_none() {
+        telemetry::cache_corrupt();
+    }
+    report
 }
 
 /// Stores one entry atomically (write-to-temp, rename). Best-effort: any

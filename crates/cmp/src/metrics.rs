@@ -3,6 +3,7 @@
 use crate::energy::ChipEnergy;
 use crate::interconnect::LatencyAttribution;
 use fsoi_sim::metrics::Registry;
+use fsoi_sim::profile::Profile;
 use fsoi_sim::stats::{Histogram, Summary};
 
 /// Traffic classes used in Figure 10's data-lane collision breakdown.
@@ -100,6 +101,14 @@ pub struct RunReport {
     pub hint_wrong_rate: f64,
     /// Packets dropped by raw bit errors and recovered by retransmission.
     pub bit_error_drops: u64,
+    /// Deterministic harness-profile spans for this cell (cycles, ticks,
+    /// events, fast-forward jumps). Deliberately *not* part of
+    /// [`RunReport::export`]: the profile describes how the harness drove
+    /// the simulation, not what the simulation measured, and reference
+    /// drives (e.g. tick-by-tick replays in tests) legitimately differ
+    /// here while producing identical metrics. `experiments profile`
+    /// exports it through [`Profile::export`] instead.
+    pub profile: Profile,
 }
 
 impl RunReport {
@@ -301,6 +310,7 @@ impl RunReport {
         lines.push(format!("hint_accuracy {}", h(self.hint_accuracy)));
         lines.push(format!("hint_wrong_rate {}", h(self.hint_wrong_rate)));
         lines.push(format!("bit_error_drops {}", self.bit_error_drops));
+        lines.push(format!("profile {}", self.profile.to_wire_fragment()));
         let mut out = lines.join("\n");
         out.push('\n');
         out
@@ -369,6 +379,7 @@ impl RunReport {
         let hint_accuracy = f64_from_hex(w.kv("hint_accuracy")?)?;
         let hint_wrong_rate = f64_from_hex(w.kv("hint_wrong_rate")?)?;
         let bit_error_drops: u64 = w.kv("bit_error_drops")?.parse().ok()?;
+        let profile = Profile::from_wire_fragment(w.kv("profile")?)?;
         w.end()?;
         Some(RunReport {
             app,
@@ -402,6 +413,7 @@ impl RunReport {
             hint_accuracy,
             hint_wrong_rate,
             bit_error_drops,
+            profile,
         })
     }
 }
@@ -486,6 +498,7 @@ mod tests {
             hint_accuracy: 0.0,
             hint_wrong_rate: 0.0,
             bit_error_drops: 0,
+            profile: Profile::new(),
         };
         assert!((r.speedup_vs(1000) - 2.0).abs() < 1e-12);
     }
@@ -523,6 +536,12 @@ mod tests {
             hint_accuracy: 0.9,
             hint_wrong_rate: 0.1,
             bit_error_drops: 2,
+            profile: {
+                let mut p = Profile::new();
+                p.add("sim/cycles", 500);
+                p.add("sim/ff/jumps", 3);
+                p
+            },
         }
     }
 

@@ -31,8 +31,10 @@ use fsoi_coherence::sync::{Barrier, BooleanSubscriptionHub, SpinLock};
 use fsoi_net::packet::PacketClass;
 use fsoi_sim::det::{DetMap, DetSet};
 use fsoi_sim::event::EventQueue;
+use fsoi_sim::profile::Profile;
 use fsoi_sim::rng::Xoshiro256StarStar;
 use fsoi_sim::stats::Histogram;
+use fsoi_sim::telemetry::{self, Phase};
 use fsoi_sim::Cycle;
 use std::collections::VecDeque;
 
@@ -103,6 +105,15 @@ pub struct CmpSystem {
     acks_elided: u64,
     protocol_errors: u64,
     first_protocol_error: Option<String>,
+    // Deterministic harness-profile counters (see `fsoi_sim::profile`):
+    // pure functions of the cell inputs and the `run()` drive, assembled
+    // into `RunReport::profile` by `report()`. Deliberately *not* part of
+    // `RunReport::export()` — a tick-only drive (the fast-forward
+    // reference tests) legitimately differs from `run()` here.
+    ticks: u64,
+    ff_jumps: u64,
+    ff_cycles_skipped: u64,
+    events_processed: u64,
 }
 
 impl CmpSystem {
@@ -143,9 +154,12 @@ impl CmpSystem {
         // Warm the distributed L2: the paper measures steady-state windows
         // (e.g. "between a fixed number of barrier instances"), so the
         // shared data is L2-resident when timing starts.
-        for line in app.all_region_lines(n, cfg.line_bytes) {
-            let home = ((line.0 / cfg.line_bytes) % n as u64) as usize;
-            dirs[home].preload(line);
+        {
+            let _warm = telemetry::span(Phase::Warmup);
+            for line in app.all_region_lines(n, cfg.line_bytes) {
+                let home = ((line.0 / cfg.line_bytes) % n as u64) as usize;
+                dirs[home].preload(line);
+            }
         }
         CmpSystem {
             app,
@@ -171,6 +185,10 @@ impl CmpSystem {
             acks_elided: 0,
             protocol_errors: 0,
             first_protocol_error: None,
+            ticks: 0,
+            ff_jumps: 0,
+            ff_cycles_skipped: 0,
+            events_processed: 0,
             net,
             cfg,
         }
@@ -234,6 +252,10 @@ impl CmpSystem {
             acks_elided: 0,
             protocol_errors: 0,
             first_protocol_error: None,
+            ticks: 0,
+            ff_jumps: 0,
+            ff_cycles_skipped: 0,
+            events_processed: 0,
             net: cfg.build_network(),
             cfg,
         }
@@ -318,6 +340,8 @@ impl CmpSystem {
             return;
         }
         let skipped = next.as_u64() - self.now.as_u64();
+        self.ff_jumps += 1;
+        self.ff_cycles_skipped += skipped;
         self.net.advance_to(next);
         for c in &mut self.cores {
             c.account_cycles(skipped);
@@ -332,15 +356,28 @@ impl CmpSystem {
             && self.net.is_idle()
     }
 
-    /// One cycle.
+    /// One cycle. The three sections are wrapped in wall-clock telemetry
+    /// spans (interconnect vs coherence/memory events vs cores); when
+    /// telemetry is off each span costs one relaxed atomic load and reads
+    /// no clock, so the hot path stays hot.
     pub fn tick(&mut self) {
-        self.net.tick();
-        self.drain_network();
-        self.process_pending();
-        self.retry_backlog();
-        self.step_cores();
-        for c in &mut self.cores {
-            c.account_cycle(self.now);
+        self.ticks += 1;
+        {
+            let _net = telemetry::span(Phase::SimNet);
+            self.net.tick();
+            self.drain_network();
+        }
+        {
+            let _ev = telemetry::span(Phase::SimEvents);
+            self.process_pending();
+            self.retry_backlog();
+        }
+        {
+            let _cores = telemetry::span(Phase::SimCores);
+            self.step_cores();
+            for c in &mut self.cores {
+                c.account_cycle(self.now);
+            }
         }
         self.now += 1;
     }
@@ -516,6 +553,7 @@ impl CmpSystem {
 
     fn process_pending(&mut self) {
         while let Some((_, ev)) = self.pending.pop_due(self.now) {
+            self.events_processed += 1;
             match ev {
                 Pending::Deliver { from, to, msg } => self.deliver(from, to, msg),
                 Pending::DirectDeliver { from, out } => {
@@ -982,6 +1020,12 @@ impl CmpSystem {
             "protocol errors observed; first: {:?}",
             self.first_protocol_error
         );
+        let mut profile = Profile::new();
+        profile.add("sim/cycles", cycles);
+        profile.add("sim/ticks", self.ticks);
+        profile.add("sim/events", self.events_processed);
+        profile.add("sim/ff/jumps", self.ff_jumps);
+        profile.add("sim/ff/cycles_skipped", self.ff_cycles_skipped);
         RunReport {
             app: self.app.name.to_string(),
             network: self.net.name().to_string(),
@@ -1013,6 +1057,7 @@ impl CmpSystem {
                 wrong as f64 / issued as f64
             },
             bit_error_drops: self.net.bit_error_drops(),
+            profile,
         }
     }
 }

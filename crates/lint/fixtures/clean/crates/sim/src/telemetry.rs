@@ -1,0 +1,17 @@
+//! Clean-fixture stand-in for `fsoi_sim::telemetry`: the wall-clock
+//! observability plane is the one simulation-library path exempt from
+//! rule D2's clock/entropy ident ban, so `Instant` here must not fire.
+//! The env-read discipline still applies — only documented knobs appear.
+//! Never compiled — only lexed.
+
+use std::time::Instant;
+
+pub fn span_nanos() -> u64 {
+    let start = Instant::now();
+    let enabled = std::env::var("FSOI_TELEMETRY").is_ok();
+    if enabled {
+        start.elapsed().as_nanos() as u64
+    } else {
+        0
+    }
+}

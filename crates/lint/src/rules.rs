@@ -11,6 +11,10 @@
 //!   code (`Instant`, `SystemTime`, `thread_rng`, …), and no environment
 //!   reads outside the documented `FSOI_*` knob list. Simulated time is
 //!   [`fsoi_sim::Cycle`]; randomness comes from the seeded in-repo RNGs.
+//!   `fsoi_sim::telemetry` — the explicitly nondeterministic wall-clock
+//!   observability plane, excluded from every byte-identity gate — is
+//!   the one sanctioned home for clock reads; the env-read discipline
+//!   still applies there.
 //! * **D3** — no direct threading or lock primitives (`thread::spawn`,
 //!   `Mutex`, `RwLock`, …) in simulation library code outside
 //!   `fsoi_sim::par`: ad-hoc threads make completion order — and thus
@@ -51,6 +55,7 @@ pub const ALLOWED_ENV_KNOBS: &[&str] = &[
     "FSOI_CHECK_REPLAY",
     "FSOI_THREADS",
     "FSOI_CACHE",
+    "FSOI_TELEMETRY",
     "FSOI_TRACE",
     "FSOI_TRACE_BUF",
     "FSOI_TRACE_DUMP",
@@ -59,6 +64,13 @@ pub const ALLOWED_ENV_KNOBS: &[&str] = &[
 /// Files exempt from D3: the deterministic sweep executor is the one
 /// sanctioned home for threads and locks in simulation library code.
 pub const D3_EXEMPT_PATHS: &[&str] = &["crates/sim/src/par.rs"];
+
+/// Files exempt from D2's wall-clock/OS-entropy ident ban: the telemetry
+/// module is the explicitly nondeterministic observability plane, kept
+/// out of every byte-identity gate, so `Instant` is legitimate there.
+/// The exemption covers only the banned idents — environment reads in
+/// this file still answer to the documented-knob audit.
+pub const D2_EXEMPT_PATHS: &[&str] = &["crates/sim/src/telemetry.rs"];
 
 /// Identifiers that are shared-state synchronization primitives (D3).
 /// (`Barrier` is deliberately absent: `fsoi_coherence::sync::Barrier` is a
@@ -113,7 +125,7 @@ pub const RULES: &[&str] = &["D1", "D2", "D3", "T1", "P1", "A1"];
 pub fn rule_summary(rule: &str) -> &'static str {
     match rule {
         "D1" => "no HashMap/HashSet in sim library code; use fsoi_sim::det::{DetMap, DetSet}",
-        "D2" => "no wall-clock/OS-entropy/undocumented-env reads in sim library code",
+        "D2" => "no wall-clock/OS-entropy/undocumented-env reads in sim library code outside fsoi_sim::telemetry",
         "D3" => "no thread::spawn/Mutex/RwLock in sim library code outside fsoi_sim::par",
         "T1" => "trace emissions must be lazy (trace::emit_with, never trace::emit)",
         "P1" => "no unwrap/expect/panic! in library code without `// lint: allow(P1) reason`",
@@ -190,6 +202,9 @@ pub fn lint_source(rel: &str, src: &str) -> FileFindings {
     let sim_scope = SIM_CRATES.contains(&krate);
     let p1_scope = sim_scope || HARNESS_CRATES.contains(&krate);
     let d2_scope = p1_scope;
+    // The ident ban (clocks/entropy) has a sanctioned home; the env-read
+    // audit below deliberately does not use this and applies everywhere.
+    let d2_ident_scope = d2_scope && !D2_EXEMPT_PATHS.contains(&rel);
     let d3_scope = sim_scope && !D3_EXEMPT_PATHS.contains(&rel);
     if !sim_scope && !p1_scope {
         return out;
@@ -273,7 +288,7 @@ pub fn lint_source(rel: &str, src: &str) -> FileFindings {
             );
         }
         // D2: wall-clock / OS-entropy identifiers.
-        if d2_scope && t.kind == TokKind::Ident {
+        if d2_ident_scope && t.kind == TokKind::Ident {
             if let Some((_, why)) = D2_BANNED_IDENTS.iter().find(|(id, _)| *id == t.text) {
                 push("D2", t.line, format!("`{}`: {}", t.text, why));
             }
@@ -561,6 +576,33 @@ mod tests {
     fn d2_accepts_documented_knobs() {
         let src = "fn f() { let v = std::env::var(\"FSOI_TRACE\"); }\n";
         assert!(lint_as("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d2_exempts_the_telemetry_module_from_the_ident_ban_only() {
+        // The wall-clock plane may read the clock…
+        let clock = "fn f() { let t = Instant::now(); let _ = t; }\n";
+        assert!(
+            lint_as("crates/sim/src/telemetry.rs", clock).is_empty(),
+            "fsoi_sim::telemetry is the sanctioned home for wall-clock reads"
+        );
+        // …but any other sim file still may not…
+        assert!(lint_as("crates/sim/src/x.rs", clock)
+            .iter()
+            .any(|v| v.rule == "D2"));
+        // …and the env-read audit still applies inside telemetry.
+        let env = "fn f() { let v = std::env::var(\"FSOI_SECRET\"); let _ = v; }\n";
+        assert!(
+            lint_as("crates/sim/src/telemetry.rs", env)
+                .iter()
+                .any(|v| v.rule == "D2" && v.msg.contains("FSOI_SECRET")),
+            "the ident exemption must not waive the documented-knob audit"
+        );
+        let knob = "fn f() { let v = std::env::var(\"FSOI_TELEMETRY\"); let _ = v; }\n";
+        assert!(
+            lint_as("crates/sim/src/telemetry.rs", knob).is_empty(),
+            "FSOI_TELEMETRY is a documented knob"
+        );
     }
 
     #[test]

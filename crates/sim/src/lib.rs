@@ -21,6 +21,12 @@
 //!   for threads in simulation code (`fsoi-lint` rule D3), with results
 //!   merged by a deterministic reduction keyed on cell index so thread
 //!   count is never observable in output,
+//! * [`profile`] — the deterministic harness-observability plane:
+//!   hierarchical span counters keyed by sim-domain quantities, with
+//!   byte-identical exports across thread counts,
+//! * [`telemetry`] — the wall-clock harness-observability plane: executor
+//!   and cache telemetry, explicitly nondeterministic and the only
+//!   sanctioned home for wall-clock reads (`fsoi-lint` rule D2),
 //! * [`trace`] — cycle-stamped structured event tracing with a bounded
 //!   flight recorder that dumps JSON lines when an invariant fails,
 //! * [`queue::BoundedQueue`] — a bounded FIFO with occupancy accounting,
@@ -45,9 +51,11 @@ pub mod det;
 pub mod event;
 pub mod metrics;
 pub mod par;
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 use core::fmt;

@@ -30,6 +30,12 @@
 //! it — `fsoi_cmp::batch`, the `fsoi-bench` runner — expresses sweeps as
 //! pure per-cell closures.
 //!
+//! Workers emit executor telemetry (chunk pops, steals, queue-depth
+//! samples, busy/idle durations) into [`crate::telemetry`] — the
+//! wall-clock observability plane. Emission is disabled by default and
+//! never touches sweep results, so it cannot perturb the byte-identity
+//! guarantee above.
+//!
 //! ```
 //! use fsoi_sim::par;
 //! let serial: Vec<u64> = par::sweep(100, 1, |i| (i as u64) * 3 + 1);
@@ -38,6 +44,7 @@
 //! ```
 
 use crate::rng::SplitMix64;
+use crate::telemetry;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -166,11 +173,28 @@ where
                         // worker holds its own empty queue's lock while
                         // requesting a neighbour's — an n-worker cycle
                         // that deadlocks the sweep.
-                        let own = lock(&queues[me]).pop_front();
+                        let idle = telemetry::worker_idle(me);
+                        let own = {
+                            let mut q = lock(&queues[me]);
+                            telemetry::worker_queue_depth(me, q.len() as u64);
+                            q.pop_front()
+                        };
+                        if own.is_some() {
+                            telemetry::worker_chunk(me);
+                        }
                         let job = own.or_else(|| {
-                            (1..threads).find_map(|v| lock(&queues[(me + v) % threads]).pop_back())
+                            (1..threads).find_map(|v| {
+                                let got = lock(&queues[(me + v) % threads]).pop_back();
+                                if got.is_some() {
+                                    telemetry::worker_steal(me);
+                                }
+                                got
+                            })
                         });
+                        drop(idle);
                         let Some(range) = job else { break };
+                        let _busy = telemetry::worker_busy(me);
+                        telemetry::worker_cells(me, range.len() as u64);
                         for i in range {
                             out.push((i, f(i)));
                         }

@@ -636,4 +636,66 @@ mod tests {
         let g = geometric_mean(&[2.0, 8.0]).unwrap();
         assert!((g - 4.0).abs() < 1e-12);
     }
+
+    #[test]
+    fn histogram_percentile_edge_cases() {
+        // Empty histogram: every quantile degenerates to zero.
+        let empty = Histogram::new(10, 5);
+        assert_eq!(empty.percentile(0.0), 0);
+        assert_eq!(empty.percentile(0.5), 0);
+        assert_eq!(empty.percentile(1.0), 0);
+
+        // q = 0.0 on a non-empty histogram resolves to the first bin's
+        // upper edge; q = 1.0 to the last occupied bin's.
+        let mut h = Histogram::new(10, 5);
+        for v in [0, 12, 27, 33] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 9);
+        assert_eq!(h.percentile(1.0), 39);
+        // Out-of-range quantiles clamp rather than panic or wrap.
+        assert_eq!(h.percentile(-1.0), h.percentile(0.0));
+        assert_eq!(h.percentile(2.0), h.percentile(1.0));
+
+        // Every observation in the overflow bin: no bin can reach a
+        // positive target, so the sentinel reports "beyond the range"
+        // (q = 0.0 still short-circuits at the first bin's upper edge).
+        let mut over = Histogram::new(10, 2);
+        for _ in 0..3 {
+            over.record(1_000);
+        }
+        assert_eq!(over.percentile(0.5), u64::MAX);
+        assert_eq!(over.percentile(1.0), u64::MAX);
+        assert_eq!(over.percentile(0.0), 9);
+    }
+
+    #[test]
+    fn summary_merge_with_an_empty_side() {
+        let mut filled = Summary::new();
+        for v in [1.0, 2.0, 3.0] {
+            filled.record(v);
+        }
+
+        // Empty other side: the merge is a no-op.
+        let mut a = filled;
+        a.merge(&Summary::new());
+        assert_eq!(a, filled);
+
+        // Empty self: the merge adopts the other side wholesale (in
+        // particular min/max must not keep the ±infinity sentinels).
+        let mut b = Summary::new();
+        b.merge(&filled);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.mean(), filled.mean());
+        assert_eq!(b.min(), Some(1.0));
+        assert_eq!(b.max(), Some(3.0));
+        assert_eq!(b, filled);
+
+        // Both sides empty: still empty, still no observations.
+        let mut e = Summary::new();
+        e.merge(&Summary::new());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+    }
 }

@@ -1,0 +1,566 @@
+//! Wall-clock harness telemetry — the explicitly **nondeterministic**
+//! plane of the harness observability subsystem.
+//!
+//! [`crate::profile`] counts what the *simulation* did (deterministic,
+//! byte-identical across thread counts); this module observes what the
+//! *host* did while running it: per-worker steal/chunk counts, queue
+//! depths, busy/idle durations, per-phase wall time, and cell-cache
+//! hit/miss/tamper/corrupt outcomes. None of these numbers are
+//! reproducible — they depend on scheduling, load and cache state — so
+//! they are excluded from every byte-identity gate and are reported in
+//! a clearly separated `telemetry` section of the run manifest.
+//!
+//! This module is the **only** simulation-library code allowed to read
+//! the wall clock (`fsoi-lint` rule D2 exempts exactly this file, the
+//! way D3 exempts `par.rs` for threads). Everything else emits through
+//! the functions here, which are no-ops — no clock read, one relaxed
+//! atomic load — until [`set_enabled`] turns collection on (the
+//! documented `FSOI_TELEMETRY` knob via [`enable_from_env`], or the
+//! `experiments profile` subcommand programmatically). Cache outcome
+//! counters are the exception: they are plain relaxed counters with no
+//! clock involvement and stay on unconditionally so corruption events
+//! are never silently dropped.
+//!
+//! State is a fixed set of process-wide atomics (no locks — rule D3
+//! still applies here): per-worker `[AtomicU64; MAX_WORKERS]` arrays
+//! indexed by worker id (clamped), phase buckets, and cache counters.
+//! [`snapshot`] copies them into a plain [`Snapshot`] for rendering.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Workers tracked individually; higher worker ids clamp into the last
+/// slot (sweeps beyond 64 threads are aggregated, not lost).
+pub const MAX_WORKERS: usize = 64;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static CHUNKS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
+static STEALS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
+static CELLS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
+static BUSY_NS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
+static IDLE_NS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
+static DEPTH_SUM: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
+static DEPTH_SAMPLES: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
+
+static PHASE_NS: [AtomicU64; Phase::COUNT] = [const { AtomicU64::new(0) }; Phase::COUNT];
+
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_TAMPER: AtomicU64 = AtomicU64::new(0);
+static CACHE_CORRUPT: AtomicU64 = AtomicU64::new(0);
+
+/// A wall-clock phase bucket for [`span`] timings.
+///
+/// `Build`/`Warmup`/`Sim`/`Merge` partition a cell's lifecycle; the
+/// `Sim*` buckets break the simulation loop down further (network
+/// advance vs protocol/memory event processing vs core stepping — the
+/// interconnect/coherence/memory split of the tick).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Cell or template construction (config + app → system).
+    Build,
+    /// Seed-independent pre-timing warmup (distributed-L2 preload).
+    Warmup,
+    /// The simulation loop proper (tick + fast-forward).
+    Sim,
+    /// Merging per-cell reports into one registry.
+    Merge,
+    /// Within `Sim`: interconnect tick plus delivery drain.
+    SimNet,
+    /// Within `Sim`: pending coherence/memory event processing.
+    SimEvents,
+    /// Within `Sim`: core stepping and per-cycle accounting.
+    SimCores,
+}
+
+impl Phase {
+    /// Number of phase buckets.
+    pub const COUNT: usize = 7;
+
+    const ALL: [Phase; Phase::COUNT] = [
+        Phase::Build,
+        Phase::Warmup,
+        Phase::Sim,
+        Phase::Merge,
+        Phase::SimNet,
+        Phase::SimEvents,
+        Phase::SimCores,
+    ];
+
+    /// Stable lowercase name used in reports and the run manifest.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Build => "build",
+            Phase::Warmup => "warmup",
+            Phase::Sim => "sim",
+            Phase::Merge => "merge",
+            Phase::SimNet => "sim_net",
+            Phase::SimEvents => "sim_events",
+            Phase::SimCores => "sim_cores",
+        }
+    }
+}
+
+/// Whether telemetry collection is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns telemetry collection on or off (process-wide).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enables telemetry when the documented `FSOI_TELEMETRY` knob is set
+/// to anything but `0` or empty. Telemetry never changes simulation
+/// output, so this read cannot leak into any exported number.
+pub fn enable_from_env() {
+    if let Ok(v) = std::env::var("FSOI_TELEMETRY") {
+        let v = v.trim();
+        if !v.is_empty() && v != "0" {
+            set_enabled(true);
+        }
+    }
+}
+
+/// Zeroes every counter and duration (collection stays on/off as-is).
+pub fn reset() {
+    for arr in [
+        &CHUNKS,
+        &STEALS,
+        &CELLS,
+        &BUSY_NS,
+        &IDLE_NS,
+        &DEPTH_SUM,
+        &DEPTH_SAMPLES,
+    ] {
+        for a in arr.iter() {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+    for a in PHASE_NS.iter() {
+        a.store(0, Ordering::Relaxed);
+    }
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_MISSES.store(0, Ordering::Relaxed);
+    CACHE_TAMPER.store(0, Ordering::Relaxed);
+    CACHE_CORRUPT.store(0, Ordering::Relaxed);
+}
+
+fn slot(worker: usize) -> usize {
+    worker.min(MAX_WORKERS - 1)
+}
+
+/// Records a chunk popped from the worker's own deque.
+pub fn worker_chunk(worker: usize) {
+    if enabled() {
+        CHUNKS[slot(worker)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records a chunk stolen from another worker's deque.
+pub fn worker_steal(worker: usize) {
+    if enabled() {
+        STEALS[slot(worker)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records `n` cells executed by the worker.
+pub fn worker_cells(worker: usize, n: u64) {
+    if enabled() {
+        CELLS[slot(worker)].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Samples the worker's own queue depth (taken under the deque lock the
+/// worker already holds, so sampling adds no extra contention).
+pub fn worker_queue_depth(worker: usize, depth: u64) {
+    if enabled() {
+        let s = slot(worker);
+        DEPTH_SUM[s].fetch_add(depth, Ordering::Relaxed);
+        DEPTH_SAMPLES[s].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records a cell-cache hit. Cache counters are always on (see module
+/// docs); they involve no clock read.
+pub fn cache_hit() {
+    CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a cell-cache miss (entry absent).
+pub fn cache_miss() {
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a cache entry rejected by the preimage check (tampered,
+/// stale format, or a hash collision) — degraded to a miss.
+pub fn cache_tamper() {
+    CACHE_TAMPER.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records a cache entry whose payload failed to parse (corrupt wire
+/// bytes) — degraded to a miss.
+pub fn cache_corrupt() {
+    CACHE_CORRUPT.fetch_add(1, Ordering::Relaxed);
+}
+
+enum Target {
+    Phase(Phase),
+    WorkerBusy(usize),
+    WorkerIdle(usize),
+}
+
+/// A drop guard adding elapsed wall time into a bucket. When telemetry
+/// is disabled the guard is inert and **no clock is read** — the cost
+/// is one relaxed atomic load.
+#[derive(Debug)]
+pub struct WallSpan {
+    // (bucket, start); None when telemetry was off at creation.
+    armed: Option<(usize, Instant)>,
+    kind: u8,
+}
+
+impl WallSpan {
+    fn new(target: Target) -> WallSpan {
+        if !enabled() {
+            return WallSpan {
+                armed: None,
+                kind: 0,
+            };
+        }
+        let (idx, kind) = match target {
+            Target::Phase(p) => (p as usize, 0u8),
+            Target::WorkerBusy(w) => (slot(w), 1),
+            Target::WorkerIdle(w) => (slot(w), 2),
+        };
+        WallSpan {
+            armed: Some((idx, Instant::now())),
+            kind,
+        }
+    }
+}
+
+impl Drop for WallSpan {
+    fn drop(&mut self) {
+        if let Some((idx, at)) = self.armed.take() {
+            let ns = at.elapsed().as_nanos() as u64;
+            let bucket = match self.kind {
+                0 => &PHASE_NS[idx],
+                1 => &BUSY_NS[idx],
+                _ => &IDLE_NS[idx],
+            };
+            bucket.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Times a lifecycle phase until the returned guard drops.
+pub fn span(phase: Phase) -> WallSpan {
+    WallSpan::new(Target::Phase(phase))
+}
+
+/// Times a worker's busy period (executing cells) until the guard drops.
+pub fn worker_busy(worker: usize) -> WallSpan {
+    WallSpan::new(Target::WorkerBusy(worker))
+}
+
+/// Times a worker's idle period (looking for work) until the guard drops.
+pub fn worker_idle(worker: usize) -> WallSpan {
+    WallSpan::new(Target::WorkerIdle(worker))
+}
+
+/// One worker's executor counters, copied out of the atomics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index (clamped to [`MAX_WORKERS`] − 1).
+    pub worker: usize,
+    /// Chunks popped from the worker's own deque.
+    pub chunks: u64,
+    /// Chunks stolen from other workers' deques.
+    pub steals: u64,
+    /// Cells executed.
+    pub cells: u64,
+    /// Nanoseconds spent executing cells.
+    pub busy_ns: u64,
+    /// Nanoseconds spent acquiring work.
+    pub idle_ns: u64,
+    /// Sum of sampled own-queue depths.
+    pub queue_depth_sum: u64,
+    /// Number of queue-depth samples.
+    pub queue_depth_samples: u64,
+}
+
+/// Cell-cache outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Intact entries returned without rerunning.
+    pub hits: u64,
+    /// Entries absent from the cache.
+    pub misses: u64,
+    /// Entries rejected by the preimage check (tamper/stale/collision).
+    pub tamper: u64,
+    /// Entries whose payload failed to parse.
+    pub corrupt: u64,
+}
+
+/// The cache outcome counters right now (always collected).
+pub fn cache_stats() -> CacheStats {
+    CacheStats {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+        tamper: CACHE_TAMPER.load(Ordering::Relaxed),
+        corrupt: CACHE_CORRUPT.load(Ordering::Relaxed),
+    }
+}
+
+/// A point-in-time copy of every telemetry counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Workers with at least one nonzero counter, in index order.
+    pub workers: Vec<WorkerStats>,
+    /// Wall nanoseconds per [`Phase`], indexed by discriminant.
+    pub phase_ns: [u64; Phase::COUNT],
+    /// Cell-cache outcome counters.
+    pub cache: CacheStats,
+}
+
+/// Copies the current telemetry state (workers with no activity are
+/// omitted).
+pub fn snapshot() -> Snapshot {
+    let mut workers = Vec::new();
+    for w in 0..MAX_WORKERS {
+        let ws = WorkerStats {
+            worker: w,
+            chunks: CHUNKS[w].load(Ordering::Relaxed),
+            steals: STEALS[w].load(Ordering::Relaxed),
+            cells: CELLS[w].load(Ordering::Relaxed),
+            busy_ns: BUSY_NS[w].load(Ordering::Relaxed),
+            idle_ns: IDLE_NS[w].load(Ordering::Relaxed),
+            queue_depth_sum: DEPTH_SUM[w].load(Ordering::Relaxed),
+            queue_depth_samples: DEPTH_SAMPLES[w].load(Ordering::Relaxed),
+        };
+        let active = WorkerStats {
+            worker: w,
+            ..WorkerStats::default()
+        } != ws;
+        if active {
+            workers.push(ws);
+        }
+    }
+    let mut phase_ns = [0u64; Phase::COUNT];
+    for (i, b) in PHASE_NS.iter().enumerate() {
+        phase_ns[i] = b.load(Ordering::Relaxed);
+    }
+    Snapshot {
+        workers,
+        phase_ns,
+        cache: cache_stats(),
+    }
+}
+
+impl Snapshot {
+    /// Total chunks popped across all workers.
+    pub fn total_chunks(&self) -> u64 {
+        self.workers.iter().map(|w| w.chunks).sum()
+    }
+
+    /// Total steals across all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Renders the snapshot as a JSON object; every line after the
+    /// first is prefixed with `prefix` so callers can embed it at any
+    /// indentation inside a larger document.
+    pub fn to_json(&self, prefix: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = write!(out, "{prefix}  \"workers\": [");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{prefix}    {{\"worker\": {}, \"chunks\": {}, \"steals\": {}, \"cells\": {}, \
+                 \"busy_ns\": {}, \"idle_ns\": {}, \"queue_depth_sum\": {}, \
+                 \"queue_depth_samples\": {}}}",
+                w.worker,
+                w.chunks,
+                w.steals,
+                w.cells,
+                w.busy_ns,
+                w.idle_ns,
+                w.queue_depth_sum,
+                w.queue_depth_samples
+            );
+        }
+        if self.workers.is_empty() {
+            out.push_str("],\n");
+        } else {
+            let _ = write!(out, "\n{prefix}  ],\n");
+        }
+        let _ = write!(out, "{prefix}  \"phase_ns\": {{");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", p.name(), self.phase_ns[*p as usize]);
+        }
+        out.push_str("},\n");
+        let _ = writeln!(
+            out,
+            "{prefix}  \"cache\": {{\"hits\": {}, \"misses\": {}, \"tamper\": {}, \
+             \"corrupt\": {}}}",
+            self.cache.hits, self.cache.misses, self.cache.tamper, self.cache.corrupt
+        );
+        let _ = write!(out, "{prefix}}}");
+        out
+    }
+
+    /// Renders the snapshot as a human-readable report: a per-worker
+    /// table plus a `#`-bar phase breakdown.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry (wall-clock plane — nondeterministic)");
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>7}  {:>7}  {:>6}  {:>10}  {:>10}  {:>9}",
+            "worker", "chunks", "steals", "cells", "busy_ms", "idle_ms", "avg_depth"
+        );
+        for w in &self.workers {
+            let avg_depth = if w.queue_depth_samples > 0 {
+                w.queue_depth_sum as f64 / w.queue_depth_samples as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:>6}  {:>7}  {:>7}  {:>6}  {:>10.3}  {:>10.3}  {:>9.2}",
+                w.worker,
+                w.chunks,
+                w.steals,
+                w.cells,
+                w.busy_ns as f64 / 1e6,
+                w.idle_ns as f64 / 1e6,
+                avg_depth
+            );
+        }
+        if self.workers.is_empty() {
+            let _ = writeln!(out, "  (no executor activity recorded)");
+        }
+        let max_ns = self.phase_ns.iter().copied().max().unwrap_or(0).max(1);
+        let _ = writeln!(out, "{:>10}  {:>12}  bar", "phase", "ms");
+        for p in Phase::ALL {
+            let ns = self.phase_ns[p as usize];
+            let bar = "#".repeat(((ns as u128 * 40) / max_ns as u128) as usize);
+            let _ = writeln!(out, "{:>10}  {:>12.3}  {bar}", p.name(), ns as f64 / 1e6);
+        }
+        let _ = writeln!(
+            out,
+            "cache: hits={} misses={} tamper={} corrupt={}",
+            self.cache.hits, self.cache.misses, self.cache.tamper, self.cache.corrupt
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One sequential test owns all global-state mutation: sim-crate unit
+    // tests run concurrently in this process, and splitting the
+    // scenarios across #[test] fns would race on the shared atomics.
+    #[test]
+    fn counters_spans_and_snapshot_lifecycle() {
+        reset();
+        assert!(!enabled(), "collection starts off");
+
+        // Disabled: worker counters are no-ops, cache counters are not.
+        worker_chunk(0);
+        worker_steal(0);
+        let before = cache_stats();
+        cache_hit();
+        cache_tamper();
+        let after = cache_stats();
+        assert_eq!(after.hits, before.hits + 1, "cache counters are always on");
+        assert_eq!(after.tamper, before.tamper + 1);
+        assert_eq!(snapshot().total_chunks(), 0, "disabled counters stay zero");
+
+        set_enabled(true);
+        worker_chunk(0);
+        worker_chunk(0);
+        worker_steal(1);
+        worker_cells(0, 3);
+        worker_queue_depth(0, 4);
+        worker_chunk(MAX_WORKERS + 5); // clamps into the last slot
+        {
+            let _b = span(Phase::Build);
+            let _w = worker_busy(0);
+            let _i = worker_idle(1);
+        }
+        set_enabled(false);
+
+        let snap = snapshot();
+        // ">=" because other tests may sweep while collection was on.
+        assert!(snap.total_chunks() >= 3);
+        assert!(snap.total_steals() >= 1);
+        let w0 = snap
+            .workers
+            .iter()
+            .find(|w| w.worker == 0)
+            .expect("worker 0");
+        assert!(w0.chunks >= 2);
+        assert!(w0.cells >= 3);
+        assert!(w0.queue_depth_sum >= 4);
+        assert!(w0.queue_depth_samples >= 1);
+        let last = snap
+            .workers
+            .iter()
+            .find(|w| w.worker == MAX_WORKERS - 1)
+            .expect("clamped slot");
+        assert!(last.chunks >= 1, "out-of-range worker clamps, not drops");
+
+        let json = snap.to_json("  ");
+        assert!(json.contains("\"workers\": ["), "{json}");
+        assert!(json.contains("\"phase_ns\": {\"build\":"), "{json}");
+        assert!(json.contains("\"cache\": {\"hits\":"), "{json}");
+        let table = snap.to_table();
+        assert!(table.contains("worker"), "{table}");
+        assert!(table.contains("cache: hits="), "{table}");
+        assert!(table.contains('#'), "phase bars render: {table}");
+
+        // Disabled again: spans read no clock and add nothing.
+        let idle_before = snapshot().workers.iter().map(|w| w.idle_ns).sum::<u64>();
+        drop(worker_idle(0));
+        let idle_after = snapshot().workers.iter().map(|w| w.idle_ns).sum::<u64>();
+        assert_eq!(idle_before, idle_after);
+
+        reset();
+        assert_eq!(cache_stats(), CacheStats::default(), "reset zeroes cache");
+    }
+
+    #[test]
+    fn phase_names_are_distinct_and_stable() {
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), Phase::COUNT);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::COUNT, "phase names must be unique");
+        assert_eq!(Phase::Sim.name(), "sim");
+        assert_eq!(Phase::SimNet.name(), "sim_net");
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = Snapshot::default();
+        assert_eq!(snap.total_chunks(), 0);
+        assert!(snap.to_json("").contains("\"workers\": []"));
+        assert!(snap.to_table().contains("no executor activity"));
+    }
+}

@@ -72,6 +72,13 @@ field() {
     sed -n "s/^ *\"$2\": \([0-9][0-9.]*\).*/\1/p" "$1" | head -n 1
 }
 
+# On failure, put the offending field's baseline and fresh values side by
+# side on stderr — the stdout FAIL lines stay as the human narrative, the
+# stderr diff is the machine-greppable summary CI logs key on.
+diff_stderr() {
+    echo "bench_gate: diff $1: baseline=$2 current=$3" >&2
+}
+
 schema=$(sed -n 's/^ *"schema": "\([^"]*\)".*/\1/p' "$CURRENT" | head -n 1)
 if [ "$schema" != "fsoi-bench-sweep/v3" ]; then
     echo "bench_gate: unexpected schema '$schema' in $CURRENT" >&2
@@ -103,6 +110,7 @@ fail=0
 if ! awk -v c="$cur_cps" -v b="$base_cps" -v t="$TOL" \
         'BEGIN { exit (c + 0 >= b * (1 - t)) ? 0 : 1 }'; then
     echo "bench_gate: FAIL throughput: $cur_cps cells/s < baseline $base_cps * (1 - $TOL)"
+    diff_stderr cells_per_sec_serial "$base_cps" "$cur_cps"
     fail=1
 else
     echo "bench_gate: ok throughput: $cur_cps cells/s (baseline $base_cps, tol $TOL)"
@@ -111,6 +119,7 @@ fi
 if ! awk -v c="$cur_scps" -v b="$base_scps" -v t="$TOL" \
         'BEGIN { exit (c + 0 >= b * (1 - t)) ? 0 : 1 }'; then
     echo "bench_gate: FAIL sim throughput: $cur_scps cycles/s < baseline $base_scps * (1 - $TOL)"
+    diff_stderr sim_cycles_per_sec "$base_scps" "$cur_scps"
     fail=1
 else
     echo "bench_gate: ok sim throughput: $cur_scps cycles/s (baseline $base_scps, tol $TOL)"
@@ -119,6 +128,7 @@ fi
 if ! awk -v c="$cur_sp" -v b="$base_sp" -v t="$SPEEDUP_TOL" \
         'BEGIN { exit (c + 0 >= b * (1 - t)) ? 0 : 1 }'; then
     echo "bench_gate: FAIL scaling: max speedup $cur_sp < baseline $base_sp * (1 - $SPEEDUP_TOL)"
+    diff_stderr max_speedup "$base_sp" "$cur_sp"
     fail=1
 else
     echo "bench_gate: ok scaling: max speedup $cur_sp (baseline $base_sp, tol $SPEEDUP_TOL)"
@@ -129,14 +139,17 @@ fi
 if awk -v m="$cur_tmax" 'BEGIN { exit (m + 0 > 1) ? 0 : 1 }' && \
    awk -v s="$cur_sp" 'BEGIN { exit (s + 0 < 1.0) ? 0 : 1 }'; then
     echo "bench_gate: FAIL scaling (hard): sampled $cur_tmax threads but max speedup $cur_sp < 1.0 — parallel is slower than serial"
+    diff_stderr max_speedup "1.0(floor)" "$cur_sp"
     fail=1
 fi
 if awk -v c="$cur_cpus" 'BEGIN { exit (c + 0 > 1) ? 0 : 1 }'; then
     if ! awk -v m="$cur_tmax" 'BEGIN { exit (m + 0 > 1) ? 0 : 1 }'; then
         echo "bench_gate: FAIL scaling (hard): host has $cur_cpus cpus but the report only sampled threads_max=$cur_tmax"
+        diff_stderr threads_max "$cur_cpus(cpus)" "$cur_tmax"
         fail=1
     elif ! awk -v s="$cur_sp" 'BEGIN { exit (s + 0 > 1.0) ? 0 : 1 }'; then
         echo "bench_gate: FAIL scaling (hard): host has $cur_cpus cpus but max speedup $cur_sp is not above 1.0"
+        diff_stderr max_speedup "1.0(floor)" "$cur_sp"
         fail=1
     else
         echo "bench_gate: ok scaling (hard): $cur_cpus cpus, $cur_tmax threads, max speedup $cur_sp > 1.0"
@@ -147,6 +160,7 @@ fi
 
 if [ "$byte" != "true" ]; then
     echo "bench_gate: FAIL determinism: byte_identical is '$byte' — parallel sweep diverged from the serial fold"
+    diff_stderr byte_identical true "$byte"
     fail=1
 else
     echo "bench_gate: ok determinism: parallel sweep byte-identical to serial"

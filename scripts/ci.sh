@@ -55,6 +55,11 @@ tier_full() {
 tier_bench() {
     banner bench
     scripts/bench_gate.sh
+    # Observability: emit the run manifest (deterministic spans + executor
+    # telemetry) for this run; CI uploads target/RUN_manifest.json as an
+    # artifact so a regression investigation starts from real numbers.
+    cargo run -q --release --offline -p fsoi-bench --bin experiments -- \
+        profile --out target/RUN_manifest.json --det target/RUN_det.txt
 }
 
 case "$TIER" in

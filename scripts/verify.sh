@@ -27,6 +27,27 @@ gate "test" cargo test -q --offline --workspace
 # every escape hatch annotated. Exit 1 here means a new violation crept in.
 gate "fsoi-lint check" cargo run -q --release --offline -p fsoi-lint -- check
 
+# Observability-plane determinism (DESIGN.md "Harness observability
+# plane"): the deterministic-plane export of `experiments profile` must
+# be byte-identical across thread counts — the wall-clock telemetry
+# plane may differ, the profile/registry bytes may not. A small --ops
+# keeps this a seconds-scale gate; the full-size pin lives in
+# crates/bench/tests/profile_manifest.rs.
+profile_det_identity() {
+    det1=target/VERIFY_det_t1.txt
+    det2=target/VERIFY_det_t2.txt
+    mkdir -p target
+    FSOI_THREADS=1 cargo run -q --release --offline -p fsoi-bench --bin experiments -- \
+        profile --ops 30 --out target/VERIFY_manifest_t1.json --det "$det1"
+    FSOI_THREADS=2 cargo run -q --release --offline -p fsoi-bench --bin experiments -- \
+        profile --ops 30 --out target/VERIFY_manifest_t2.json --det "$det2"
+    cmp "$det1" "$det2" || {
+        echo "deterministic-plane export differs between FSOI_THREADS=1 and =2" >&2
+        return 1
+    }
+}
+gate "profile determinism (threads 1 vs 2)" profile_det_identity
+
 # The structured-trace event API must also build compiled-in on release
 # (debug builds always carry it; plain release compiles it out).
 gate "build --features trace" cargo build --release --offline --workspace --features trace
