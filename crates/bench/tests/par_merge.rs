@@ -154,6 +154,39 @@ fn forked_and_cached_paths_match_the_cold_bytes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Poison-recovery regression at the batch layer: a panic inside one
+/// cell must propagate to the caller (never wedge the sweep — the
+/// pre-recovery failure mode was every surviving worker unwinding on a
+/// poisoned queue), and the very next sweep over the same cells must
+/// still export the exact serial bytes. See `fsoi_sim::par`'s `lock()`
+/// helper for why recovering the poisoned guard is sound.
+#[test]
+fn panicking_cell_propagates_and_the_next_sweep_is_exact() {
+    let cells = cells_for(&["ba", "mp", "fft", "oc"], &["fsoi", "mesh"], tiny_opts(99));
+    let expected = merge_reports(&run_cells_threads(&cells, 1)).to_jsonl();
+    for round in 0..3 {
+        let poisoned = std::panic::catch_unwind(|| {
+            par::sweep(cells.len(), 4, |i| {
+                if i == 3 {
+                    panic!("seeded cell failure, round {round}");
+                }
+                cells[i].to_batch_cell().run(MAX_CYCLES)
+            })
+        });
+        let payload = poisoned.expect_err("the cell panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("seeded cell failure"),
+            "the original payload survives: {msg:?}"
+        );
+        let merged = merge_reports(&run_cells_threads(&cells, 4)).to_jsonl();
+        assert_eq!(merged, expected, "sweep after a poisoned round {round}");
+    }
+}
+
 /// The `FSOI_THREADS` knob selects the default worker count without
 /// changing a single output byte. (This test owns the env var: nothing
 /// else in this binary reads it.)

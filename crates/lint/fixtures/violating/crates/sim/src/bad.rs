@@ -35,3 +35,8 @@ pub fn racing_sweep() {
 pub fn reasonless(v: Option<u64>) -> u64 {
     v.unwrap() // lint: allow(P1)
 }
+
+pub fn reformed() -> u64 {
+    // lint: allow(T1) A2: well-formed, but the eager emit it excused is gone
+    7
+}

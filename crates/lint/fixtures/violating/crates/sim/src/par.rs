@@ -1,0 +1,32 @@
+//! Deliberately-violating fixture for rule D4b: the pre-PR-6 worker
+//! loop, holding the own-queue guard across the steal's lock — the
+//! exact shape that deadlocked the parallel sweep. The path is D3-exempt
+//! (it stands in for `fsoi_sim::par`) so only D4b fires here.
+//! Never compiled — only lexed.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+fn recover<T>(e: PoisonError<T>) -> T {
+    e.into_inner()
+}
+
+/// D4b: `own` is still live when the victim's `lock()` is requested.
+pub fn buggy_binding_steal(queues: &[Mutex<VecDeque<u64>>], me: usize) -> Option<u64> {
+    let mut own = queues[me].lock().unwrap_or_else(recover);
+    let job = own.pop_front();
+    let stolen = queues[(me + 1) % queues.len()].lock().unwrap_or_else(recover).pop_back();
+    drop(own);
+    job.or(stolen)
+}
+
+/// D4b: the own-queue guard is a statement temporary held through the
+/// chained steal closure — the original deadlock spelling.
+pub fn buggy_chained_steal(queues: &[Mutex<VecDeque<u64>>], me: usize) -> Option<u64> {
+    let job = queues[me]
+        .lock()
+        .unwrap_or_else(recover)
+        .pop_front()
+        .or_else(|| queues[(me + 1) % queues.len()].lock().unwrap_or_else(recover).pop_back());
+    job
+}

@@ -16,20 +16,31 @@ fn fixture_root(which: &str) -> PathBuf {
 fn violating_tree_fires_every_rule() {
     let report = run_check(&fixture_root("violating")).expect("scan succeeds");
     assert!(!report.is_clean());
-    for rule in ["D1", "D2", "D3", "T1", "P1", "A1"] {
+    for rule in ["D1", "D2", "D3", "D4b", "T1", "P1", "A1", "A2"] {
         assert!(
             report.violations.iter().any(|v| v.rule == rule),
             "rule {rule} must fire on the violating fixture:\n{}",
             report.to_table()
         );
     }
-    // The tests/ file uses every banned idiom but is path-exempt.
+    // The tests/ file uses every banned idiom but is path-exempt; the
+    // D4b fixture lives in its own par.rs (D3-exempt there, so only the
+    // guard-lifetime rule fires from it).
     assert!(
         report
             .violations
             .iter()
-            .all(|v| v.path.ends_with("src/bad.rs")),
+            .all(|v| v.path.ends_with("src/bad.rs") || v.path.ends_with("src/par.rs")),
         "exempt tests/ file must contribute nothing:\n{}",
+        report.to_table()
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .filter(|v| v.path.ends_with("src/par.rs"))
+            .all(|v| v.rule == "D4b"),
+        "the par.rs fixture isolates D4b:\n{}",
         report.to_table()
     );
 }
@@ -58,6 +69,18 @@ fn violating_tree_reports_each_expected_site() {
     assert!(has("P1", "`panic!`"), "unannotated panic");
     assert!(has("A1", "unknown rule"), "allow(Q9)");
     assert!(has("A1", "without a reason"), "reasonless allow(P1)");
+    assert!(
+        has("D4b", "guard `own`"),
+        "binding held across the steal's lock"
+    );
+    assert!(
+        has("D4b", "temporary guard"),
+        "chained statement-temporary steal"
+    );
+    assert!(
+        has("A2", "stale allow"),
+        "well-formed allow(T1) suppressing nothing"
+    );
     // A malformed allow does not suppress the violation it sits on.
     assert!(
         report

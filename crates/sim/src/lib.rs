@@ -21,6 +21,13 @@
 //!   for threads in simulation code (`fsoi-lint` rule D3), with results
 //!   merged by a deterministic reduction keyed on cell index so thread
 //!   count is never observable in output,
+//! * [`sync`] — the concurrency shim the executor is written against:
+//!   forwards to `std::sync`/`std::thread` in normal builds and to the
+//!   model checker inside a model execution,
+//! * [`model`] (feature `model`) — a dependency-free loom-style
+//!   bounded-schedule model checker that DFS-explores interleavings of
+//!   code written against [`sync`], detecting deadlock, lost wakeups,
+//!   leaked guards, and panics, with replayable traces,
 //! * [`profile`] — the deterministic harness-observability plane:
 //!   hierarchical span counters keyed by sim-domain quantities, with
 //!   byte-identical exports across thread counts,
@@ -50,11 +57,14 @@
 pub mod det;
 pub mod event;
 pub mod metrics;
+#[cfg(feature = "model")]
+pub mod model;
 pub mod par;
 pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod telemetry;
 pub mod trace;
 

@@ -1,0 +1,976 @@
+//! `fsoi-model` — a dependency-free, loom-style bounded-schedule model
+//! checker for the concurrency routed through [`crate::sync`].
+//!
+//! # Why
+//!
+//! The sweep executor's drain/steal/termination protocol is the one
+//! piece of real concurrency in the workspace, and PR 6 showed its bug
+//! class — a `MutexGuard` statement-temporary held across the steal
+//! attempt, forming an n-worker lock cycle — is invisible to unit tests
+//! unless a stress test gets lucky. This module finds that class
+//! *deterministically*: it runs the code under test many times, once per
+//! distinct thread interleaving, and reports the first schedule that
+//! deadlocks, loses a wakeup, leaks a lock, or panics — as a replayable
+//! trace.
+//!
+//! # How it works
+//!
+//! [`check`] runs the closure repeatedly. Each *execution* spawns the
+//! closure (and everything it spawns through [`crate::sync::scope`]) as
+//! **cooperative virtual threads**: real OS threads that only ever run
+//! one at a time, passing a baton through the scheduler at every
+//! *schedule point* — lock acquire/release, park/unpark, spawn start,
+//! join, yield, finish. Between points, user code runs natively and
+//! invisibly; at each point where more than one thread could proceed,
+//! the scheduler consults a DFS stack and explores every alternative
+//! across subsequent executions.
+//!
+//! Exploration is bounded and pruned:
+//!
+//! * **Preemption bound** ([`Opts::preemptions`]): switching away from a
+//!   thread that could have continued costs one unit of budget; forced
+//!   switches (the running thread blocked or finished) are free. Most
+//!   real concurrency bugs — including the PR 6 deadlock — need only
+//!   one or two preemptions, while the bound keeps the schedule space
+//!   polynomial instead of exponential.
+//! * **Duplicate-state pruning**: the executed trace is canonicalized by
+//!   commuting adjacent *independent* steps (different threads, no
+//!   shared lock/thread object), so schedules that differ only in the
+//!   ordering of independent steps hash identically; a `(state, next
+//!   thread)` transition that was already taken is never explored twice.
+//!
+//! Detected failures:
+//!
+//! * **deadlock** — every unfinished thread is blocked (a lock cycle, or
+//!   a thread parked forever after a lost wakeup);
+//! * **non-quiescent termination** — the closure returned with a lock
+//!   still logically held (a leaked guard);
+//! * **panic** — any assertion or panic inside the closure, reported
+//!   with the schedule that produced it;
+//! * **step limit** — a run exceeding [`Opts::max_steps`] (livelock).
+//!
+//! The failing [`Report`] renders the full step trace plus a one-line
+//! schedule that [`replay`] re-executes exactly.
+//!
+//! # Scope and honesty
+//!
+//! The checker explores schedules of *shim* operations. It cannot see
+//! raw atomics, memory-ordering subtleties, or code that bypasses
+//! [`crate::sync`] — rule D3 keeps such code out of the simulation
+//! crates, and the optional ThreadSanitizer CI tier covers the
+//! data-race plane. Within the shim's vocabulary, exploration at the
+//! configured bound is exhaustive.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+/// Virtual-thread id. `t0` is the closure's main thread.
+pub type Tid = usize;
+
+/// Global lock-id source; per-execution ids are densified from these so
+/// traces stay deterministic across executions (see `dense_lock_id`).
+static RAW_LOCK_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// One scheduler-visible operation, as recorded in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A spawned thread's first schedule point.
+    Start,
+    /// Lock acquisition (dense lock id).
+    Acquire(u64),
+    /// Lock release; `true` when the releasing thread was panicking
+    /// (poisons the lock).
+    Release(u64, bool),
+    /// Wait for a park token.
+    Park,
+    /// Make a park token available to a thread.
+    Unpark(Tid),
+    /// Wait for a thread to finish.
+    Join(Tid),
+    /// Pure schedule point.
+    Yield,
+    /// Thread termination (recorded, never scheduled).
+    Finish,
+}
+
+impl Op {
+    /// The shared object this op touches, for trace independence:
+    /// ops by different threads commute iff their objects differ.
+    fn object(self, tid: Tid) -> Obj {
+        match self {
+            Op::Acquire(l) | Op::Release(l, _) => Obj::Lock(l),
+            Op::Park => Obj::Thread(tid),
+            Op::Unpark(t) | Op::Join(t) => Obj::Thread(t),
+            Op::Start | Op::Finish => Obj::Thread(tid),
+            Op::Yield => Obj::None,
+        }
+    }
+
+    fn render(self) -> String {
+        match self {
+            Op::Start => "start".to_string(),
+            Op::Acquire(l) => format!("acquire(m{l})"),
+            Op::Release(l, false) => format!("release(m{l})"),
+            Op::Release(l, true) => format!("release(m{l}, poisoning)"),
+            Op::Park => "park".to_string(),
+            Op::Unpark(t) => format!("unpark(t{t})"),
+            Op::Join(t) => format!("join(t{t})"),
+            Op::Yield => "yield".to_string(),
+            Op::Finish => "finish".to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Obj {
+    Lock(u64),
+    Thread(Tid),
+    None,
+}
+
+/// Why a failing schedule failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// Every unfinished thread is blocked; the strings describe each
+    /// blocked thread's pending operation.
+    Deadlock(Vec<String>),
+    /// The closure finished with locks still held (leaked guards).
+    NonQuiescent(Vec<String>),
+    /// A panic inside the closure; the string is its payload.
+    Panic(String),
+    /// `max_steps` exceeded — a livelock or unbounded loop.
+    StepLimit(usize),
+}
+
+impl Failure {
+    fn kind(&self) -> &'static str {
+        match self {
+            Failure::Deadlock(_) => "deadlock",
+            Failure::NonQuiescent(_) => "non-quiescent termination",
+            Failure::Panic(_) => "panic",
+            Failure::StepLimit(_) => "step limit",
+        }
+    }
+}
+
+/// Checker configuration.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Preemption budget per execution (see module docs). Default 2.
+    pub preemptions: usize,
+    /// Safety cap on explored executions; hitting it makes the run
+    /// non-exhaustive (reported, not a failure). Default 100 000.
+    pub max_executions: usize,
+    /// Per-execution step cap; exceeding it is a [`Failure::StepLimit`].
+    /// Default 20 000.
+    pub max_steps: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            preemptions: 2,
+            max_executions: 100_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Opts {
+    /// `Opts` with a specific preemption budget.
+    pub fn with_preemptions(preemptions: usize) -> Self {
+        Opts {
+            preemptions,
+            ..Opts::default()
+        }
+    }
+}
+
+/// The outcome of [`check`] or [`replay`].
+#[derive(Debug)]
+pub struct Report {
+    /// `None` when every explored schedule passed.
+    pub failure: Option<Failure>,
+    /// The failing schedule's step trace, empty on pass.
+    pub trace: Vec<(Tid, Op)>,
+    /// The failing schedule as scheduling decisions, one `Tid` per
+    /// scheduled step — feed to [`replay`] to re-run it exactly.
+    pub schedule: Vec<Tid>,
+    /// Executions explored.
+    pub executions: usize,
+    /// False when `max_executions` stopped exploration early.
+    pub exhaustive: bool,
+}
+
+impl Report {
+    /// True when no explored schedule failed.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Byte-stable human rendering: verdict, failure detail, the step
+    /// trace, and the replayable schedule line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match &self.failure {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "model: pass after {} execution(s){}",
+                    self.executions,
+                    if self.exhaustive {
+                        " (exhaustive at this bound)"
+                    } else {
+                        " (execution cap reached; NOT exhaustive)"
+                    }
+                );
+            }
+            Some(f) => {
+                let _ = writeln!(
+                    out,
+                    "model: {} after {} execution(s)",
+                    f.kind(),
+                    self.executions
+                );
+                match f {
+                    Failure::Deadlock(blocked) | Failure::NonQuiescent(blocked) => {
+                        for b in blocked {
+                            let _ = writeln!(out, "  {b}");
+                        }
+                    }
+                    Failure::Panic(msg) => {
+                        let _ = writeln!(out, "  payload: {msg}");
+                    }
+                    Failure::StepLimit(n) => {
+                        let _ = writeln!(out, "  exceeded {n} steps (livelock?)");
+                    }
+                }
+                let _ = writeln!(out, "trace:");
+                for (i, (tid, op)) in self.trace.iter().enumerate() {
+                    let _ = writeln!(out, "  step {i:>3}: t{tid} {}", op.render());
+                }
+                let sched: Vec<String> = self.schedule.iter().map(|t| t.to_string()).collect();
+                let _ = writeln!(out, "schedule (replayable): {}", sched.join(","));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-execution shared state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Spawned; its OS thread has not posted `Start` yet.
+    NotStarted,
+    /// Has a pending op (or is running user code holding the baton).
+    Live,
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    status: Status,
+    /// The op this thread wants to perform next (set while suspended).
+    pending: Option<Op>,
+    /// Park token (std semantics: at most one).
+    park_token: bool,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    owner: Option<Tid>,
+    poisoned: bool,
+}
+
+#[derive(Debug)]
+struct ExecState {
+    /// Who holds the baton; `None` while the scheduler decides.
+    active: Option<Tid>,
+    threads: Vec<ThreadState>,
+    locks: BTreeMap<u64, LockState>,
+    /// Raw (global) lock id → dense per-execution id, in first-use order.
+    dense_ids: BTreeMap<u64, u64>,
+    trace: Vec<(Tid, Op)>,
+    /// Scheduling decision per step (parallel to scheduled trace steps).
+    decisions: Vec<Tid>,
+    /// Tear-down flag: blocked virtual threads unwind with `ModelAbort`.
+    abort: bool,
+    /// Panic payload rendering from the first panicking thread.
+    panic_msg: Option<String>,
+}
+
+/// Handle to one execution's shared scheduler state. Opaque outside this
+/// module; [`crate::sync`] threads it from [`prepare_spawn`] to
+/// [`run_vthread`] when crossing a real `std::thread::scope` spawn.
+#[derive(Debug)]
+pub struct Exec {
+    state: StdMutex<ExecState>,
+    cv: Condvar,
+}
+
+/// Payload used to unwind virtual threads when an execution is torn
+/// down after a detected failure. `resume_unwind` keeps it silent (no
+/// panic hook involvement).
+struct ModelAbort;
+
+thread_local! {
+    /// The execution + vthread this OS thread is running for, if any.
+    static CURRENT: std::cell::RefCell<Option<(Arc<Exec>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// True when the calling OS thread is a virtual thread of an active
+/// model execution (drives the mode switch inside [`crate::sync`]).
+pub fn in_execution() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn current() -> (Arc<Exec>, Tid) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            // lint: allow(P1) internal invariant: only called from shim paths gated on in_execution()
+            .expect("model op outside an execution")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shim entry points (called by crate::sync)
+// ---------------------------------------------------------------------------
+
+/// Registers a lock created inside an execution; returns its raw id.
+pub fn register_lock() -> u64 {
+    let raw = RAW_LOCK_IDS.fetch_add(1, Ordering::Relaxed);
+    let (exec, _) = current();
+    let mut st = lock_state(&exec);
+    let dense = st.dense_ids.len() as u64 + 1;
+    st.dense_ids.insert(raw, dense);
+    raw
+}
+
+/// Blocks until the scheduler grants the lock; returns its poison flag.
+pub fn acquire(raw_id: u64) -> bool {
+    let (exec, tid) = current();
+    let dense = dense_lock_id(&exec, raw_id);
+    post_and_wait(&exec, tid, Op::Acquire(dense));
+    let st = lock_state(&exec);
+    st.locks.get(&dense).is_some_and(|l| l.poisoned)
+}
+
+/// Reports a guard drop. Never panics and never blocks indefinitely on
+/// an aborting execution: this runs from `Drop`, possibly mid-unwind.
+pub fn release(raw_id: u64, panicking: bool) {
+    let (exec, tid) = current();
+    let dense = dense_lock_id(&exec, raw_id);
+    post_and_wait_quiet(&exec, tid, Op::Release(dense, panicking));
+}
+
+/// Park schedule point (blocks until a token is available).
+pub fn park() {
+    let (exec, tid) = current();
+    post_and_wait(&exec, tid, Op::Park);
+}
+
+/// Unpark schedule point (token grant to `target`).
+pub fn unpark(target: Tid) {
+    let (exec, tid) = current();
+    post_and_wait(&exec, tid, Op::Unpark(target));
+}
+
+/// Pure schedule point.
+pub fn yield_point() {
+    let (exec, tid) = current();
+    post_and_wait(&exec, tid, Op::Yield);
+}
+
+/// Blocks until `target` has finished.
+pub fn await_thread(target: Tid) {
+    let (exec, tid) = current();
+    post_and_wait(&exec, tid, Op::Join(target));
+}
+
+/// Blocks until every listed child has finished (scope exit).
+pub fn await_children(children: &[Tid]) {
+    for &c in children {
+        await_thread(c);
+    }
+}
+
+/// Allocates a vthread id for a spawn; the returned exec handle is
+/// moved into the OS-thread wrapper ([`run_vthread`]).
+pub fn prepare_spawn() -> (Tid, Arc<Exec>) {
+    let (exec, _) = current();
+    let mut st = lock_state(&exec);
+    let tid = st.threads.len();
+    st.threads.push(ThreadState {
+        status: Status::NotStarted,
+        pending: None,
+        park_token: false,
+    });
+    drop(st);
+    (tid, exec)
+}
+
+/// OS-thread wrapper for one virtual thread: registers the model
+/// context, waits to be scheduled, runs the body, and reports the
+/// outcome. Panics (including the tear-down [`ModelAbort`]) are caught
+/// so the surrounding real `std::thread::scope` never sees one.
+pub fn run_vthread<T>(exec: Arc<Exec>, tid: Tid, f: impl FnOnce() -> T) -> std::thread::Result<T> {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec.clone(), tid)));
+    post_and_wait(&exec, tid, Op::Start);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    finish(&exec, tid, &result);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Baton protocol
+// ---------------------------------------------------------------------------
+
+fn lock_state(exec: &Exec) -> std::sync::MutexGuard<'_, ExecState> {
+    exec.state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn dense_lock_id(exec: &Exec, raw: u64) -> u64 {
+    let mut st = lock_state(exec);
+    if let Some(&d) = st.dense_ids.get(&raw) {
+        return d;
+    }
+    // Lock created outside the execution: densify at first use.
+    let dense = st.dense_ids.len() as u64 + 1;
+    st.dense_ids.insert(raw, dense);
+    dense
+}
+
+/// Posts `op` as this thread's pending operation, returns the baton to
+/// the scheduler, and blocks until rescheduled (the scheduler applies
+/// the op's effect at that moment). Unwinds with [`ModelAbort`] if the
+/// execution is being torn down.
+fn post_and_wait(exec: &Exec, tid: Tid, op: Op) {
+    if !post_and_wait_quiet(exec, tid, op) {
+        resume_unwind(Box::new(ModelAbort));
+    }
+}
+
+/// Like [`post_and_wait`] but signals abort via `false` instead of
+/// unwinding — required on `Drop` paths, where a panic mid-unwind
+/// would abort the process.
+fn post_and_wait_quiet(exec: &Exec, tid: Tid, op: Op) -> bool {
+    let mut st = lock_state(exec);
+    if st.abort {
+        return false;
+    }
+    st.threads[tid].status = Status::Live;
+    st.threads[tid].pending = Some(op);
+    if st.active == Some(tid) {
+        st.active = None;
+    }
+    // Always notify: the scheduler may be waiting for this thread's
+    // first post (spawn startup), not only for the baton handback.
+    exec.cv.notify_all();
+    loop {
+        if st.abort {
+            return false;
+        }
+        if st.active == Some(tid) {
+            st.threads[tid].pending = None;
+            return true;
+        }
+        st = exec
+            .cv
+            .wait(st)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+/// Marks the thread finished and releases the baton; the OS thread
+/// exits right after. Not a schedule point: termination runs-to-exit
+/// after the thread's last scheduled op, which is equivalent (exit
+/// itself has no shared effect beyond enabling joiners, and joiner
+/// enabledness is evaluated at their own schedule points).
+fn finish<T>(exec: &Exec, tid: Tid, result: &std::thread::Result<T>) {
+    let mut st = lock_state(exec);
+    st.threads[tid].status = Status::Finished;
+    st.threads[tid].pending = None;
+    // A clean finish happens while holding the baton, so its trace
+    // position is deterministic. Tear-down finishes race in OS order —
+    // recording them would make failing traces unstable.
+    if !st.abort {
+        st.trace.push((tid, Op::Finish));
+    }
+    if let Err(p) = result {
+        if st.panic_msg.is_none() && !p.is::<ModelAbort>() {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            st.panic_msg = Some(msg);
+        }
+    }
+    if st.active == Some(tid) {
+        st.active = None;
+    }
+    exec.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler + DFS exploration
+// ---------------------------------------------------------------------------
+
+/// One recorded choice point in the DFS stack.
+#[derive(Debug)]
+struct Choice {
+    /// Untried-yet alternatives at this point; `order[pos]` is chosen.
+    order: Vec<Tid>,
+    pos: usize,
+    /// Canonical state hash at this point (for seen-set recording of
+    /// alternatives taken on backtrack).
+    hash: u64,
+    /// Remaining preemption budget at this point (part of the key).
+    budget: usize,
+}
+
+struct Dfs {
+    stack: Vec<Choice>,
+    /// `(canonical-state hash, remaining preemption budget, chosen tid)`
+    /// transitions already fully explored.
+    seen: std::collections::BTreeSet<(u64, usize, Tid)>,
+    /// Forced schedule for [`replay`].
+    forced: Option<Vec<Tid>>,
+}
+
+enum ExecOutcome {
+    Clean,
+    /// Abandoned early: every alternative at a fresh choice point was
+    /// already explored from an equivalent state. Not a failure.
+    Pruned,
+    Failed(Failure),
+}
+
+/// Runs one execution of `body` under the scheduler, consulting and
+/// extending the DFS stack. Returns the outcome plus trace/decisions.
+fn run_one<F: Fn() + Sync>(
+    opts: &Opts,
+    dfs: &mut Dfs,
+    body: &F,
+) -> (ExecOutcome, Vec<(Tid, Op)>, Vec<Tid>) {
+    let exec = Arc::new(Exec {
+        state: StdMutex::new(ExecState {
+            active: None,
+            threads: vec![ThreadState {
+                status: Status::NotStarted,
+                pending: None,
+                park_token: false,
+            }],
+            locks: BTreeMap::new(),
+            dense_ids: BTreeMap::new(),
+            trace: Vec::new(),
+            decisions: Vec::new(),
+            abort: false,
+            panic_msg: None,
+        }),
+        cv: Condvar::new(),
+    });
+
+    let outcome = std::thread::scope(|s| {
+        let exec_main = exec.clone();
+        s.spawn(move || run_vthread(exec_main, 0, body));
+        schedule_loop(&exec, opts, dfs)
+    });
+
+    let st = lock_state(&exec);
+    (outcome, st.trace.clone(), st.decisions.clone())
+}
+
+/// The scheduler: picks the next virtual thread at every step until the
+/// execution completes or fails, then (on failure) tears it down.
+fn schedule_loop(exec: &Exec, opts: &Opts, dfs: &mut Dfs) -> ExecOutcome {
+    let mut prev: Option<Tid> = None;
+    let mut preemptions = 0usize;
+    let mut choice_idx = 0usize;
+    let mut steps = 0usize;
+
+    loop {
+        let mut st = lock_state(exec);
+        // Wait until the baton is free and every live thread has posted
+        // its next op (a just-spawned OS thread may not have posted
+        // Start yet — that is startup latency, not a deadlock).
+        loop {
+            let all_posted = st
+                .threads
+                .iter()
+                .all(|t| t.status == Status::Finished || t.pending.is_some());
+            if st.active.is_none() && all_posted {
+                break;
+            }
+            st = exec
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+
+        if let Some(msg) = st.panic_msg.take() {
+            let failure = Failure::Panic(msg);
+            teardown(exec, st);
+            return ExecOutcome::Failed(failure);
+        }
+
+        if st.threads.iter().all(|t| t.status == Status::Finished) {
+            // Execution complete: quiescence check.
+            let held: Vec<String> = st
+                .locks
+                .iter()
+                .filter_map(|(dense, l)| {
+                    l.owner
+                        .map(|t| format!("m{dense} still held by t{t} (leaked guard)"))
+                })
+                .collect();
+            if held.is_empty() {
+                return ExecOutcome::Clean;
+            }
+            let failure = Failure::NonQuiescent(held);
+            teardown(exec, st);
+            return ExecOutcome::Failed(failure);
+        }
+
+        if steps >= opts.max_steps {
+            let failure = Failure::StepLimit(opts.max_steps);
+            teardown(exec, st);
+            return ExecOutcome::Failed(failure);
+        }
+        steps += 1;
+
+        // Fast path: `Release` and `Start` are always enabled, never
+        // disable anything, and commute with every other *enabled* op
+        // (an acquire of the released lock is by definition not enabled
+        // before the release applies), so running them immediately —
+        // lowest tid first — visits an equivalent schedule while
+        // removing them from the choice space entirely.
+        let fast = st.threads.iter().position(|t| {
+            t.status == Status::Live && matches!(t.pending, Some(Op::Release(..)) | Some(Op::Start))
+        });
+        if let Some(tid) = fast {
+            // lint: allow(P1) position() above only matches threads with a pending op
+            let op = st.threads[tid].pending.unwrap();
+            apply_op(&mut st, tid, op);
+            st.trace.push((tid, op));
+            st.decisions.push(tid);
+            st.active = Some(tid);
+            prev = Some(tid);
+            exec.cv.notify_all();
+            continue;
+        }
+
+        let enabled = enabled_threads(&st);
+        if enabled.is_empty() {
+            let blocked = describe_blocked(&st);
+            let failure = Failure::Deadlock(blocked);
+            teardown(exec, st);
+            return ExecOutcome::Failed(failure);
+        }
+
+        // ---- pick the next thread ----
+        let chosen = if let Some(forced) = &dfs.forced {
+            let want = forced.get(st.decisions.len()).copied();
+            match want {
+                Some(t) if enabled.contains(&t) => t,
+                // A diverged or truncated replay degrades to the default
+                // policy rather than failing: the schedule string is a
+                // debugging aid, not a proof object.
+                _ => default_pick(&enabled, prev),
+            }
+        } else if enabled.len() == 1 {
+            enabled[0]
+        } else if choice_idx < dfs.stack.len() {
+            // Replaying the DFS prefix.
+            let c = &dfs.stack[choice_idx];
+            choice_idx += 1;
+            c.order[c.pos]
+        } else {
+            // Fresh choice point: order alternatives default-first,
+            // filter by preemption budget and the duplicate-transition
+            // set, and record for backtracking.
+            let default = default_pick(&enabled, prev);
+            let state_hash = canonical_hash(&st.trace);
+            let budget_left = opts.preemptions - preemptions.min(opts.preemptions);
+            let mut order: Vec<Tid> = Vec::with_capacity(enabled.len());
+            order.push(default);
+            for &t in &enabled {
+                if t == default {
+                    continue;
+                }
+                let is_preemption = prev.is_some_and(|p| enabled.contains(&p) && t != p);
+                if is_preemption && budget_left == 0 {
+                    continue;
+                }
+                order.push(t);
+            }
+            // Prune alternatives whose (state, budget, thread) transition
+            // was already taken from an equivalent prefix.
+            order.retain(|&t| !dfs.seen.contains(&(state_hash, budget_left, t)));
+            if order.is_empty() {
+                // Everything from this state was explored via another
+                // prefix — descending again would only re-create choice
+                // points below it. Abandon this execution.
+                teardown(exec, st);
+                return ExecOutcome::Pruned;
+            }
+            dfs.seen.insert((state_hash, budget_left, order[0]));
+            dfs.stack.push(Choice {
+                order,
+                pos: 0,
+                hash: state_hash,
+                budget: budget_left,
+            });
+            choice_idx = dfs.stack.len();
+            dfs.stack[choice_idx - 1].order[0]
+        };
+
+        if prev.is_some_and(|p| p != chosen && enabled.contains(&p)) {
+            preemptions += 1;
+        }
+        prev = Some(chosen);
+
+        // ---- apply the chosen thread's pending op and hand it the baton ----
+        // lint: allow(P1) enabled_threads only returns live threads with a pending op
+        let op = st.threads[chosen].pending.unwrap();
+        apply_op(&mut st, chosen, op);
+        st.trace.push((chosen, op));
+        st.decisions.push(chosen);
+        st.active = Some(chosen);
+        exec.cv.notify_all();
+    }
+}
+
+/// Threads whose pending op can proceed right now, ascending.
+fn enabled_threads(st: &ExecState) -> Vec<Tid> {
+    st.threads
+        .iter()
+        .enumerate()
+        .filter(|(tid, t)| {
+            t.status == Status::Live
+                && match t.pending {
+                    Some(Op::Acquire(l)) => st.locks.get(&l).is_none_or(|ls| ls.owner.is_none()),
+                    Some(Op::Join(target)) => st.threads[target].status == Status::Finished,
+                    Some(Op::Park) => st.threads[*tid].park_token,
+                    Some(Op::Start | Op::Release(..) | Op::Unpark(_) | Op::Yield | Op::Finish) => {
+                        true
+                    }
+                    None => false,
+                }
+        })
+        .map(|(tid, _)| tid)
+        .collect()
+}
+
+fn default_pick(enabled: &[Tid], prev: Option<Tid>) -> Tid {
+    match prev {
+        Some(p) if enabled.contains(&p) => p,
+        _ => enabled[0],
+    }
+}
+
+fn apply_op(st: &mut ExecState, tid: Tid, op: Op) {
+    match op {
+        Op::Acquire(l) => {
+            let ls = st.locks.entry(l).or_default();
+            debug_assert!(ls.owner.is_none(), "acquire of a held lock was scheduled");
+            ls.owner = Some(tid);
+        }
+        Op::Release(l, poisoning) => {
+            let ls = st.locks.entry(l).or_default();
+            ls.owner = None;
+            ls.poisoned |= poisoning;
+        }
+        Op::Park => {
+            debug_assert!(st.threads[tid].park_token, "park without a token scheduled");
+            st.threads[tid].park_token = false;
+        }
+        Op::Unpark(target) => {
+            if let Some(t) = st.threads.get_mut(target) {
+                t.park_token = true;
+            }
+        }
+        Op::Start | Op::Join(_) | Op::Yield | Op::Finish => {}
+    }
+}
+
+fn describe_blocked(st: &ExecState) -> Vec<String> {
+    st.threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status != Status::Finished)
+        .map(|(tid, t)| match t.pending {
+            Some(Op::Acquire(l)) => {
+                let holder = st
+                    .locks
+                    .get(&l)
+                    .and_then(|ls| ls.owner)
+                    .map(|o| format!("held by t{o}"))
+                    .unwrap_or_else(|| "free".to_string());
+                format!("t{tid} blocked acquiring m{l} ({holder})")
+            }
+            Some(Op::Join(u)) => format!("t{tid} blocked joining t{u}"),
+            Some(Op::Park) => format!("t{tid} parked with no pending unpark (lost wakeup)"),
+            Some(op) => format!("t{tid} blocked at {}", op.render()),
+            None => format!("t{tid} not yet started"),
+        })
+        .collect()
+}
+
+/// Tears down a failed execution: every suspended virtual thread
+/// unwinds with [`ModelAbort`]; the caller's real scope then joins
+/// them. Waits until all have finished so the scope join cannot hang.
+fn teardown(exec: &Exec, mut st: std::sync::MutexGuard<'_, ExecState>) {
+    st.abort = true;
+    exec.cv.notify_all();
+    while !st.threads.iter().all(|t| t.status == Status::Finished) {
+        st = exec
+            .cv
+            .wait(st)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace canonicalization (duplicate-state pruning)
+// ---------------------------------------------------------------------------
+
+/// FNV-1a-64 over the trace's commutation normal form: adjacent steps by
+/// different threads touching different objects are independent, so the
+/// trace is bubbled to a fixpoint where no out-of-thread-order
+/// independent pair remains. Equivalent interleavings hash identically;
+/// conflicting ones keep their order and do not.
+fn canonical_hash(trace: &[(Tid, Op)]) -> u64 {
+    let mut t: Vec<(Tid, Op)> = trace.to_vec();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 1..t.len() {
+            let (a, b) = (t[i - 1], t[i]);
+            let independent = a.0 != b.0 && {
+                let (oa, ob) = (a.1.object(a.0), b.1.object(b.0));
+                oa == Obj::None || ob == Obj::None || oa != ob
+            };
+            if independent && a.0 > b.0 {
+                t.swap(i - 1, i);
+                changed = true;
+            }
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (tid, op) in &t {
+        feed(*tid as u64);
+        let (kind, arg) = match op {
+            Op::Start => (0u64, 0u64),
+            Op::Acquire(l) => (1, *l),
+            Op::Release(l, p) => (2, l << 1 | u64::from(*p)),
+            Op::Park => (3, 0),
+            Op::Unpark(t) => (4, *t as u64),
+            Op::Join(t) => (5, *t as u64),
+            Op::Yield => (6, 0),
+            Op::Finish => (7, 0),
+        };
+        feed(kind);
+        feed(arg);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Public driving functions
+// ---------------------------------------------------------------------------
+
+/// Explores interleavings of `body` (which runs concurrency through
+/// [`crate::sync`]) within the preemption budget, returning on the
+/// first failing schedule or after the space is exhausted.
+pub fn check<F: Fn() + Sync>(opts: Opts, body: F) -> Report {
+    let mut dfs = Dfs {
+        stack: Vec::new(),
+        seen: std::collections::BTreeSet::new(),
+        forced: None,
+    };
+    let mut executions = 0usize;
+    loop {
+        let (outcome, trace, decisions) = run_one(&opts, &mut dfs, &body);
+        executions += 1;
+        if let ExecOutcome::Failed(failure) = outcome {
+            return Report {
+                failure: Some(failure),
+                trace,
+                schedule: decisions,
+                executions,
+                exhaustive: false,
+            };
+        }
+        if executions >= opts.max_executions {
+            return Report {
+                failure: None,
+                trace: Vec::new(),
+                schedule: Vec::new(),
+                executions,
+                exhaustive: false,
+            };
+        }
+        // Backtrack: advance the deepest choice point with an untried
+        // alternative, dropping exhausted ones.
+        loop {
+            let Some(top) = dfs.stack.last_mut() else {
+                return Report {
+                    failure: None,
+                    trace: Vec::new(),
+                    schedule: Vec::new(),
+                    executions,
+                    exhaustive: true,
+                };
+            };
+            if top.pos + 1 < top.order.len() {
+                top.pos += 1;
+                // Record the transition we are about to take, so any
+                // later path reaching an equivalent state skips it.
+                dfs.seen.insert((top.hash, top.budget, top.order[top.pos]));
+                break;
+            }
+            dfs.stack.pop();
+        }
+    }
+}
+
+/// Re-runs `body` once under the exact scheduling decisions of a failing
+/// report's `schedule` — the deterministic reproduction of a found bug.
+pub fn replay<F: Fn() + Sync>(schedule: &[Tid], body: F) -> Report {
+    let mut dfs = Dfs {
+        stack: Vec::new(),
+        seen: std::collections::BTreeSet::new(),
+        forced: Some(schedule.to_vec()),
+    };
+    let opts = Opts::default();
+    let (outcome, trace, decisions) = run_one(&opts, &mut dfs, &body);
+    Report {
+        failure: match outcome {
+            ExecOutcome::Failed(f) => Some(f),
+            // A forced replay never reaches the fresh-choice pruning.
+            ExecOutcome::Clean | ExecOutcome::Pruned => None,
+        },
+        trace,
+        schedule: decisions,
+        executions: 1,
+        exhaustive: false,
+    }
+}

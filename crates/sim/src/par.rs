@@ -25,10 +25,14 @@
 //! while stealing absorbs skewed per-cell cost (a 64-node cell costs ~4×
 //! a 16-node cell).
 //!
-//! This module is the **only** place in simulation library code where
-//! threads and locks are allowed (`fsoi-lint` rule D3); everything above
-//! it — `fsoi_cmp::batch`, the `fsoi-bench` runner — expresses sweeps as
-//! pure per-cell closures.
+//! All concurrency here goes through [`crate::sync`] — `std::sync` in
+//! normal builds (byte-identical behaviour), virtual threads under the
+//! bounded-schedule model checker ([`crate::model`], feature `model`),
+//! which exhaustively explores the drain/steal/termination protocol's
+//! interleavings at small shapes. This module and the shim are the
+//! **only** places in simulation library code where threads and locks
+//! are allowed (`fsoi-lint` rule D3); everything above — `fsoi_cmp::batch`,
+//! the `fsoi-bench` runner — expresses sweeps as pure per-cell closures.
 //!
 //! Workers emit executor telemetry (chunk pops, steals, queue-depth
 //! samples, busy/idle durations) into [`crate::telemetry`] — the
@@ -44,10 +48,11 @@
 //! ```
 
 use crate::rng::SplitMix64;
+use crate::sync::{self, Mutex, MutexGuard};
 use crate::telemetry;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::PoisonError;
 
 /// Chunks dealt per worker. Sweep cells are coarse (milliseconds each)
 /// and heavily skewed — a 64-node cell costs ~4–8× a 16-node cell — so
@@ -110,9 +115,20 @@ pub fn derive_seed(base: u64, cell: u64) -> u64 {
     sm.next_u64()
 }
 
-/// Locks ignoring poison: a panicked worker only ever leaves a deque of
-/// plain index ranges behind, which stays valid; the panic itself is
-/// re-raised at join time.
+/// Locks ignoring poison, via [`PoisonError::into_inner`].
+///
+/// Poison recovery is deliberate, not a shortcut. A worker can only
+/// panic *inside a cell closure*, and at that moment it holds no queue
+/// guard (guards are scoped to the pop/steal statements and dropped
+/// before `f` runs — see the worker loop), so a poisoned queue mutex
+/// still protects a structurally-valid `VecDeque` of plain index
+/// ranges. Recovering the guard lets the surviving workers keep
+/// draining; the panic itself is never swallowed — it is re-raised on
+/// the caller's thread at join time, and the poisoned cell's slot is
+/// simply never merged. A panicking worker therefore cannot wedge the
+/// sweep (the other workers drain and exit) and cannot corrupt the
+/// merged output (slots are keyed on cell index, and the sweep panics
+/// before returning any partial vector).
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -154,7 +170,7 @@ where
     let mut slots: Vec<Option<R>> = (0..cells).map(|_| None).collect();
     let queues = &queues;
     let f = &f;
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+    let per_worker: Vec<Vec<(usize, R)>> = sync::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|me| {
                 s.spawn(move || {
@@ -233,6 +249,22 @@ where
     sweep(cells, thread_count(), f)
 }
 
+/// Model-checking entry point: runs the *real* [`sweep`] code path at an
+/// exact small shape (`chunks` single-index chunks dealt over `workers`
+/// deques — shapes this small always deal one cell per chunk) and
+/// asserts the deterministic-reduction contract. Called from the model
+/// test suite under [`crate::model::check`], where every interleaving of
+/// the drain/steal/termination protocol is explored.
+#[cfg(feature = "model")]
+pub fn model_sweep_protocol(workers: usize, chunks: usize) {
+    debug_assert!(
+        chunks <= workers * CHUNKS_PER_WORKER,
+        "shape would coalesce cells into multi-index chunks"
+    );
+    let out = sweep(chunks, workers, |i| i);
+    assert_eq!(out, (0..chunks).collect::<Vec<_>>());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +323,37 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn panicking_cell_neither_wedges_nor_corrupts() {
+        // Poison-recovery regression for `lock()`: a panicking worker
+        // poisons whichever queue mutex it touches next-to-last, but
+        // `PoisonError::into_inner` lets surviving workers keep
+        // draining. The sweep must (a) terminate — not deadlock on a
+        // poisoned queue, (b) re-raise the cell's panic rather than
+        // return partial output, and (c) leave subsequent sweeps
+        // unaffected.
+        for round in 0..20 {
+            let result = std::panic::catch_unwind(|| {
+                sweep(32, 4, |i| {
+                    if i == 13 {
+                        panic!("poison round {round}");
+                    }
+                    i * 2
+                })
+            });
+            let payload = result.expect_err("the cell panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic payload is the cell's message");
+            assert!(msg.contains("poison round"), "unexpected payload: {msg}");
+        }
+        // The executor state is per-sweep; a clean sweep right after the
+        // panicking ones must produce exact output.
+        let clean = sweep(32, 4, |i| i * 2);
+        assert_eq!(clean, (0..32).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,409 @@
+//! Synchronization shim: `std::sync`/`std::thread` in normal builds, the
+//! [`crate::model`] bounded-schedule checker under `--features model`.
+//!
+//! The executor (`fsoi_sim::par`) is the one place in simulation library
+//! code where threads and locks exist (`fsoi-lint` rule D3). PR 6 showed
+//! that its correctness was being established by *luck* — a stress test
+//! happened to trip a guard-held-across-steal deadlock. This module makes
+//! the concurrency *checkable* instead: `par` (and any future concurrent
+//! harness code) acquires locks and spawns workers exclusively through
+//! these wrappers, so the exact same source can run
+//!
+//! * **normal builds** — every wrapper forwards straight to
+//!   `std::sync::Mutex` / `std::thread::scope`; behaviour and codegen are
+//!   the std ones (the model branches compile out entirely without the
+//!   `model` feature, and cost one thread-local read with it), and
+//! * **model runs** — inside [`crate::model::check`], the wrappers become
+//!   *schedule points* of a deterministic cooperative scheduler that
+//!   DFS-explores thread interleavings, detects deadlock and lost
+//!   wakeups, and prints the offending schedule as a replayable trace.
+//!
+//! The shim mirrors the std API shapes (`lock() -> LockResult<…>`,
+//! `scope(|s| s.spawn(..))`, `JoinHandle::join`) so `par` reads like
+//! ordinary std threading code.
+//!
+//! # Poisoning
+//!
+//! [`Mutex::lock`] keeps std's poison contract in both modes: a thread
+//! that panics while holding the guard poisons the lock, and later
+//! lockers get `Err(PoisonError)` whose guard still grants access
+//! (`PoisonError::into_inner`). The executor relies on this to keep
+//! draining after a panicking sweep cell — see `par::lock`.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::sync::{LockResult, PoisonError};
+
+#[cfg(feature = "model")]
+use crate::model;
+
+/// A mutual-exclusion lock with the `std::sync::Mutex` API surface,
+/// routed through the model scheduler when a model execution is active.
+///
+/// Data lives in an [`UnsafeCell`]; exclusion comes from an inner
+/// `std::sync::Mutex<()>` in normal mode and from the model scheduler
+/// (only the lock's logical owner is ever scheduled while a guard is
+/// live) in model mode.
+pub struct Mutex<T: ?Sized> {
+    /// Model-plane identity, assigned on first model-context use.
+    #[cfg(feature = "model")]
+    model_id: std::sync::atomic::AtomicU64,
+    /// Normal-mode exclusion and poison tracking.
+    raw: std::sync::Mutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// Same bounds as std::sync::Mutex: the data is only reachable through
+// the guard, which enforces exclusive access in both modes.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub fn new(t: T) -> Self {
+        let m = Mutex {
+            #[cfg(feature = "model")]
+            model_id: std::sync::atomic::AtomicU64::new(0),
+            raw: std::sync::Mutex::new(()),
+            data: UnsafeCell::new(t),
+        };
+        // Register at construction when inside a model execution:
+        // creation order is deterministic, so lock ids (and therefore
+        // traces and duplicate-state hashes) are stable across the
+        // checker's executions.
+        #[cfg(feature = "model")]
+        if model::in_execution() {
+            m.model_id
+                .store(model::register_lock(), std::sync::atomic::Ordering::Relaxed);
+        }
+        m
+    }
+
+    /// Consumes the mutex, returning the data. Mirrors std: `Err` with
+    /// the data inside when the lock was poisoned.
+    pub fn into_inner(self) -> LockResult<T> {
+        let poisoned = self.raw.is_poisoned();
+        let data = self.data.into_inner();
+        if poisoned {
+            Err(PoisonError::new(data))
+        } else {
+            Ok(data)
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// Inside a model execution this is a schedule point: the virtual
+    /// thread is suspended until the scheduler grants the lock, and
+    /// every grant ordering within the preemption budget is explored.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(PoisonError)` — whose guard is still usable — when
+    /// another thread panicked while holding the lock.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if model::in_execution() {
+            let id = self.model_lock_id();
+            let poisoned = model::acquire(id);
+            let guard = MutexGuard {
+                lock: self,
+                raw: None,
+                _not_send: PhantomData,
+            };
+            return if poisoned {
+                Err(PoisonError::new(guard))
+            } else {
+                Ok(guard)
+            };
+        }
+        match self.raw.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                raw: Some(g),
+                _not_send: PhantomData,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                raw: Some(p.into_inner()),
+                _not_send: PhantomData,
+            })),
+        }
+    }
+
+    /// The lock's model-plane id, registering lazily for mutexes that
+    /// were created outside the execution (discouraged — creation-order
+    /// ids keep traces deterministic — but tolerated).
+    #[cfg(feature = "model")]
+    fn model_lock_id(&self) -> u64 {
+        use std::sync::atomic::Ordering;
+        let id = self.model_id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let id = model::register_lock();
+        self.model_id.store(id, Ordering::Relaxed);
+        id
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never touches the data: reading it would need the lock.
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing is a schedule point in model mode.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// `Some` in normal mode (drop unlocks + records poison); `None` in
+    /// model mode (drop reports the release to the scheduler).
+    raw: Option<std::sync::MutexGuard<'a, ()>>,
+    /// Keeps the guard `!Send`, like std's.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T: ?Sized> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MutexGuard").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Exclusive access is guaranteed by `raw` (normal mode) or by
+        // the model scheduler (only the owner is scheduled).
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // `raw: Some` — normal mode: dropping it unlocks and records
+        // poison. `raw: None` — model mode: report the release to the
+        // scheduler instead.
+        if self.raw.is_none() {
+            #[cfg(feature = "model")]
+            model::release(self.lock.model_lock_id(), std::thread::panicking());
+        }
+    }
+}
+
+/// Creates a scope for spawning scoped virtual or real threads.
+///
+/// The std-mode behaviour is exactly [`std::thread::scope`]. In model
+/// mode the closure's spawns become scheduler-driven virtual threads;
+/// the scope still guarantees every child has finished before it
+/// returns.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    #[cfg(feature = "model")]
+    if model::in_execution() {
+        return std::thread::scope(|s| {
+            let sc = Scope {
+                std: s,
+                model: std::cell::RefCell::new(Some(Vec::new())),
+            };
+            let r = f(&sc);
+            // Wait (as a virtual thread) for every child before letting
+            // the real scope join their OS threads; otherwise the real
+            // join would block this OS thread without the scheduler
+            // knowing, wedging the execution.
+            let children = sc.model.borrow_mut().take().unwrap_or_default();
+            model::await_children(&children);
+            r
+        });
+    }
+    std::thread::scope(|s| {
+        f(&Scope {
+            std: s,
+            #[cfg(feature = "model")]
+            model: std::cell::RefCell::new(None),
+        })
+    })
+}
+
+/// A spawn scope; the shim's analogue of [`std::thread::Scope`].
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    /// `Some(children)` when this scope belongs to a model execution.
+    #[cfg(feature = "model")]
+    model: std::cell::RefCell<Option<Vec<usize>>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; a virtual one inside a model execution.
+    pub fn spawn<F, T>(&self, f: F) -> JoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        #[cfg(feature = "model")]
+        if let Some(children) = self.model.borrow_mut().as_mut() {
+            let (tid, exec) = model::prepare_spawn();
+            children.push(tid);
+            let handle = self.std.spawn(move || model::run_vthread(exec, tid, f));
+            return JoinHandle {
+                inner: JhInner::Model { tid, handle },
+            };
+        }
+        JoinHandle {
+            inner: JhInner::Std(self.std.spawn(f)),
+        }
+    }
+}
+
+/// Handle to a (virtual or real) scoped thread.
+#[derive(Debug)]
+pub struct JoinHandle<'scope, T> {
+    inner: JhInner<'scope, T>,
+}
+
+#[derive(Debug)]
+enum JhInner<'scope, T> {
+    Std(std::thread::ScopedJoinHandle<'scope, T>),
+    #[cfg(feature = "model")]
+    Model {
+        tid: usize,
+        handle: std::thread::ScopedJoinHandle<'scope, std::thread::Result<T>>,
+    },
+}
+
+impl<T> JoinHandle<'_, T> {
+    /// Waits for the thread to finish; `Err` carries its panic payload.
+    /// A schedule point in model mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns the thread's panic payload when it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            JhInner::Std(h) => h.join(),
+            #[cfg(feature = "model")]
+            JhInner::Model { tid, handle } => {
+                model::await_thread(tid);
+                // The virtual thread is finished, so the real join is
+                // immediate; the wrapper caught any panic, so the outer
+                // result is always Ok.
+                match handle.join() {
+                    Ok(r) => r,
+                    Err(p) => Err(p),
+                }
+            }
+        }
+    }
+
+    /// Atomically makes a park token available to the thread
+    /// (`std::thread::Thread::unpark` semantics).
+    pub fn unpark(&self) {
+        match &self.inner {
+            JhInner::Std(h) => h.thread().unpark(),
+            #[cfg(feature = "model")]
+            JhInner::Model { tid, .. } => model::unpark(*tid),
+        }
+    }
+}
+
+/// Blocks the current thread until a park token is available, consuming
+/// it (`std::thread::park` semantics, minus spurious wakeups in model
+/// mode — the checker explores real schedules, not adversarial ones).
+pub fn park() {
+    #[cfg(feature = "model")]
+    if model::in_execution() {
+        model::park();
+        return;
+    }
+    std::thread::park();
+}
+
+/// A cooperative yield; in model mode, a pure schedule point at which
+/// the checker may switch threads.
+pub fn yield_now() {
+    #[cfg(feature = "model")]
+    if model::in_execution() {
+        model::yield_point();
+        return;
+    }
+    std::thread::yield_now();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_forwards_to_std_in_normal_builds() {
+        let m = Mutex::new(41);
+        *m.lock().expect("unpoisoned") += 1;
+        assert_eq!(*m.lock().expect("unpoisoned"), 42);
+        assert_eq!(m.into_inner().expect("unpoisoned"), 42);
+    }
+
+    #[test]
+    fn scope_and_join_forward_to_std() {
+        let total = Mutex::new(0u64);
+        let total = &total;
+        scope(|s| {
+            let hs: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(move || {
+                        *total.lock().expect("unpoisoned") += 1;
+                        i
+                    })
+                })
+                .collect();
+            let ids: Vec<usize> = hs
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect();
+            assert_eq!(ids, vec![0, 1, 2, 3]);
+        });
+        assert_eq!(*total.lock().expect("unpoisoned"), 4);
+    }
+
+    #[test]
+    fn poisoned_lock_reports_err_with_usable_guard() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        scope(|s| {
+            let h = s.spawn(|| {
+                let _g = m.lock().expect("first lock");
+                panic!("poison it");
+            });
+            assert!(h.join().is_err(), "the panic propagates through join");
+        });
+        let g = match m.lock() {
+            Err(poisoned) => poisoned.into_inner(),
+            Ok(_) => panic!("lock must be poisoned"),
+        };
+        assert_eq!(*g, vec![1, 2, 3], "data survives the poisoning panic");
+        drop(g);
+        assert!(m.into_inner().is_err(), "into_inner also reports poison");
+    }
+
+    #[test]
+    fn unpark_before_park_is_not_lost() {
+        scope(|s| {
+            let h = s.spawn(park);
+            h.unpark();
+            h.join().expect("token semantics: unpark-then-park returns");
+        });
+    }
+
+    #[test]
+    fn yield_now_is_callable() {
+        yield_now();
+    }
+}

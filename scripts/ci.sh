@@ -8,6 +8,8 @@
 #   scripts/ci.sh --tier lint     # fsoi-lint check + clippy
 #   scripts/ci.sh --tier full     # scripts/verify.sh (incl. trace build + microbench guard)
 #   scripts/ci.sh --tier bench    # scripts/bench_gate.sh vs the committed baseline
+#   scripts/ci.sh --tier tsan     # ThreadSanitizer pass over fsoi-sim (needs nightly;
+#                                 # optional — skipped with a notice when unavailable)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -45,6 +47,11 @@ tier_lint() {
     # [workspace.lints] (deny unused_must_use, clippy disallowed_types)
     # applies to every target, including feature-gated benches.
     cargo clippy --offline --workspace --all-targets --features criterion -- -D warnings
+    # The model-feature build is a distinct cfg surface (virtual-thread
+    # shim paths); lint and test it here so a warning or schedule-space
+    # regression fails the same tier that owns static analysis.
+    cargo clippy --offline -p fsoi-sim --all-targets --features model -- -D warnings
+    cargo test -q --offline -p fsoi-sim --features model
 }
 
 tier_full() {
@@ -62,18 +69,42 @@ tier_bench() {
         profile --out target/RUN_manifest.json --det target/RUN_det.txt
 }
 
+tier_tsan() {
+    banner tsan
+    # ThreadSanitizer needs nightly (-Zsanitizer) plus the matching
+    # rust-src component. It is an *optional* tier: the model checker is
+    # the required concurrency gate; TSan adds OS-level data-race
+    # coverage on real interleavings when a nightly toolchain is around.
+    # CI runs it continue-on-error; locally we skip with a notice rather
+    # than fail machines without nightly.
+    if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
+        echo "tsan: no nightly toolchain installed; skipping (optional tier)"
+        return 0
+    fi
+    host=$(rustc -vV | sed -n 's/^host: //p')
+    if ! rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'rust-src (installed)'; then
+        echo "tsan: nightly rust-src component missing; skipping (optional tier)"
+        return 0
+    fi
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -q --offline -p fsoi-sim \
+        -Zbuild-std --target "$host"
+}
+
 case "$TIER" in
     quick) tier_quick ;;
     lint)  tier_lint ;;
     full)  tier_full ;;
     bench) tier_bench ;;
+    tsan)  tier_tsan ;;
     all)
         tier_quick
         tier_lint
         tier_full
         tier_bench
         ;;
-    *) echo "ci.sh: unknown tier '$TIER' (quick|lint|full|bench|all)" >&2; exit 2 ;;
+    *) echo "ci.sh: unknown tier '$TIER' (quick|lint|full|bench|tsan|all)" >&2; exit 2 ;;
 esac
 
 echo

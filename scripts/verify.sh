@@ -22,9 +22,19 @@ gate "build (release, offline)" cargo build --release --offline --workspace
 
 gate "test" cargo test -q --offline --workspace
 
+# Concurrency model checking (DESIGN.md "Concurrency model checking"):
+# the sweep executor's drain/steal/termination protocol is exhaustively
+# explored at small worker/chunk shapes under the `model` feature, and
+# the checker's self-tests prove it still catches the seeded deadlock /
+# lost-wakeup / guard-leak fixtures. Normal builds are untouched by the
+# feature; this gate is where the schedule space actually gets walked.
+gate "model check (fsoi-sim --features model)" \
+    cargo test -q --offline -p fsoi-sim --features model
+
 # Determinism & invariant lints (DESIGN.md "Determinism policy"): the
-# committed tree must scan clean — zero D1/D2/D3/T1/P1/A1 violations,
-# every escape hatch annotated. Exit 1 here means a new violation crept in.
+# committed tree must scan clean — zero D1/D2/D3/D4b/T1/P1/A1/A2
+# violations, every escape hatch annotated and load-bearing. Exit 1 here
+# means a new violation crept in.
 gate "fsoi-lint check" cargo run -q --release --offline -p fsoi-lint -- check
 
 # Observability-plane determinism (DESIGN.md "Harness observability
