@@ -5,7 +5,7 @@
 //!
 //! cmd: table1 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10 |
 //!      fig11 | table4 | bm | opts | corona | l1 | ber | receivers |
-//!      seeds | snapshot | bench | profile | all
+//!      seeds | snapshot | bench | profile | grid | all
 //! ```
 //!
 //! `--full` uses larger workloads (closer statistics, slower).
@@ -21,6 +21,16 @@
 //! Sweeps parallelize across (app, network, seed) cells; `FSOI_THREADS`
 //! caps the worker count without changing any output byte.
 //!
+//! `grid [--nodes N] [--ops N] [--apps LIST] [--networks LIST]
+//! [--out PATH]` runs a beyond-the-paper design-space grid: the four-way
+//! network comparison (FSOI, mesh, Corona ring, worst-case-loss
+//! crossbar) at an arbitrary node count (default 64; the NodeMask
+//! capacity of 256 is the ceiling). Every cell runs at worker counts
+//! {1, 2, 8} and its exported metric registry must be byte-identical
+//! across all three — the determinism contract checked at the grid
+//! sizes, not assumed. `--out` writes a machine-greppable grid summary
+//! (`fsoi-grid/v1`) for CI artifacts.
+//!
 //! `profile [--out PATH] [--det PATH] [--ops N]` runs the standard
 //! 80-cell sweep under both harness observability planes and writes the
 //! versioned run manifest (default `RUN_manifest.json`): config hash and
@@ -31,8 +41,8 @@
 //! byte-identity gates; `--ops` overrides ops-per-core for quick runs.
 
 use fsoi_bench::runner::{
-    network_by_name, run_app, run_cells, run_cells_threads_profiled, suite_cells, sweep_apps,
-    CellSpec, SweepOptions, MAX_CYCLES,
+    network_by_name, run_app, run_cells, run_cells_threads, run_cells_threads_profiled,
+    suite_cells, sweep_apps, CellSpec, SweepOptions, MAX_CYCLES,
 };
 use fsoi_cmp::workload::AppProfile;
 use fsoi_net::analysis::backoff as ab;
@@ -69,6 +79,7 @@ fn main() {
         "snapshot" => snapshot(scale),
         "bench" => bench(&args[1..]),
         "profile" => profile(&args[1..]),
+        "grid" => grid(&args[1..]),
         "all" => {
             table1();
             fig3();
@@ -233,23 +244,42 @@ fn fig4(full: bool) {
 // ---------------------------------------------------------------- Figure 5
 
 fn fig5(scale: u64) {
-    header("Figure 5: distribution of read-miss reply latency (16-node FSOI)");
-    let mut opts = SweepOptions::quick_16();
+    fig5_at(16, scale);
+}
+
+/// The Figure 5 latency distribution at an arbitrary node count. Bin
+/// geometry (count, width, overflow threshold) is read off the reports'
+/// own histograms, so the figure follows the simulator if the histogram
+/// shape ever changes and works unmodified at the beyond-the-paper grid
+/// sizes.
+fn fig5_at(nodes: usize, scale: u64) {
+    header(&format!(
+        "Figure 5: distribution of read-miss reply latency ({nodes}-node FSOI)"
+    ));
+    let mut opts = SweepOptions::for_nodes(nodes);
     opts.ops_per_core *= scale;
     let results = sweep_apps(&["fsoi"], opts);
-    let mut merged = fsoi_sim::stats::Histogram::new(10, 20);
+    let geometry = {
+        let h = &results[0].reports[0].reply_latency;
+        (h.num_bins(), h.bin_width())
+    };
+    let (num_bins, bin_width) = geometry;
     // Merge by re-binning each app's histogram.
     let mut total = 0u64;
-    let mut bins = [0u64; 20];
+    let mut bins = vec![0u64; num_bins];
     let mut overflow = 0u64;
     for r in &results {
         let h = &r.reports[0].reply_latency;
+        assert_eq!(
+            (h.num_bins(), h.bin_width()),
+            geometry,
+            "every app's histogram shares one bin geometry"
+        );
         for (i, bin) in bins.iter_mut().enumerate() {
             *bin += h.bin(i);
         }
         overflow += h.overflow();
         total += h.count();
-        let _ = &mut merged;
     }
     println!("  latency bin     fraction of requests");
     for (i, &c) in bins.iter().enumerate() {
@@ -257,28 +287,27 @@ fn fig5(scale: u64) {
         if frac >= 0.05 {
             println!(
                 "  {:>4}-{:<4}      {:>5.1}%  {}",
-                i * 10,
-                (i + 1) * 10 - 1,
+                i as u64 * bin_width,
+                (i as u64 + 1) * bin_width - 1,
                 frac,
                 "#".repeat((frac * 1.2) as usize)
             );
         }
     }
     println!(
-        "  >200           {:>5.1}%",
+        "  >{:<4}          {:>5.1}%",
+        num_bins as u64 * bin_width,
         100.0 * overflow as f64 / total.max(1) as f64
     );
-    println!("  (paper: heavily concentrated in a few slots; peak bucket ≈ 41 %)");
+    if nodes == 16 {
+        println!("  (paper: heavily concentrated in a few slots; peak bucket ≈ 41 %)");
+    }
 }
 
 // ------------------------------------------------------------- Figures 6/7
 
 fn perf_figure(nodes: usize, scale: u64) {
-    let mut opts = if nodes == 16 {
-        SweepOptions::quick_16()
-    } else {
-        SweepOptions::quick_64()
-    };
+    let mut opts = SweepOptions::for_nodes(nodes);
     opts.ops_per_core *= scale;
     let nets = ["mesh", "fsoi", "L0", "Lr1", "Lr2"];
     let results = sweep_apps(&nets, opts);
@@ -307,13 +336,17 @@ fn perf_figure(nodes: usize, scale: u64) {
         );
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Reference numbers exist only at the paper's two sizes.
+    let paper_lat = match nodes {
+        16 => "paper 16-node: 7.5 vs mesh",
+        64 => "paper 64-node: 12.6 vs mesh",
+        _ => "beyond the paper's sizes",
+    };
     println!(
-        "  {:<6} {:>41.1} {:>7.1}   (paper {}-node: {} vs mesh)",
+        "  {:<6} {:>41.1} {:>7.1}   ({paper_lat})",
         "avg",
         avg(&fsoi_lat),
         avg(&mesh_lat),
-        nodes,
-        if nodes == 16 { "7.5" } else { "12.6" }
     );
 
     println!("\n  (b) speedup over the mesh baseline");
@@ -336,10 +369,10 @@ fn perf_figure(nodes: usize, scale: u64) {
     for s in &speedups {
         print!(" {:>7.2}", geometric_mean(s).unwrap_or(0.0));
     }
-    let paper = if nodes == 16 {
-        "(paper: 1.36 / 1.43 / 1.32 / 1.22)"
-    } else {
-        "(paper: 1.75 / 1.91 / 1.55 / 1.29)"
+    let paper = match nodes {
+        16 => "(paper: 1.36 / 1.43 / 1.32 / 1.22)",
+        64 => "(paper: 1.75 / 1.91 / 1.55 / 1.29)",
+        _ => "(beyond the paper's sizes; no reference numbers)",
     };
     println!("  {paper}");
 }
@@ -579,11 +612,7 @@ fn run_mesh_scaled(app: AppProfile, fraction: f64, opts: SweepOptions) -> u64 {
 fn table4(scale: u64) {
     header("Table 4: impact of off-chip memory bandwidth (8.8 vs 52.8 GB/s)");
     for nodes in [16usize, 64] {
-        let mut opts = if nodes == 16 {
-            SweepOptions::quick_16()
-        } else {
-            SweepOptions::quick_64()
-        };
+        let mut opts = SweepOptions::for_nodes(nodes);
         opts.ops_per_core *= scale;
         println!("  {nodes}-core system");
         println!(
@@ -987,6 +1016,249 @@ fn bench(args: &[String]) {
     println!("  wrote {out_path}");
     if !report.byte_identical {
         eprintln!("bench: FAIL — parallel merged export diverged from the serial fold");
+        std::process::exit(1);
+    }
+}
+
+// ------------------------------------------------------------------- grid
+
+/// One cell's exported metric registry as sorted JSONL — the byte-level
+/// identity the grid compares across worker counts.
+fn cell_export(r: &fsoi_cmp::metrics::RunReport) -> String {
+    let mut reg = fsoi_sim::metrics::Registry::new();
+    r.export(&mut reg);
+    reg.to_jsonl()
+}
+
+/// Beyond-the-paper design-space grid (fig6/fig7-style rows at sizes the
+/// paper never evaluated): every requested application on every
+/// requested network at one node count. Three properties are asserted,
+/// not just printed:
+///
+/// * every cell completes within the cycle bound with positive latency,
+///   energy and traffic (the shape class a healthy run must land in);
+/// * `nodes > 16` grids use the phase-array transmitter (a dedicated
+///   VCSEL per destination stops scaling past 16);
+/// * each cell's exported registry is byte-identical across worker
+///   counts {1, 2, 8} — the determinism contract, checked at the grid
+///   sizes rather than assumed from the 16-node tests.
+fn grid(args: &[String]) {
+    let mut nodes = 64usize;
+    let mut ops_override: Option<u64> = None;
+    let mut apps_arg = String::from("ba,oc,mp,fft");
+    let mut networks_arg = String::from("fsoi,mesh,ring,crossbar");
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    let take = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("grid: {flag} needs a value");
+                std::process::exit(2);
+            })
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nodes" => {
+                let v = take(args, i, "--nodes");
+                nodes = v.parse().unwrap_or_else(|_| {
+                    eprintln!("grid: bad node count {v:?}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--ops" => {
+                let v = take(args, i, "--ops");
+                ops_override = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("grid: bad ops count {v:?}");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--apps" => {
+                apps_arg = take(args, i, "--apps");
+                i += 2;
+            }
+            "--networks" => {
+                networks_arg = take(args, i, "--networks");
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(take(args, i, "--out"));
+                i += 2;
+            }
+            "--full" => i += 1,
+            other => {
+                eprintln!("grid: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    header(&format!(
+        "grid: {nodes}-node design-space grid over {networks_arg}"
+    ));
+    let mut opts = SweepOptions::for_nodes(nodes);
+    if let Some(ops) = ops_override {
+        opts.ops_per_core = ops;
+    }
+    if nodes > 16 {
+        match network_by_name("fsoi", nodes) {
+            fsoi_cmp::configs::NetworkKind::Fsoi(cfg) => assert!(
+                matches!(
+                    cfg.array,
+                    fsoi_net::config::TransmitterArray::PhaseArray { .. }
+                ),
+                "grid sizes beyond 16 nodes must select the phase-array transmitter"
+            ),
+            _ => unreachable!("network_by_name(\"fsoi\") builds an FSOI config"),
+        }
+    }
+    let networks: Vec<String> = networks_arg.split(',').map(|s| s.trim().into()).collect();
+    let apps: Vec<AppProfile> = apps_arg
+        .split(',')
+        .map(|n| {
+            AppProfile::by_name(n.trim()).unwrap_or_else(|| {
+                eprintln!("grid: unknown app {n:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let cells: Vec<CellSpec> = apps
+        .iter()
+        .flat_map(|app| {
+            networks
+                .iter()
+                .map(|net| CellSpec::new(*app, net, opts))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let thread_counts = [1usize, 2, 8];
+    println!(
+        "  {} apps x {} networks = {} cells (ops/core {}, seed {}); worker counts {thread_counts:?}",
+        apps.len(),
+        networks.len(),
+        cells.len(),
+        opts.ops_per_core,
+        opts.seed
+    );
+
+    let mut exports: Vec<Vec<String>> = Vec::new();
+    let mut reports_by_threads = Vec::new();
+    for &t in &thread_counts {
+        let reports = run_cells_threads(&cells, t);
+        exports.push(reports.iter().map(cell_export).collect());
+        reports_by_threads.push(reports);
+    }
+    let byte_identical = exports[1..].iter().all(|e| *e == exports[0]);
+    let reports = &reports_by_threads[0];
+
+    println!(
+        "  {:<6} {:<9} {:>10} {:>9} {:>11} {:>11} {:>9}",
+        "app", "network", "cycles", "lat cyc", "net uJ", "total uJ", "packets"
+    );
+    let mut lines = Vec::new();
+    for (ci, (cell, r)) in cells.iter().zip(reports).enumerate() {
+        let app = cell.app.name;
+        let net = cell.network.name();
+        let packets: u64 = r.packets_sent.iter().sum();
+        let lat = r.mean_packet_latency();
+        // Shape-class pins: a healthy cell completes inside the cycle
+        // bound and reports positive latency, energy and traffic.
+        assert!(
+            r.cycles > 0 && r.cycles < MAX_CYCLES,
+            "cell {ci} ({app}/{net}) did not complete: {} cycles",
+            r.cycles
+        );
+        assert!(
+            lat.is_finite() && lat > 0.0,
+            "cell {ci} ({app}/{net}) has degenerate latency {lat}"
+        );
+        assert!(
+            r.energy.total_j().is_finite() && r.energy.total_j() > 0.0,
+            "cell {ci} ({app}/{net}) has degenerate energy"
+        );
+        assert!(packets > 0, "cell {ci} ({app}/{net}) moved no packets");
+        println!(
+            "  {:<6} {:<9} {:>10} {:>9.1} {:>11.2} {:>11.2} {:>9}",
+            app,
+            net,
+            r.cycles,
+            lat,
+            r.energy.network_j * 1e6,
+            r.energy.total_j() * 1e6,
+            packets
+        );
+        lines.push(format!(
+            "cell app={app} net={net} cycles={} latency={lat:.3} network_j={:.6e} total_j={:.6e} packets={packets}",
+            r.cycles, r.energy.network_j, r.energy.total_j()
+        ));
+    }
+    // Cross-network shape pins, where both baselines are in the grid:
+    // the tokenless crossbar always beats Corona on latency (one
+    // arbitration cycle vs waiting for the token), and once the radix is
+    // large its worst-case-loss laser sizing makes it out-spend Corona
+    // by orders of magnitude (the crossover sits between 64 and 256
+    // ports: ~17 dB of worst-case loss at 64 is still affordable, ~65 dB
+    // at 256 is not).
+    if networks.iter().any(|n| n == "crossbar") && networks.iter().any(|n| n == "ring") {
+        let cell = |app_i: usize, name: &str| {
+            let net_i = networks.iter().position(|n| n == name).unwrap();
+            &reports[app_i * networks.len() + net_i]
+        };
+        for (app_i, app) in apps.iter().enumerate() {
+            assert!(
+                cell(app_i, "crossbar").mean_packet_latency()
+                    < cell(app_i, "ring").mean_packet_latency(),
+                "tokenless crossbar should beat Corona's latency on {} at {nodes} nodes",
+                app.name
+            );
+            if nodes >= 256 {
+                assert!(
+                    cell(app_i, "crossbar").energy.network_j
+                        > 100.0 * cell(app_i, "ring").energy.network_j,
+                    "worst-case-loss crossbar should out-spend Corona 100x on {} at {nodes} nodes",
+                    app.name
+                );
+            }
+        }
+        println!("  ok shape: crossbar beats Corona on latency on every app");
+        if nodes >= 256 {
+            println!("  ok shape: crossbar network energy exceeds 100x Corona's on every app");
+        }
+    }
+    println!(
+        "  ok shape: all {} cells completed with positive latency, energy and traffic",
+        cells.len()
+    );
+    println!("  byte-identical across workers {thread_counts:?}: {byte_identical}");
+
+    if let Some(path) = &out_path {
+        let mut summary = String::from("fsoi-grid/v1\n");
+        summary.push_str(&format!("nodes {nodes}\n"));
+        summary.push_str(&format!("ops_per_core {}\n", opts.ops_per_core));
+        summary.push_str(&format!("seed {}\n", opts.seed));
+        summary.push_str(&format!("networks {}\n", networks.join(",")));
+        summary.push_str(&format!(
+            "apps {}\n",
+            apps.iter().map(|a| a.name).collect::<Vec<_>>().join(",")
+        ));
+        summary.push_str(&format!(
+            "threads {}\n",
+            thread_counts.map(|t| t.to_string()).join(",")
+        ));
+        summary.push_str(&format!("byte_identical {byte_identical}\n"));
+        for line in &lines {
+            summary.push_str(line);
+            summary.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, summary) {
+            eprintln!("grid: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("  wrote {path}");
+    }
+    if !byte_identical {
+        eprintln!("grid: FAIL — a cell's export diverged across worker counts");
         std::process::exit(1);
     }
 }

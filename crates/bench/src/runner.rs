@@ -21,7 +21,8 @@ pub const MAX_CYCLES: u64 = 50_000_000;
 /// Options for a sweep over the application suite.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepOptions {
-    /// Node count (16 or 64).
+    /// Node count (16/64 for the paper's systems; any count up to the
+    /// `NodeMask` capacity for the beyond-the-paper grids).
     pub nodes: usize,
     /// Memory operations per core (scales run time).
     pub ops_per_core: u64,
@@ -54,6 +55,33 @@ impl SweepOptions {
             ..Self::quick_16()
         }
     }
+
+    /// 256-node setting for the beyond-the-paper design-space grids
+    /// (per-core workload scaled down again: 16× the paper's cores).
+    pub fn quick_256() -> Self {
+        SweepOptions {
+            nodes: 256,
+            ops_per_core: 150,
+            ..Self::quick_16()
+        }
+    }
+
+    /// The quick preset for an arbitrary node count: the tuned presets at
+    /// the tuned sizes, and a constant total-operation budget
+    /// (`≈ 24 000 ops`, the 16-node preset's) everywhere else, so a sweep
+    /// at any size stays seconds-scale.
+    pub fn for_nodes(nodes: usize) -> Self {
+        match nodes {
+            16 => Self::quick_16(),
+            64 => Self::quick_64(),
+            256 => Self::quick_256(),
+            n => SweepOptions {
+                nodes: n,
+                ops_per_core: (24_000 / n.max(1) as u64).max(50),
+                ..Self::quick_16()
+            },
+        }
+    }
 }
 
 /// One application's results across network configurations.
@@ -70,6 +98,8 @@ pub fn network_by_name(name: &str, nodes: usize) -> NetworkKind {
     match name {
         "fsoi" => NetworkKind::fsoi(nodes),
         "mesh" => NetworkKind::mesh(nodes),
+        "ring" => NetworkKind::ring(nodes),
+        "crossbar" => NetworkKind::crossbar(nodes),
         "L0" => NetworkKind::L0,
         "Lr1" => NetworkKind::Lr1,
         "Lr2" => NetworkKind::Lr2,
@@ -81,14 +111,10 @@ pub fn network_by_name(name: &str, nodes: usize) -> NetworkKind {
 /// serial or parallel — builds configs through this single function, so
 /// a parallel cell can never drift from what the serial loop ran.
 pub fn cell_config(network: NetworkKind, opts: SweepOptions) -> SystemConfig {
-    match opts.nodes {
-        16 => SystemConfig::paper_16(network),
-        64 => SystemConfig::paper_64(network),
-        n => panic!("unsupported node count {n}"),
-    }
-    .with_mem_bandwidth(opts.mem_gb_per_s)
-    .with_optimizations(opts.optimizations)
-    .with_seed(opts.seed)
+    SystemConfig::paper_n(opts.nodes, network)
+        .with_mem_bandwidth(opts.mem_gb_per_s)
+        .with_optimizations(opts.optimizations)
+        .with_seed(opts.seed)
 }
 
 /// One sweep cell: an application on a network under sweep options.

@@ -32,7 +32,15 @@ use std::time::Instant;
 /// with: `max_speedup ≈ 1.0` is the *expected* honest result on a 1-CPU
 /// container and a regression on an 8-core runner, and the gate needs to
 /// tell those apart.
-pub const SCHEMA: &str = "fsoi-bench-sweep/v3";
+///
+/// v4 makes `nodes` a gated field: with arbitrary-N sweeps possible
+/// (64/256-node design-space grids), a report is only comparable to a
+/// baseline swept at the *same* node count — throughput per cell varies
+/// by orders of magnitude between sizes — so `scripts/bench_gate.sh`
+/// rejects a current/baseline pair whose `nodes` disagree. The rendered
+/// shape is unchanged; the bump exists so every baseline regenerated
+/// under the nodes-checked regime identifies itself.
+pub const SCHEMA: &str = "fsoi-bench-sweep/v4";
 
 /// One thread-count sample of the scaling curve.
 #[derive(Debug, Clone)]
@@ -332,7 +340,8 @@ mod tests {
     fn json_has_one_gate_field_per_line() {
         let json = fake_report().render_json();
         for key in [
-            "\"schema\": \"fsoi-bench-sweep/v3\"",
+            "\"schema\": \"fsoi-bench-sweep/v4\"",
+            "\"nodes\": 16",
             "\"cells\": 80",
             "\"cpus\": 8",
             "\"wall_ms_serial\": 1000.000",

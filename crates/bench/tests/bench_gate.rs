@@ -217,10 +217,14 @@ fn injected_sim_throughput_regression_fails() {
 #[test]
 fn old_schema_reports_are_rejected() {
     let base = write_report("gate_base_v1.json", &report(100.0, 2.0, true));
-    for old in ["fsoi-bench-sweep/v1", "fsoi-bench-sweep/v2"] {
+    for old in [
+        "fsoi-bench-sweep/v1",
+        "fsoi-bench-sweep/v2",
+        "fsoi-bench-sweep/v3",
+    ] {
         let stale = report(100.0, 2.0, true)
             .render_json()
-            .replace("fsoi-bench-sweep/v3", old);
+            .replace("fsoi-bench-sweep/v4", old);
         let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
         let cur = dir.join("gate_cur_old_schema.json");
         std::fs::write(&cur, stale).expect("write stale-schema report");
@@ -232,6 +236,52 @@ fn old_schema_reports_are_rejected() {
         ]);
         assert_eq!(out.status.code(), Some(2), "{old} is a usage error");
     }
+}
+
+#[test]
+fn node_count_mismatch_is_a_usage_error() {
+    // A 64-node sweep is orders of magnitude slower per cell than a
+    // 16-node one; gating it against a 16-node baseline would make the
+    // tolerance checks meaningless. v4 rejects the pair outright.
+    let base = write_report("gate_base_nodes.json", &report(100.0, 2.0, true));
+    let mismatched = report(100.0, 2.0, true)
+        .render_json()
+        .replace("\"nodes\": 16", "\"nodes\": 64");
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let cur = dir.join("gate_cur_nodes.json");
+    std::fs::write(&cur, mismatched).expect("write mismatched-nodes report");
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("FAIL nodes"), "{stderr}");
+    assert!(stderr.contains("not comparable"), "{stderr}");
+    assert!(
+        stderr.contains("bench_gate: diff nodes: baseline=16 current=64"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn matching_node_counts_are_reported() {
+    let base = write_report("gate_base_nodes_ok.json", &report(100.0, 2.0, true));
+    let cur = write_report("gate_cur_nodes_ok.json", &report(100.0, 2.0, true));
+    let out = run_gate(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--current",
+        cur.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(
+        stdout.contains("ok nodes: both reports swept 16 nodes"),
+        "{stdout}"
+    );
 }
 
 #[test]

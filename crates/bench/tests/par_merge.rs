@@ -154,6 +154,55 @@ fn forked_and_cached_paths_match_the_cold_bytes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The multi-word-mask acceptance pin: a 256-node sweep — every sharer
+/// mask, slot table and occupancy bitmask exercising all four `NodeMask`
+/// words — through the forked and cached fast paths still exports the
+/// cold serial bytes at thread counts 1, 2 and 8.
+#[test]
+fn forked_and_cached_256_node_sweep_matches_the_cold_bytes() {
+    let opts_256 = |seed: u64| SweepOptions {
+        ops_per_core: 8,
+        seed,
+        ..SweepOptions::quick_256()
+    };
+    // Two seed variants form a forkable group per (config, app) pair;
+    // fsoi and crossbar cover the two newly-scaled network families.
+    let mut cells: Vec<BatchCell> = Vec::new();
+    for seed in [2010, 2011] {
+        for spec in cells_for(&["mp"], &["fsoi", "crossbar"], opts_256(seed)) {
+            cells.push(spec.to_batch_cell());
+        }
+    }
+
+    let cold = merge_reports(&run_batch(&cells, 1, MAX_CYCLES)).to_jsonl();
+    assert!(!cold.is_empty(), "the cold export carries metrics");
+    for threads in [1usize, 2, 8] {
+        let forked = merge_reports(&run_batch_forked(&cells, threads, MAX_CYCLES)).to_jsonl();
+        assert_eq!(forked, cold, "forked path, threads = {threads}");
+    }
+
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("par_merge_cache_256");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = CellCache::at(&dir);
+    let run_cached = |threads: usize| {
+        let reports = par::sweep(cells.len(), threads, |i| {
+            cache.run_or(&cells[i].config, &cells[i].app, MAX_CYCLES, || {
+                cells[i].run_cold(MAX_CYCLES)
+            })
+        });
+        merge_reports(&reports).to_jsonl()
+    };
+    assert_eq!(run_cached(1), cold, "cold fill through the cache");
+    for threads in [2usize, 8] {
+        assert_eq!(
+            run_cached(threads),
+            cold,
+            "cache-hit path, threads = {threads}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Poison-recovery regression at the batch layer: a panic inside one
 /// cell must propagate to the caller (never wedge the sweep — the
 /// pre-recovery failure mode was every surviving worker unwinding on a

@@ -1,13 +1,16 @@
 //! System configurations: the paper's 16- and 64-node CMPs over each
 //! interconnect variant.
 
-use crate::interconnect::{FsoiAdapter, IdealAdapter, Interconnect, MeshAdapter, RingAdapter};
+use crate::interconnect::{
+    CrossbarAdapter, FsoiAdapter, IdealAdapter, Interconnect, MeshAdapter, RingAdapter,
+};
 use fsoi_mesh::config::MeshConfig;
 use fsoi_mesh::ideal::IdealKind;
 use fsoi_mesh::network::MeshNetwork;
 use fsoi_net::config::FsoiConfig;
 use fsoi_net::network::FsoiNetwork;
 use fsoi_ring::config::RingConfig;
+use fsoi_ring::crossbar::{CrossbarConfig, CrossbarNetwork};
 use fsoi_ring::network::RingNetwork;
 
 /// Which interconnect drives the system.
@@ -23,6 +26,10 @@ pub enum NetworkKind {
     MeshScaled(MeshConfig, f64),
     /// Corona-style token-ring nanophotonic crossbar (§7.1 comparison).
     Ring(RingConfig),
+    /// Worst-case-loss ring-matrix crossbar (the PAPERS.md comparative
+    /// study): dedicated passive paths, lasers sized for the worst-case
+    /// insertion loss at the radix.
+    Crossbar(CrossbarConfig),
     /// Idealized zero-latency network.
     L0,
     /// Idealized 1-cycle-router network.
@@ -47,6 +54,11 @@ impl NetworkKind {
         NetworkKind::Ring(RingConfig::nodes(n))
     }
 
+    /// Default worst-case-loss matrix crossbar for `n` nodes.
+    pub fn crossbar(n: usize) -> Self {
+        NetworkKind::Crossbar(CrossbarConfig::nodes(n))
+    }
+
     /// Short display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -54,6 +66,7 @@ impl NetworkKind {
             NetworkKind::Mesh(_) => "mesh",
             NetworkKind::MeshScaled(..) => "mesh-scaled",
             NetworkKind::Ring(_) => "ring",
+            NetworkKind::Crossbar(_) => "crossbar",
             NetworkKind::L0 => "L0",
             NetworkKind::Lr1 => "Lr1",
             NetworkKind::Lr2 => "Lr2",
@@ -116,8 +129,17 @@ impl SystemConfig {
     /// The paper's 64-node configuration (phase-array FSOI, 8 memory
     /// channels).
     pub fn paper_64(network: NetworkKind) -> Self {
+        SystemConfig::paper_n(64, network)
+    }
+
+    /// The paper's Table 3 per-node parameters scaled to an arbitrary
+    /// node count — the constructor behind the beyond-the-paper
+    /// design-space grids (e.g. 256 nodes). Caches, latencies and memory
+    /// bandwidth are per-node/aggregate exactly as in
+    /// [`SystemConfig::paper_16`]; only the node count changes.
+    pub fn paper_n(nodes: usize, network: NetworkKind) -> Self {
         SystemConfig {
-            nodes: 64,
+            nodes,
             ..SystemConfig::paper_16(network)
         }
     }
@@ -154,6 +176,9 @@ impl SystemConfig {
                 Box::new(MeshAdapter::new(MeshNetwork::new(*cfg)).with_width_fraction(*f))
             }
             NetworkKind::Ring(cfg) => Box::new(RingAdapter::new(RingNetwork::new(*cfg))),
+            NetworkKind::Crossbar(cfg) => {
+                Box::new(CrossbarAdapter::new(CrossbarNetwork::new(*cfg)))
+            }
             NetworkKind::L0 => Box::new(IdealAdapter::new(IdealKind::L0, width)),
             NetworkKind::Lr1 => Box::new(IdealAdapter::new(IdealKind::Lr1, width)),
             NetworkKind::Lr2 => Box::new(IdealAdapter::new(IdealKind::Lr2, width)),
@@ -194,6 +219,7 @@ mod tests {
             NetworkKind::fsoi(16),
             NetworkKind::mesh(16),
             NetworkKind::ring(16),
+            NetworkKind::crossbar(16),
             NetworkKind::L0,
             NetworkKind::Lr1,
             NetworkKind::Lr2,
@@ -209,5 +235,24 @@ mod tests {
     fn paper_64_scales_nodes() {
         let c = SystemConfig::paper_64(NetworkKind::fsoi(64));
         assert_eq!(c.nodes, 64);
+    }
+
+    #[test]
+    fn paper_n_supports_the_256_node_grid() {
+        for kind in [
+            NetworkKind::fsoi(256),
+            NetworkKind::mesh(256),
+            NetworkKind::ring(256),
+            NetworkKind::crossbar(256),
+        ] {
+            let name = kind.name();
+            let cfg = SystemConfig::paper_n(256, kind);
+            assert_eq!(cfg.nodes, 256);
+            // Table 3 per-node parameters carry over unchanged.
+            assert_eq!(cfg.l1_lines, 256);
+            assert_eq!(cfg.l2_lines, 2048);
+            let net = cfg.build_network();
+            assert_eq!(net.name(), name);
+        }
     }
 }

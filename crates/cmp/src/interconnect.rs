@@ -14,6 +14,7 @@ use fsoi_net::network::FsoiNetwork;
 use fsoi_net::packet::{Packet, PacketClass};
 use fsoi_net::power::FsoiPowerModel;
 use fsoi_net::topology::NodeId;
+use fsoi_ring::crossbar::CrossbarNetwork;
 use fsoi_ring::network::{RingNetwork, RingPacket};
 use fsoi_sim::Cycle;
 
@@ -716,10 +717,92 @@ impl Interconnect for RingAdapter {
     }
 }
 
+/// Worst-case-loss matrix-crossbar adapter (the PAPERS.md comparative
+/// study's baseline for the design-space grids).
+#[derive(Debug)]
+pub struct CrossbarAdapter {
+    net: CrossbarNetwork,
+}
+
+impl CrossbarAdapter {
+    /// Wraps a matrix crossbar.
+    pub fn new(net: CrossbarNetwork) -> Self {
+        CrossbarAdapter { net }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &CrossbarNetwork {
+        &self.net
+    }
+}
+
+impl Interconnect for CrossbarAdapter {
+    fn inject(&mut self, packet: NetPacket) -> Result<(), NetPacket> {
+        let p = match packet.class {
+            PacketClass::Meta => RingPacket::meta(packet.src, packet.dst, packet.tag),
+            PacketClass::Data => RingPacket::data(packet.src, packet.dst, packet.tag),
+        };
+        self.net.inject(p).map(|_| ()).map_err(|_| packet)
+    }
+
+    fn tick(&mut self) {
+        self.net.tick();
+    }
+
+    fn drain(&mut self) -> Vec<NetDelivery> {
+        self.net
+            .drain_delivered()
+            .into_iter()
+            .map(|d| NetDelivery {
+                packet: NetPacket {
+                    src: d.packet.src,
+                    dst: d.packet.dst,
+                    class: if d.packet.is_data {
+                        PacketClass::Data
+                    } else {
+                        PacketClass::Meta
+                    },
+                    tag: d.packet.tag,
+                    scheduling_delay: 0,
+                },
+                latency: d.latency(),
+                retries: 0,
+            })
+            .collect()
+    }
+
+    fn now(&self) -> Cycle {
+        self.net.now()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.net.is_idle()
+    }
+
+    fn attribution(&self) -> LatencyAttribution {
+        LatencyAttribution {
+            queuing: self.net.stats().port_wait.mean(),
+            network: self.net.stats().latency.mean() - self.net.stats().port_wait.mean(),
+            ..Default::default()
+        }
+    }
+
+    fn energy_j(&mut self, cycles: u64) -> f64 {
+        // Dominated by the worst-case-loss-sized per-port lasers (always
+        // on: CW sources behind modulators) plus the receivers.
+        self.net.static_power_w() * cycles as f64 / 3.3e9
+    }
+
+    fn name(&self) -> &'static str {
+        "crossbar"
+    }
+}
+
 #[cfg(test)]
 mod ring_tests {
     use super::*;
     use fsoi_ring::config::RingConfig;
+    use fsoi_ring::crossbar::CrossbarConfig;
 
     #[test]
     fn ring_adapter_delivers() {
@@ -735,5 +818,38 @@ mod ring_tests {
         assert!(net.is_idle());
         assert!(net.energy_j(1000) > 0.0);
         assert_eq!(net.name(), "ring");
+    }
+
+    #[test]
+    fn crossbar_adapter_delivers() {
+        let mut net = CrossbarAdapter::new(CrossbarNetwork::new(CrossbarConfig::nodes(64)));
+        net.inject(NetPacket::new(0, 40, PacketClass::Data, 5))
+            .unwrap();
+        for _ in 0..50 {
+            net.tick();
+        }
+        let out = net.drain();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packet.tag, 5);
+        assert!(net.is_idle());
+        assert!(net.energy_j(1000) > 0.0);
+        assert_eq!(net.name(), "crossbar");
+    }
+
+    #[test]
+    fn crossbar_scales_to_256_nodes() {
+        let mut net = CrossbarAdapter::new(CrossbarNetwork::new(CrossbarConfig::nodes(256)));
+        net.inject(NetPacket::new(3, 255, PacketClass::Meta, 9))
+            .unwrap();
+        for _ in 0..50 {
+            net.tick();
+        }
+        let out = net.drain();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packet.dst, 255);
+        // 256-port lasers are sized for ~48 dB more worst-case loss than
+        // 64-port ones; the energy model must reflect that.
+        let mut small = CrossbarAdapter::new(CrossbarNetwork::new(CrossbarConfig::nodes(64)));
+        assert!(net.energy_j(1000) > small.energy_j(1000) * 100.0);
     }
 }

@@ -15,7 +15,7 @@
 //! which probabilistically avoids fetch deadlock (§4.3.1, footnote 3).
 
 use crate::protocol::{CoherenceMsg, DirState, Grant, LineAddr, OutMsg, ProtocolError, ReqType};
-use fsoi_sim::det::DetMap;
+use fsoi_sim::det::{DetMap, NodeMask, NodeMaskIter};
 use fsoi_sim::trace::{self, TraceEvent};
 use fsoi_sim::Cycle;
 use std::collections::VecDeque;
@@ -51,7 +51,7 @@ pub struct DirStats {
 struct DirEntry {
     state: DirState,
     owner: usize,
-    sharers: u128,
+    sharers: NodeMask,
     acks_pending: u32,
     requester: usize,
     deferred: VecDeque<(usize, ReqType)>,
@@ -63,7 +63,7 @@ impl DirEntry {
         DirEntry {
             state,
             owner: usize::MAX,
-            sharers: 0,
+            sharers: NodeMask::new(),
             acks_pending: 0,
             requester: usize::MAX,
             deferred: VecDeque::new(),
@@ -77,43 +77,25 @@ impl DirEntry {
 
     /// Number of sharers, straight off the bit mask (no allocation).
     fn sharer_count(&self) -> usize {
-        self.sharers.count_ones() as usize
+        self.sharers.len()
     }
 
     /// Iterates set sharer bits in ascending node order. The iterator
     /// copies the mask, so the entry may be mutated while it is live.
-    fn sharer_iter(&self) -> SharerIter {
-        SharerIter { bits: self.sharers }
+    fn sharer_iter(&self) -> NodeMaskIter {
+        self.sharers.iter()
     }
 
     fn is_sharer(&self, node: usize) -> bool {
-        self.sharers >> node & 1 == 1
+        self.sharers.contains(node)
     }
 
     fn add_sharer(&mut self, node: usize) {
-        self.sharers |= 1 << node;
+        self.sharers.insert(node);
     }
 
     fn remove_sharer(&mut self, node: usize) {
-        self.sharers &= !(1 << node);
-    }
-}
-
-/// Ascending iterator over the set bits of a sharer mask.
-struct SharerIter {
-    bits: u128,
-}
-
-impl Iterator for SharerIter {
-    type Item = usize;
-
-    fn next(&mut self) -> Option<usize> {
-        if self.bits == 0 {
-            return None;
-        }
-        let i = self.bits.trailing_zeros() as usize;
-        self.bits &= self.bits - 1;
-        Some(i)
+        self.sharers.remove(node);
     }
 }
 
@@ -345,7 +327,7 @@ impl Directory {
                         let victims = e.sharer_iter();
                         e.acks_pending = e.sharer_count() as u32;
                         e.requester = from;
-                        e.sharers = 0;
+                        e.sharers.clear();
                         for v in victims {
                             self.stats.invalidations += 1;
                             out.push(OutMsg {
@@ -568,7 +550,7 @@ impl Directory {
                 let owner = e.owner;
                 let req = e.requester;
                 e.owner = usize::MAX;
-                e.sharers = 0;
+                e.sharers.clear();
                 e.add_sharer(owner);
                 e.add_sharer(req);
                 self.stats.data_replies += 1;
@@ -728,7 +710,7 @@ impl Directory {
                     let e = self.tracked_mut(line);
                     let victims = e.sharer_iter();
                     e.acks_pending = e.sharer_count() as u32;
-                    e.sharers = 0;
+                    e.sharers.clear();
                     if e.acks_pending == 0 {
                         self.remove_with_memory_writeback(line, out);
                     } else {

@@ -258,21 +258,24 @@ mod tests {
             Err(ConfigError::TooFewNodes { nodes: 1 })
         );
         assert_eq!(
-            FsoiConfig::try_nodes(200),
+            FsoiConfig::try_nodes(300),
             Err(ConfigError::TooManyNodes {
-                nodes: 200,
-                capacity: 128
+                nodes: 300,
+                capacity: 256
             })
         );
-        let msg = FsoiConfig::try_nodes(200).unwrap_err().to_string();
-        assert!(msg.contains("200") && msg.contains("128"), "{msg}");
+        let msg = FsoiConfig::try_nodes(300).unwrap_err().to_string();
+        assert!(msg.contains("300") && msg.contains("256"), "{msg}");
         assert!(FsoiConfig::try_nodes(2).is_ok());
-        assert!(FsoiConfig::try_nodes(128).is_ok());
+        // The multi-word mask admits the 256-node design-space grids that
+        // the old u128 representation rejected.
+        assert!(FsoiConfig::try_nodes(200).is_ok());
+        assert!(FsoiConfig::try_nodes(256).is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "NodeMask capacity of 128")]
+    #[should_panic(expected = "NodeMask capacity of 256")]
     fn oversized_network_panics_at_construction_not_mid_run() {
-        FsoiConfig::nodes(129);
+        FsoiConfig::nodes(257);
     }
 }

@@ -16,7 +16,9 @@
 //! * [`noise`] — shot/thermal noise and the Q-factor ⇄ BER relations,
 //! * [`path`] — composable optical paths (mirrors, lenses, free space),
 //! * [`ook`] — on-off-keying superposition (colliding beams OR together),
-//! * [`link`] — the end-to-end link budget that regenerates **Table 1**.
+//! * [`link`] — the end-to-end link budget that regenerates **Table 1**,
+//! * [`crossbar`] — worst-case-loss budget of a ring-matrix crossbar (the
+//!   PAPERS.md comparative-study baseline for the design-space grids).
 //!
 //! # Example: recompute the paper's link budget
 //!
@@ -34,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod clock;
+pub mod crossbar;
 pub mod gaussian;
 pub mod link;
 pub mod noise;

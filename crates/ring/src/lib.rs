@@ -22,12 +22,20 @@
 //!
 //! The model deliberately omits Corona's electrical details and gives the
 //! channels generous WDM bandwidth; see `RingConfig`.
+//!
+//! The crate also hosts the second nanophotonic baseline of the
+//! design-space grids: [`crossbar`], a passive ring-matrix crossbar whose
+//! per-port laser power is sized from the worst-case insertion loss at
+//! its radix (the PAPERS.md comparative study) — dedicated paths and no
+//! token, but a power column that explodes with node count.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod crossbar;
 pub mod network;
 
 pub use config::RingConfig;
+pub use crossbar::{CrossbarConfig, CrossbarNetwork};
 pub use network::RingNetwork;

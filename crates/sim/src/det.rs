@@ -258,28 +258,38 @@ impl<T: Ord> FromIterator<T> for DetSet<T> {
     }
 }
 
-/// A deterministic set of small indices (node ids) backed by a `u128`
-/// bitmask.
+/// A deterministic set of small indices (node ids) backed by a fixed
+/// array of `u64` words.
 ///
 /// The hot-path replacement for `DetSet<NodeId>` where the universe is
 /// bounded by the node count (≤ [`NodeMask::CAPACITY`]): membership is one
-/// shift-and-mask, and iteration walks set bits in strictly ascending
-/// index order — the same order a `DetSet` would produce — so swapping one
-/// for the other cannot perturb any export. Like its siblings above, it
-/// depends on nothing but its own bits: no hasher, no OS entropy (lint
-/// rule D1).
+/// shift-and-mask into the owning word, and iteration walks set bits in
+/// strictly ascending index order — low word first, LSB first within each
+/// word, the same order a `DetSet` would produce — so swapping one for the
+/// other cannot perturb any export. Like its siblings above, it depends on
+/// nothing but its own bits: no hasher, no OS entropy (lint rule D1).
+///
+/// The mask started life as a single `u128`; the word array exists so the
+/// capacity can track design-space studies past the paper's 64-node system
+/// (256-node grids) without changing the API or the iteration order any
+/// byte-identity pin depends on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NodeMask {
-    bits: u128,
+    words: [u64; Self::WORDS],
 }
 
 impl NodeMask {
+    /// Number of 64-bit words backing the mask.
+    const WORDS: usize = 4;
+
     /// Largest index the mask can hold, exclusive.
-    pub const CAPACITY: usize = 128;
+    pub const CAPACITY: usize = Self::WORDS * 64;
 
     /// Creates an empty mask.
     pub fn new() -> Self {
-        NodeMask { bits: 0 }
+        NodeMask {
+            words: [0; Self::WORDS],
+        }
     }
 
     /// Inserts `index`; returns true if it was not already present.
@@ -292,9 +302,10 @@ impl NodeMask {
             index < Self::CAPACITY,
             "NodeMask index {index} out of range"
         );
-        let bit = 1u128 << index;
-        let fresh = self.bits & bit == 0;
-        self.bits |= bit;
+        let bit = 1u64 << (index % 64);
+        let word = &mut self.words[index / 64];
+        let fresh = *word & bit == 0;
+        *word |= bit;
         fresh
     }
 
@@ -308,35 +319,39 @@ impl NodeMask {
             index < Self::CAPACITY,
             "NodeMask index {index} out of range"
         );
-        let bit = 1u128 << index;
-        let present = self.bits & bit != 0;
-        self.bits &= !bit;
+        let bit = 1u64 << (index % 64);
+        let word = &mut self.words[index / 64];
+        let present = *word & bit != 0;
+        *word &= !bit;
         present
     }
 
     /// True if `index` is present. Out-of-range indices are simply absent.
     pub fn contains(&self, index: usize) -> bool {
-        index < Self::CAPACITY && self.bits >> index & 1 == 1
+        index < Self::CAPACITY && self.words[index / 64] >> (index % 64) & 1 == 1
     }
 
     /// Number of set indices.
     pub fn len(&self) -> usize {
-        self.bits.count_ones() as usize
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// True when the mask holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.bits == 0
+        self.words.iter().all(|&w| w == 0)
     }
 
     /// Removes every index.
     pub fn clear(&mut self) {
-        self.bits = 0;
+        self.words = [0; Self::WORDS];
     }
 
     /// Iterates set indices in ascending order.
     pub fn iter(&self) -> NodeMaskIter {
-        NodeMaskIter { bits: self.bits }
+        NodeMaskIter {
+            words: self.words,
+            word: 0,
+        }
     }
 }
 
@@ -359,24 +374,36 @@ impl FromIterator<usize> for NodeMask {
 }
 
 /// Ascending-order iterator over the set bits of a [`NodeMask`].
+///
+/// Walks the words low-to-high and the bits of each word LSB-first, so the
+/// yielded indices are strictly ascending across word boundaries.
 #[derive(Debug, Clone)]
 pub struct NodeMaskIter {
-    bits: u128,
+    words: [u64; NodeMask::WORDS],
+    word: usize,
 }
 
 impl Iterator for NodeMaskIter {
     type Item = usize;
     fn next(&mut self) -> Option<usize> {
-        if self.bits == 0 {
-            return None;
+        while self.word < NodeMask::WORDS {
+            let bits = self.words[self.word];
+            if bits == 0 {
+                self.word += 1;
+                continue;
+            }
+            let offset = bits.trailing_zeros() as usize;
+            self.words[self.word] = bits & (bits - 1); // clear the lowest set bit
+            return Some(self.word * 64 + offset);
         }
-        let index = self.bits.trailing_zeros() as usize;
-        self.bits &= self.bits - 1; // clear the lowest set bit
-        Some(index)
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.bits.count_ones() as usize;
+        let n = self.words[self.word..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         (n, Some(n))
     }
 }
@@ -461,6 +488,25 @@ mod tests {
         assert_eq!(mask.iter().collect::<Vec<_>>(), vec![0, 1, 5, 127]);
         mask.clear();
         assert!(mask.is_empty() && mask.iter().next().is_none());
+    }
+
+    #[test]
+    fn node_mask_crosses_word_boundaries_in_order() {
+        // One bit on each side of every 64-bit word seam, inserted in a
+        // scrambled order: iteration must come back strictly ascending.
+        let boundaries = [64usize, 255, 0, 128, 63, 192, 127, 191];
+        let mut mask = NodeMask::new();
+        for i in boundaries {
+            assert!(mask.insert(i), "insert({i})");
+        }
+        assert_eq!(
+            mask.iter().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 191, 192, 255]
+        );
+        assert_eq!(mask.len(), 8);
+        assert!(mask.remove(255) && !mask.contains(255));
+        assert!(mask.contains(192), "neighbors survive a boundary remove");
+        assert_eq!(mask.iter().last(), Some(192));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property tests for the simulation kernel (on the in-repo `fsoi-check`
 //! harness; see that crate's docs for seeding and `.regressions` replay).
 
-use fsoi_check::{any_bool, checker, vec_of};
+use fsoi_check::{any_bool, checker, select, vec_of};
+use fsoi_sim::det::NodeMask;
 use fsoi_sim::event::EventQueue;
 use fsoi_sim::queue::BoundedQueue;
 use fsoi_sim::rng::Xoshiro256StarStar;
@@ -108,6 +109,66 @@ fn summary_merge_associates() {
             assert_eq!(merged.count(), seq.count());
             assert!((merged.mean() - seq.mean()).abs() < 1e-6);
             assert!((merged.variance() - seq.variance()).abs() < 1e-4);
+        },
+    );
+}
+
+/// The multi-word `NodeMask` agrees with a `BTreeSet` model on random
+/// mixes of word-boundary bits (63/64, 127/128, 191/192, 255 — the edges
+/// between the four 64-bit words) and arbitrary indices: insert/remove
+/// return values, membership, length, and ascending iteration order all
+/// match.
+#[test]
+fn node_mask_matches_set_model_at_word_boundaries() {
+    let boundaries: &[usize] = &[0, 1, 62, 63, 64, 65, 126, 127, 128, 129, 191, 192, 254, 255];
+    checker!().check(
+        "node_mask_matches_set_model_at_word_boundaries",
+        (
+            vec_of(select(boundaries), 0..12),
+            vec_of(0usize..256, 0..24),
+            vec_of(any_bool(), 24..36),
+        ),
+        |(edge_bits, random_bits, is_insert)| {
+            let mut mask = NodeMask::new();
+            let mut model = std::collections::BTreeSet::new();
+            let indices = edge_bits.iter().chain(random_bits);
+            for (&index, &insert) in indices.zip(is_insert) {
+                if insert {
+                    assert_eq!(mask.insert(index), model.insert(index), "insert({index})");
+                } else {
+                    assert_eq!(mask.remove(index), model.remove(&index), "remove({index})");
+                }
+                assert_eq!(mask.contains(index), model.contains(&index));
+                assert_eq!(mask.len(), model.len());
+                assert_eq!(mask.is_empty(), model.is_empty());
+            }
+            // Iteration crosses word boundaries strictly ascending, and
+            // matches the ordered model exactly.
+            let got: Vec<usize> = mask.iter().collect();
+            let want: Vec<usize> = model.iter().copied().collect();
+            assert_eq!(got, want, "LSB-first ascending iteration");
+            assert!(got.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        },
+    );
+}
+
+/// `FromIterator` round-trip: collecting any index list (duplicates and
+/// all four words included) and iterating back yields the sorted,
+/// deduplicated input; re-collecting the iteration reproduces the mask.
+#[test]
+fn node_mask_from_iterator_round_trips_across_words() {
+    checker!().check(
+        "node_mask_from_iterator_round_trips_across_words",
+        vec_of(0usize..256, 0..64),
+        |indices| {
+            let mask: NodeMask = indices.iter().copied().collect();
+            let mut want: Vec<usize> = indices.clone();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(mask.iter().collect::<Vec<_>>(), want);
+            assert_eq!(mask.len(), want.len());
+            let rebuilt: NodeMask = mask.iter().collect();
+            assert_eq!(rebuilt, mask, "iter -> collect is the identity");
         },
     );
 }

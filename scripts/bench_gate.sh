@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Benchmark regression gate: compares a sweep benchmark report (schema
-# fsoi-bench-sweep/v3, produced by `experiments bench`) against the
+# fsoi-bench-sweep/v4, produced by `experiments bench`) against the
 # committed baseline BENCH_sweep.json and exits nonzero on regression.
 #
 # Checks, each against its own tolerance:
@@ -80,10 +80,28 @@ diff_stderr() {
 }
 
 schema=$(sed -n 's/^ *"schema": "\([^"]*\)".*/\1/p' "$CURRENT" | head -n 1)
-if [ "$schema" != "fsoi-bench-sweep/v3" ]; then
+if [ "$schema" != "fsoi-bench-sweep/v4" ]; then
     echo "bench_gate: unexpected schema '$schema' in $CURRENT" >&2
     exit 2
 fi
+
+# v4: a report is only comparable to a baseline swept at the same node
+# count — cell throughput differs by orders of magnitude between a
+# 16-node sweep and a 256-node one, so a mismatch would make every
+# tolerance check meaningless. Mismatch is a usage error (exit 2), not a
+# performance regression.
+base_nodes=$(field "$BASELINE" nodes)
+cur_nodes=$(field "$CURRENT" nodes)
+if [ -z "$base_nodes" ] || [ -z "$cur_nodes" ]; then
+    echo "bench_gate: could not extract nodes from reports" >&2
+    exit 2
+fi
+if [ "$base_nodes" != "$cur_nodes" ]; then
+    echo "bench_gate: FAIL nodes: current report swept $cur_nodes nodes but baseline swept $base_nodes — not comparable" >&2
+    diff_stderr nodes "$base_nodes" "$cur_nodes"
+    exit 2
+fi
+echo "bench_gate: ok nodes: both reports swept $cur_nodes nodes"
 
 base_cps=$(field "$BASELINE" cells_per_sec_serial)
 cur_cps=$(field "$CURRENT" cells_per_sec_serial)

@@ -8,6 +8,9 @@
 #   scripts/ci.sh --tier lint     # fsoi-lint check + clippy
 #   scripts/ci.sh --tier full     # scripts/verify.sh (incl. trace build + microbench guard)
 #   scripts/ci.sh --tier bench    # scripts/bench_gate.sh vs the committed baseline
+#   scripts/ci.sh --tier scale    # beyond-the-paper grids: 64-node four-network
+#                                 # smoke grid + a single 256-node cell, with
+#                                 # shape-class and byte-identity assertions
 #   scripts/ci.sh --tier tsan     # ThreadSanitizer pass over fsoi-sim (needs nightly;
 #                                 # optional — skipped with a notice when unavailable)
 set -eu
@@ -17,7 +20,7 @@ TIER=all
 while [ $# -gt 0 ]; do
     case "$1" in
         --tier) TIER=$2; shift 2 ;;
-        *) echo "ci.sh: unknown argument $1 (usage: ci.sh [--tier quick|lint|full|bench|all])" >&2; exit 2 ;;
+        *) echo "ci.sh: unknown argument $1 (usage: ci.sh [--tier quick|lint|full|bench|scale|all])" >&2; exit 2 ;;
     esac
 done
 
@@ -69,6 +72,22 @@ tier_bench() {
         profile --out target/RUN_manifest.json --det target/RUN_det.txt
 }
 
+tier_scale() {
+    banner scale
+    mkdir -p target
+    # 64-node four-network smoke grid: fsoi/mesh/ring/crossbar on a
+    # reduced app set, every cell asserted into its shape class and
+    # byte-identical across worker counts {1,2,8}.
+    cargo run -q --release --offline -p fsoi-bench --bin experiments -- \
+        grid --nodes 64 --ops 100 --out target/GRID_64.txt
+    # A single 256-node row: the NodeMask-capacity design point. One app
+    # across all four networks pins the worst-case-loss crossbar story
+    # (latency below Corona's, network energy 100x above it).
+    cargo run -q --release --offline -p fsoi-bench --bin experiments -- \
+        grid --nodes 256 --ops 50 --apps mp --out target/GRID_256.txt
+    echo "scale: grid summaries written to target/GRID_64.txt and target/GRID_256.txt"
+}
+
 tier_tsan() {
     banner tsan
     # ThreadSanitizer needs nightly (-Zsanitizer) plus the matching
@@ -97,14 +116,16 @@ case "$TIER" in
     lint)  tier_lint ;;
     full)  tier_full ;;
     bench) tier_bench ;;
+    scale) tier_scale ;;
     tsan)  tier_tsan ;;
     all)
         tier_quick
         tier_lint
         tier_full
         tier_bench
+        tier_scale
         ;;
-    *) echo "ci.sh: unknown tier '$TIER' (quick|lint|full|bench|tsan|all)" >&2; exit 2 ;;
+    *) echo "ci.sh: unknown tier '$TIER' (quick|lint|full|bench|scale|tsan|all)" >&2; exit 2 ;;
 esac
 
 echo
